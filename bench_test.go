@@ -1,0 +1,269 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation section. Each benchmark runs the corresponding experiment and
+// reports the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints a machine-readable version of the paper's results. The quick
+// experiment options are used so the full suite completes in minutes; run
+// cmd/bench with -full for the paper-sized configuration.
+package cmpfb
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/kernels"
+)
+
+func benchOptions() harness.Options {
+	o := harness.QuickOptions()
+	o.Verify = true
+	return o
+}
+
+// BenchmarkTable1 regenerates Table 1: best software-barrier speedups for
+// the five kernels on 16 cores (plus the filter numbers).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table1(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.BestSoftware(), r.Kernel+"_swbest_x")
+			b.ReportMetric(r.BestFilter(), r.Kernel+"_filterbest_x")
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4: average barrier latency for every
+// mechanism at 4..64 cores.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.Fig4(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			b.ReportMetric(p.AvgCycles, fmt.Sprintf("%s_%dc_cyc", p.Kind, p.Cores))
+		}
+	}
+}
+
+func benchSpeedupRow(b *testing.B, run func(harness.Options) (harness.SpeedupRow, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		row, err := run(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range barrier.Kinds {
+			b.ReportMetric(row.Speedup[k], k.String()+"_x")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5: autocorrelation speedups.
+func BenchmarkFig5(b *testing.B) { benchSpeedupRow(b, harness.Fig5) }
+
+// BenchmarkFig6 regenerates Figure 6: Viterbi speedups.
+func BenchmarkFig6(b *testing.B) { benchSpeedupRow(b, harness.Fig6) }
+
+func benchTimeSeries(b *testing.B, run func(harness.Options) (harness.TimeSeries, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ts, err := run(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the parallel-vs-sequential crossover metric per
+		// mechanism: the smallest N at which the parallel version wins.
+		for _, k := range barrier.Kinds {
+			cross := -1.0
+			for i, n := range ts.Lengths {
+				if ts.Par[k][i] < ts.Seq[i] {
+					cross = float64(n)
+					break
+				}
+			}
+			b.ReportMetric(cross, k.String()+"_crossN")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (Livermore loop 2 time vs N).
+func BenchmarkFig7(b *testing.B) { benchTimeSeries(b, harness.Fig7) }
+
+// BenchmarkFig8 regenerates Figure 8 (Livermore loop 3 time vs N).
+func BenchmarkFig8(b *testing.B) { benchTimeSeries(b, harness.Fig8) }
+
+// BenchmarkFig10 regenerates Figure 10 (Livermore loop 6 time vs N).
+func BenchmarkFig10(b *testing.B) { benchTimeSeries(b, harness.Fig10) }
+
+// --- ablations (design choices called out in DESIGN.md §5) -----------------
+
+// latencyAt measures one mechanism's barrier latency on a custom config.
+func latencyAt(b *testing.B, cfg core.Config, kind barrier.Kind, n int) float64 {
+	b.Helper()
+	alloc := barrier.NewAllocator(cfg.Mem)
+	gen, err := barrier.New(kind, n, alloc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mb := &kernels.Microbench{K: 16, M: 8}
+	prog, err := mb.BuildPar(gen, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := core.NewMachine(cfg)
+	if err := barrier.Launch(m, gen, prog, n); err != nil {
+		b.Fatal(err)
+	}
+	cycles, err := m.Run(500_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(cycles) / float64(mb.Invocations())
+}
+
+// BenchmarkAblationFilterBW compares the paper's 1-request/cycle filter
+// service rate against an idealized 4/cycle rate (release serialization).
+func BenchmarkAblationFilterBW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bw := range []int{1, 4} {
+			cfg := core.DefaultConfig(16)
+			cfg.Mem.FilterBW = bw
+			lat := latencyAt(b, cfg, barrier.KindFilterD, 16)
+			b.ReportMetric(lat, fmt.Sprintf("filterbw%d_cyc", bw))
+		}
+	}
+}
+
+// BenchmarkAblationSharedDataBus compares the default per-bank data
+// crossbar against a single shared data bus (the >16-core saturation
+// discussion of §4.2).
+func BenchmarkAblationSharedDataBus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, shared := range []bool{false, true} {
+			cfg := core.DefaultConfig(32)
+			cfg.Mem.SharedDataBus = shared
+			lat := latencyAt(b, cfg, barrier.KindFilterD, 32)
+			name := "crossbar_cyc"
+			if shared {
+				name = "sharedbus_cyc"
+			}
+			b.ReportMetric(lat, name)
+		}
+	}
+}
+
+// BenchmarkAblationMSHR shows that one data MSHR per core suffices for
+// filter barriers (§3.2.1), at some cost to the surrounding kernel.
+func BenchmarkAblationMSHR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, mshrs := range []int{1, 8} {
+			cfg := core.DefaultConfig(16)
+			cfg.Mem.MSHRs = mshrs
+			lat := latencyAt(b, cfg, barrier.KindFilterD, 16)
+			b.ReportMetric(lat, fmt.Sprintf("mshr%d_cyc", mshrs))
+		}
+	}
+}
+
+// BenchmarkAblationBusWidth sweeps the data-path width (line transfer
+// occupancy), which moves the bus-saturation point.
+func BenchmarkAblationBusWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, width := range []int{8, 16, 32} {
+			cfg := core.DefaultConfig(32)
+			cfg.Mem.DataBusBytesPerCycle = width
+			lat := latencyAt(b, cfg, barrier.KindFilterIPP, 32)
+			b.ReportMetric(lat, fmt.Sprintf("width%dB_cyc", width))
+		}
+	}
+}
+
+// BenchmarkSimThroughput reports the simulator's own speed: simulated
+// core-cycles per host second on a 16-core software-barrier run.
+func BenchmarkSimThroughput(b *testing.B) {
+	cfg := core.DefaultConfig(16)
+	alloc := barrier.NewAllocator(cfg.Mem)
+	gen := barrier.MustNew(barrier.KindSWCentral, 16, alloc)
+	mb := &kernels.Microbench{K: 16, M: 4}
+	prog, err := mb.BuildPar(gen, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var simCycles uint64
+	for i := 0; i < b.N; i++ {
+		m := core.NewMachine(cfg)
+		if err := barrier.Launch(m, gen, prog, 16); err != nil {
+			b.Fatal(err)
+		}
+		c, err := m.Run(500_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += c * 16
+	}
+	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "corecycles/s")
+}
+
+// BenchmarkOcean regenerates the §4.1 coarse-grained measurement (the
+// SPLASH-2 Ocean discussion): barriers are a small share of coarse-grained
+// applications, so the filter's whole-program improvement is a few percent.
+func BenchmarkOcean(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.CoarseGrain(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Improvement*100, "filter_improvement_pct")
+		b.ReportMetric(r.BarrierShareSW*100, "barrier_share_pct")
+	}
+}
+
+// BenchmarkAblationSMT holds the thread count at 16 and varies how they are
+// packed onto physical cores (16x1, 8x2, 4x4 Niagara-style contexts).
+// Fewer physical cores means fewer L1s/MSHRs and less bus traffic for the
+// same barrier population (§3.2.1).
+func BenchmarkAblationSMT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, tpc := range []int{1, 2, 4} {
+			cfg := core.DefaultConfig(16 / tpc)
+			cfg.ThreadsPerCore = tpc
+			lat := latencyAt16Threads(b, cfg)
+			b.ReportMetric(lat, fmt.Sprintf("cores%dx%d_cyc", 16/tpc, tpc))
+		}
+	}
+}
+
+// latencyAt16Threads measures the filter-D barrier latency for 16 logical
+// threads on cfg.
+func latencyAt16Threads(b *testing.B, cfg core.Config) float64 {
+	b.Helper()
+	alloc := barrier.NewAllocator(cfg.Mem)
+	gen, err := barrier.New(barrier.KindFilterD, 16, alloc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mb := &kernels.Microbench{K: 16, M: 8}
+	prog, err := mb.BuildPar(gen, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := core.NewMachine(cfg)
+	if err := barrier.Launch(m, gen, prog, 16); err != nil {
+		b.Fatal(err)
+	}
+	cycles, err := m.Run(500_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(cycles) / float64(mb.Invocations())
+}

@@ -1,0 +1,137 @@
+// Command bench regenerates the paper's tables and figures on the
+// simulated CMP and prints them as text tables.
+//
+// Usage:
+//
+//	bench -exp all            # everything, quick sizes (default)
+//	bench -exp fig4 -full     # one experiment at paper-faithful sizes
+//	bench -exp table1,fig5
+//
+// Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig10, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig10,ocean,extras,all")
+	full := flag.Bool("full", false, "paper-faithful sizes (slow); default is quick sizes with the same shapes")
+	noverify := flag.Bool("noverify", false, "skip cross-checking kernel results against the Go references")
+	flag.Parse()
+
+	opt := harness.QuickOptions()
+	if *full {
+		opt = harness.DefaultOptions()
+	}
+	opt.Verify = !*noverify
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	run("table1", func() error {
+		rows, err := harness.Table1(opt)
+		if err != nil {
+			return err
+		}
+		harness.WriteTable1(os.Stdout, rows)
+		fmt.Println()
+		for _, r := range rows {
+			harness.WriteSpeedupRow(os.Stdout, r.Kernel, r)
+		}
+		return nil
+	})
+	run("fig4", func() error {
+		pts, err := harness.Fig4(opt)
+		if err != nil {
+			return err
+		}
+		harness.WriteFig4(os.Stdout, pts)
+		return nil
+	})
+	run("fig5", func() error {
+		row, err := harness.Fig5(opt)
+		if err != nil {
+			return err
+		}
+		harness.WriteSpeedupRow(os.Stdout, "Figure 5 ("+row.Kernel+")", row)
+		return nil
+	})
+	run("fig6", func() error {
+		row, err := harness.Fig6(opt)
+		if err != nil {
+			return err
+		}
+		harness.WriteSpeedupRow(os.Stdout, "Figure 6 ("+row.Kernel+")", row)
+		return nil
+	})
+	run("fig7", func() error {
+		ts, err := harness.Fig7(opt)
+		if err != nil {
+			return err
+		}
+		harness.WriteTimeSeries(os.Stdout, ts)
+		return nil
+	})
+	run("fig8", func() error {
+		ts, err := harness.Fig8(opt)
+		if err != nil {
+			return err
+		}
+		harness.WriteTimeSeries(os.Stdout, ts)
+		return nil
+	})
+	run("extras", func() error {
+		r, err := harness.Extras(opt)
+		if err != nil {
+			return err
+		}
+		harness.WriteExtras(os.Stdout, r)
+		return nil
+	})
+	run("ocean", func() error {
+		r, err := harness.CoarseGrain(opt)
+		if err != nil {
+			return err
+		}
+		harness.WriteCoarseGrain(os.Stdout, r)
+		return nil
+	})
+	run("fig10", func() error {
+		ts, err := harness.Fig10(opt)
+		if err != nil {
+			return err
+		}
+		harness.WriteTimeSeries(os.Stdout, ts)
+		return nil
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

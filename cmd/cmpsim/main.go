@@ -1,0 +1,140 @@
+// Command cmpsim assembles an SRISC program and runs it on the simulated
+// CMP, printing each thread's console output (the OUT instruction) and,
+// optionally, pipeline/memory statistics.
+//
+// Usage:
+//
+//	cmpsim [-cores N] [-threads T] [-barrier kind] [-cycles MAX] [-stats] prog.s
+//
+// When -barrier is given, the program is wrapped with that mechanism's
+// setup/stub code, and the source may invoke the pseudo-instruction
+// `barrier` (lower-case, no operands) wherever a barrier is needed — the
+// wrapper textually expands it before assembly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+func main() {
+	cores := flag.Int("cores", 1, "number of physical cores")
+	tpc := flag.Int("tpc", 1, "hardware thread contexts per core (Niagara-style when > 1)")
+	threads := flag.Int("threads", 1, "number of SPMD threads (mapped onto logical cores)")
+	barrierKind := flag.String("barrier", "", "barrier mechanism for the `barrier` pseudo-instruction: sw-central, sw-tree, hw-net, filter-i, filter-d, filter-i-pp, filter-d-pp")
+	maxCycles := flag.Uint64("cycles", 100_000_000, "cycle limit")
+	stats := flag.Bool("stats", false, "print machine statistics after the run")
+	trace := flag.Bool("trace", false, "print per-commit and per-memory-event trace lines (very verbose)")
+	disasm := flag.Bool("S", false, "print the program listing before running")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cmpsim [flags] prog.s")
+		flag.Usage()
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	src := string(srcBytes)
+
+	cfg := core.DefaultConfig(*cores)
+	cfg.ThreadsPerCore = *tpc
+	m := core.NewMachine(cfg)
+	cpu.Trace = *trace
+
+	var prog *asm.Program
+	var gen barrier.Generator
+	if *barrierKind != "" {
+		kind, err := barrier.ParseKind(*barrierKind)
+		if err != nil {
+			fatal(err)
+		}
+		alloc := barrier.NewAllocator(cfg.Mem)
+		gen, err = barrier.New(kind, *threads, alloc)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = barrier.BuildProgram(gen, func(b *asm.Builder) {
+			if err := assembleWithBarrier(b, src, gen); err != nil {
+				fatal(err)
+			}
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := barrier.Launch(m, gen, prog, *threads); err != nil {
+			fatal(err)
+		}
+	} else {
+		prog, err = asm.Assemble(src, core.TextBase, core.DataBase)
+		if err != nil {
+			fatal(err)
+		}
+		m.Load(prog)
+		m.StartSPMD(prog.Entry, *threads)
+	}
+
+	if *disasm {
+		fmt.Print(prog.Listing())
+	}
+
+	cycles, err := m.Run(*maxCycles)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("halted after %d cycles, %d instructions committed\n", cycles, m.TotalCommitted())
+	for i, c := range m.Cores {
+		if len(c.Console) > 0 {
+			fmt.Printf("core %d out:", i)
+			for _, v := range c.Console {
+				fmt.Printf(" %d", int64(v))
+			}
+			fmt.Println()
+		}
+	}
+	if *stats {
+		fmt.Printf("%s, aggregate IPC %.2f\n", m, m.IPC())
+		fmt.Print(m.StatsReport())
+	}
+}
+
+// assembleWithBarrier expands the `barrier` pseudo-instruction by splitting
+// the source at each occurrence and emitting the generator's sequence.
+func assembleWithBarrier(b *asm.Builder, src string, gen barrier.Generator) error {
+	la := asm.NewLineAssembler(b)
+	for i, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(stripCmt(line)) == "barrier" {
+			gen.EmitBarrier(b)
+			continue
+		}
+		if err := la.Line(line); err != nil {
+			return fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// stripCmt removes trailing comments for the barrier pseudo-op check.
+func stripCmt(s string) string {
+	if i := strings.Index(s, "#"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmpsim:", err)
+	os.Exit(1)
+}

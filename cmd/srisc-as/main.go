@@ -1,0 +1,54 @@
+// Command srisc-as assembles an SRISC source file and prints the linked
+// program: the symbol table and a disassembly listing of the text segment.
+// It is a checking/inspection tool; cmd/cmpsim loads sources directly.
+//
+// Usage:
+//
+//	srisc-as [-text addr] [-data addr] [-n count] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+func main() {
+	textBase := flag.Uint64("text", core.TextBase, "text segment base address")
+	dataBase := flag.Uint64("data", core.DataBase, "data segment base address")
+	count := flag.Int("n", 0, "instructions to disassemble (0 = whole text segment)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: srisc-as [flags] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srisc-as:", err)
+		os.Exit(1)
+	}
+	p, err := asm.Assemble(string(src), *textBase, *dataBase)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srisc-as:", err)
+		os.Exit(1)
+	}
+	fmt.Print(p.Listing())
+	n := *count
+	if n == 0 {
+		for _, seg := range p.Segments {
+			if seg.Addr == *textBase {
+				n = len(seg.Data) / isa.WordBytes
+			}
+		}
+	}
+	fmt.Print(p.Disassemble(*textBase, n))
+	total := 0
+	for _, seg := range p.Segments {
+		total += len(seg.Data)
+	}
+	fmt.Printf("%d segment(s), %d bytes, entry %#x\n", len(p.Segments), total, p.Entry)
+}

@@ -1,0 +1,117 @@
+package cmpfb
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow end to
+// end: build a barrier, compose an SPMD program, run, and check results.
+func TestPublicAPIQuickstart(t *testing.T) {
+	const threads = 4
+	cfg := DefaultConfig(threads)
+	alloc := NewAllocator(cfg)
+	gen := MustNewBarrier(FilterD, threads, alloc)
+
+	prog, err := BuildSPMD(gen, func(b *ProgramBuilder) {
+		b.LA(isa.RegT0, "slots")
+		b.SLLI(isa.RegT0+1, isa.RegA0, 6)
+		b.ADD(isa.RegT0, isa.RegT0, isa.RegT0+1)
+		b.ADDI(isa.RegT0+1, isa.RegA0, 1)
+		b.ST(isa.RegT0+1, isa.RegT0, 0)
+		gen.EmitBarrier(b)
+		b.LA(isa.RegT0, "slots")
+		b.LI(isa.RegT0+1, 0)
+		b.LI(isa.RegT0+2, threads)
+		loop := b.NewLabel("sum")
+		b.Label(loop)
+		b.LD(isa.RegT0+3, isa.RegT0, 0)
+		b.ADD(isa.RegT0+1, isa.RegT0+1, isa.RegT0+3)
+		b.ADDI(isa.RegT0, isa.RegT0, 64)
+		b.ADDI(isa.RegT0+2, isa.RegT0+2, -1)
+		b.BNEZ(isa.RegT0+2, loop)
+		b.OUT(isa.RegT0 + 1)
+		b.AlignData(64)
+		b.DataLabel("slots")
+		b.Space(threads * 64)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(cfg)
+	if err := Launch(m, gen, prog, threads); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range m.Cores {
+		if len(c.Console) != 1 || c.Console[0] != 10 {
+			t.Fatalf("thread %d console %v, want [10]", i, c.Console)
+		}
+	}
+}
+
+func TestPublicAPIAssemble(t *testing.T) {
+	prog, err := Assemble(`
+	li t0, 6
+	li t1, 7
+	mul t2, t0, t1
+	out t2
+	halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(DefaultConfig(1))
+	m.Load(prog)
+	m.StartSPMD(prog.Entry, 1)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cores[0].Console; len(got) != 1 || got[0] != 42 {
+		t.Fatalf("console %v", got)
+	}
+}
+
+func TestPublicAPIKernels(t *testing.T) {
+	// Every exported kernel constructor round-trips through a sequential
+	// run + verification.
+	ks := []Kernel{
+		NewLivermore2(32, 1),
+		NewLivermore3(32, 1),
+		NewLivermore6(24, 1),
+		NewAutcor(128, 4, 1),
+		NewViterbi(24, 1),
+	}
+	for _, k := range ks {
+		prog, err := k.BuildSeq()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		m := NewMachine(DefaultConfig(1))
+		m.Load(prog)
+		m.StartSPMD(prog.Entry, 1)
+		if _, err := m.Run(50_000_000); err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		if err := k.Verify(m.Sys.Mem, prog, 1); err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+	}
+}
+
+func TestPublicAPIManagerFallback(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.FilterSlotsPerBank = 0 // no filter hardware at all
+	m := NewMachine(cfg)
+	mgr := NewBarrierManager(m)
+	h, err := mgr.Register(FilterI, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Granted != SWCentral {
+		t.Fatalf("granted %v, want software fallback", h.Granted)
+	}
+}

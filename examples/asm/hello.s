@@ -1,0 +1,17 @@
+# hello.s — plain single-threaded SRISC demo for cmd/srisc-as and
+# cmd/cmpsim (no barrier pseudo-ops).
+#
+#   go run ./cmd/srisc-as examples/asm/hello.s
+#   go run ./cmd/cmpsim examples/asm/hello.s
+
+	la   t0, msg
+	ld   t1, 0(t0)     # 6
+	ld   t2, 8(t0)     # 7
+	mul  t3, t1, t2
+	out  t3            # 42
+	halt
+
+	.data
+	.align 8
+msg:
+	.quad 6, 7

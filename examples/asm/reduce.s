@@ -1,0 +1,34 @@
+# reduce.s — SPMD tree-free reduction demo for cmd/cmpsim.
+#
+# Each thread stores (tid+1)^2 into its slot, crosses a barrier (expanded
+# by cmpsim's -barrier flag), and thread 0 sums and prints the result.
+#
+#   go run ./cmd/cmpsim -cores 8 -threads 8 -barrier filter-d examples/asm/reduce.s
+
+	la   t0, slots
+	slli t1, a0, 6        # tid * 64 (one line per thread)
+	add  t0, t0, t1
+	addi t1, a0, 1
+	mul  t1, t1, t1       # (tid+1)^2
+	st   t1, 0(t0)
+
+	barrier
+
+	bnez a0, done         # only thread 0 reduces
+	la   t0, slots
+	li   t1, 0
+	mv   t2, a1           # nthreads
+sum:
+	ld   t3, 0(t0)
+	add  t1, t1, t3
+	addi t0, t0, 64
+	addi t2, t2, -1
+	bnez t2, sum
+	out  t1
+done:
+	halt
+
+	.data
+	.align 64
+slots:
+	.space 4096

@@ -1,0 +1,69 @@
+// Dotproduct: the Livermore loop 3 inner product (the paper's Figure 8
+// workload) distributed across 16 cores, comparing all seven barrier
+// mechanisms against sequential execution — a miniature of Table 1's
+// methodology, with results verified against the Go reference.
+//
+//	go run ./examples/dotproduct [-n 256] [-cores 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	cmpfb "repro"
+)
+
+func main() {
+	n := flag.Int("n", 256, "vector length")
+	cores := flag.Int("cores", 16, "cores / threads")
+	flag.Parse()
+
+	const loops = 3
+	seqKernel := cmpfb.NewLivermore3(*n, loops)
+
+	// Sequential baseline.
+	seqProg, err := seqKernel.BuildSeq()
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqM := cmpfb.NewMachine(cmpfb.DefaultConfig(1))
+	seqM.Load(seqProg)
+	seqM.StartSPMD(seqProg.Entry, 1)
+	seqCycles, err := seqM.Run(100_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := seqKernel.Verify(seqM.Sys.Mem, seqProg, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("livermore3 N=%d, %d repetitions\n", *n, loops)
+	fmt.Printf("%-14s %10d cycles (baseline)\n", "sequential", seqCycles)
+
+	for _, kind := range cmpfb.BarrierKinds {
+		cfg := cmpfb.DefaultConfig(*cores)
+		alloc := cmpfb.NewAllocator(cfg)
+		gen, err := cmpfb.NewBarrier(kind, *cores, alloc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		k := cmpfb.NewLivermore3(*n, loops)
+		prog, err := k.BuildPar(gen, *cores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := cmpfb.NewMachine(cfg)
+		if err := cmpfb.Launch(m, gen, prog, *cores); err != nil {
+			log.Fatal(err)
+		}
+		cycles, err := m.Run(500_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := k.Verify(m.Sys.Mem, prog, *cores); err != nil {
+			log.Fatalf("%s: %v", kind, err)
+		}
+		fmt.Printf("%-14s %10d cycles   speedup %5.2fx\n",
+			kind, cycles, float64(seqCycles)/float64(cycles))
+	}
+}

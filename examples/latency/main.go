@@ -1,0 +1,63 @@
+// Latency: the Figure 4 barrier-latency microbenchmark as a runnable
+// example — a loop of back-to-back barriers with no work between them,
+// measured for every mechanism across core counts.
+//
+//	go run ./examples/latency [-k 16] [-m 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	cmpfb "repro"
+	"repro/internal/isa"
+)
+
+func main() {
+	k := flag.Int("k", 16, "consecutive barriers per loop iteration (paper: 64)")
+	m := flag.Int("m", 8, "loop iterations (paper: 64)")
+	flag.Parse()
+
+	fmt.Printf("average cycles per barrier (%d barriers x %d iterations)\n", *k, *m)
+	fmt.Printf("%-8s", "cores")
+	for _, kind := range cmpfb.BarrierKinds {
+		fmt.Printf("%12s", kind)
+	}
+	fmt.Println()
+
+	for _, cores := range []int{4, 8, 16, 32} {
+		fmt.Printf("%-8d", cores)
+		for _, kind := range cmpfb.BarrierKinds {
+			cfg := cmpfb.DefaultConfig(cores)
+			alloc := cmpfb.NewAllocator(cfg)
+			gen, err := cmpfb.NewBarrier(kind, cores, alloc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			prog, err := cmpfb.BuildSPMD(gen, func(b *cmpfb.ProgramBuilder) {
+				b.LI(isa.RegS0, int64(*m))
+				outer := b.NewLabel("outer")
+				b.Label(outer)
+				for i := 0; i < *k; i++ {
+					gen.EmitBarrier(b)
+				}
+				b.ADDI(isa.RegS0, isa.RegS0, -1)
+				b.BNEZ(isa.RegS0, outer)
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			mach := cmpfb.NewMachine(cfg)
+			if err := cmpfb.Launch(mach, gen, prog, cores); err != nil {
+				log.Fatal(err)
+			}
+			cycles, err := mach.Run(1_000_000_000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%12.1f", float64(cycles)/float64((*k)*(*m)))
+		}
+		fmt.Println()
+	}
+}

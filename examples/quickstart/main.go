@@ -1,0 +1,78 @@
+// Quickstart: run a tiny SPMD program on a 4-core simulated CMP using an
+// I-cache barrier filter.
+//
+// Each thread writes its thread id into a private slot, crosses a barrier
+// filter, and then sums every thread's slot — a result that is only correct
+// if the barrier actually synchronized the writes with the reads.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cmpfb "repro"
+	"repro/internal/isa"
+)
+
+func main() {
+	const threads = 4
+	cfg := cmpfb.DefaultConfig(threads)
+	alloc := cmpfb.NewAllocator(cfg)
+
+	// An I-cache barrier filter: arrival addresses are code lines, and a
+	// thread stalls by instruction-fetch starvation until all arrive.
+	gen := cmpfb.MustNewBarrier(cmpfb.FilterI, threads, alloc)
+
+	prog, err := cmpfb.BuildSPMD(gen, func(b *cmpfb.ProgramBuilder) {
+		const (
+			t0 = isa.RegT0
+			t1 = isa.RegT0 + 1
+			t2 = isa.RegT0 + 2
+		)
+		// slots[tid] = tid + 1 (one cache line per thread).
+		b.LA(t0, "slots")
+		b.SLLI(t1, isa.RegA0, 6)
+		b.ADD(t0, t0, t1)
+		b.ADDI(t1, isa.RegA0, 1)
+		b.ST(t1, t0, 0)
+
+		gen.EmitBarrier(b) // no thread proceeds until every slot is written
+
+		// sum = Σ slots[i]; every thread prints it via OUT.
+		b.LA(t0, "slots")
+		b.LI(t1, 0) // sum
+		b.LI(t2, threads)
+		loop := b.NewLabel("sum")
+		b.Label(loop)
+		b.LD(isa.RegT0+3, t0, 0)
+		b.ADD(t1, t1, isa.RegT0+3)
+		b.ADDI(t0, t0, 64)
+		b.ADDI(t2, t2, -1)
+		b.BNEZ(t2, loop)
+		b.OUT(t1)
+
+		b.AlignData(64)
+		b.DataLabel("slots")
+		b.Space(threads * 64)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := cmpfb.NewMachine(cfg)
+	if err := cmpfb.Launch(m, gen, prog, threads); err != nil {
+		log.Fatal(err)
+	}
+	cycles, err := m.Run(10_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	want := uint64(threads * (threads + 1) / 2)
+	fmt.Printf("ran %d cycles on %d cores with a %s barrier\n", cycles, threads, gen.Kind())
+	for i, c := range m.Cores {
+		fmt.Printf("  thread %d saw sum = %d (want %d)\n", i, c.Console[0], want)
+	}
+}

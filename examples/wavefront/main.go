@@ -1,0 +1,78 @@
+// Wavefront: the Livermore loop 6 linear recurrence (the paper's Figure 10
+// workload), showing where the parallel wavefront with fast barriers starts
+// to beat sequential execution as the vector length grows — the crossover
+// the paper reports at N around 64 for filter barriers.
+//
+//	go run ./examples/wavefront [-cores 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	cmpfb "repro"
+)
+
+func run(kind cmpfb.BarrierKind, cores, n int) uint64 {
+	cfg := cmpfb.DefaultConfig(cores)
+	alloc := cmpfb.NewAllocator(cfg)
+	gen, err := cmpfb.NewBarrier(kind, cores, alloc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := cmpfb.NewLivermore6(n, 1)
+	prog, err := k.BuildPar(gen, cores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := cmpfb.NewMachine(cfg)
+	if err := cmpfb.Launch(m, gen, prog, cores); err != nil {
+		log.Fatal(err)
+	}
+	cycles, err := m.Run(2_000_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := k.Verify(m.Sys.Mem, prog, cores); err != nil {
+		log.Fatalf("%s N=%d: %v", kind, n, err)
+	}
+	return cycles
+}
+
+func main() {
+	cores := flag.Int("cores", 16, "cores / threads")
+	flag.Parse()
+
+	fmt.Printf("livermore6 wavefront on %d cores: execution time vs vector length\n", *cores)
+	fmt.Printf("%-6s %12s %12s %12s %12s\n", "N", "sequential", "sw-central", "filter-i-pp", "hw-net")
+	for _, n := range []int{16, 32, 64, 128, 256} {
+		k := cmpfb.NewLivermore6(n, 1)
+		prog, err := k.BuildSeq()
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := cmpfb.NewMachine(cmpfb.DefaultConfig(1))
+		m.Load(prog)
+		m.StartSPMD(prog.Entry, 1)
+		seq, err := m.Run(2_000_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := k.Verify(m.Sys.Mem, prog, 1); err != nil {
+			log.Fatal(err)
+		}
+		sw := run(cmpfb.SWCentral, *cores, n)
+		fi := run(cmpfb.FilterIPP, *cores, n)
+		hw := run(cmpfb.HWNet, *cores, n)
+		mark := func(v uint64) string {
+			if v < seq {
+				return "*" // parallel wins
+			}
+			return " "
+		}
+		fmt.Printf("%-6d %12d %11d%s %11d%s %11d%s\n",
+			n, seq, sw, mark(sw), fi, mark(fi), hw, mark(hw))
+	}
+	fmt.Println("(* = faster than sequential; note where each column crosses over)")
+}

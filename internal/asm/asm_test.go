@@ -1,0 +1,291 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+const textBase = 0x10000
+const dataBase = 0x100000
+
+func decodeAt(t *testing.T, p *Program, addr uint64) isa.Inst {
+	t.Helper()
+	for _, seg := range p.Segments {
+		if addr >= seg.Addr && addr+8 <= seg.Addr+uint64(len(seg.Data)) {
+			return isa.Decode(binary.LittleEndian.Uint64(seg.Data[addr-seg.Addr:]))
+		}
+	}
+	t.Fatalf("address %#x not in any segment", addr)
+	return isa.Inst{}
+}
+
+func TestBuilderBranchFixups(t *testing.T) {
+	b := NewBuilder(textBase, dataBase)
+	b.Label("start")
+	b.ADDI(5, 5, 1)  // 0x10000
+	b.BNEZ(5, "end") // 0x10008 -> 0x10018: +16
+	b.J("start")     // 0x10010 -> 0x10000: -16
+	b.Label("end")
+	b.HALT()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := decodeAt(t, p, textBase+8); in.Imm != 16 {
+		t.Errorf("forward branch imm = %d, want 16", in.Imm)
+	}
+	if in := decodeAt(t, p, textBase+16); in.Imm != -16 {
+		t.Errorf("backward jump imm = %d, want -16", in.Imm)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder(textBase, dataBase)
+	b.J("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("expected undefined label error, got %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder(textBase, dataBase)
+	b.Label("x")
+	b.NOP()
+	b.Label("x")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "redefined") {
+		t.Fatalf("expected redefinition error, got %v", err)
+	}
+}
+
+func TestBuilderLIRange(t *testing.T) {
+	b := NewBuilder(textBase, dataBase)
+	b.LI(1, 1<<31) // out of int32 range
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected LI range error")
+	}
+}
+
+func TestBuilderAlignText(t *testing.T) {
+	b := NewBuilder(textBase, dataBase)
+	b.NOP()
+	b.AlignText(256)
+	if b.PC()%256 != 0 {
+		t.Fatalf("PC %#x not 256-aligned", b.PC())
+	}
+	b.Label("aligned")
+	b.HALT()
+	p := b.MustBuild()
+	if p.MustSymbol("aligned")%256 != 0 {
+		t.Fatal("aligned symbol not aligned")
+	}
+}
+
+func TestBuilderDataEmission(t *testing.T) {
+	b := NewBuilder(textBase, dataBase)
+	b.HALT()
+	b.DataLabel("a")
+	b.Quad(0x1122334455667788)
+	b.AlignData(64)
+	b.DataLabel("bb")
+	b.Double(1.5)
+	b.Half(0x8001)
+	b.Space(3)
+	b.Bytes([]byte{9})
+	p := b.MustBuild()
+	if p.MustSymbol("a") != dataBase {
+		t.Fatalf("a at %#x", p.MustSymbol("a"))
+	}
+	if p.MustSymbol("bb")%64 != 0 {
+		t.Fatal("bb not aligned")
+	}
+	seg := p.Segments[1]
+	if binary.LittleEndian.Uint64(seg.Data) != 0x1122334455667788 {
+		t.Fatal("quad value wrong")
+	}
+}
+
+func TestAssembleFullProgram(t *testing.T) {
+	src := `
+	.entry main
+helper:
+	add a2, a2, a2
+	ret
+main:
+	li a2, 21
+	call helper
+	out a2
+	halt
+	.data
+	.align 8
+val:
+	.quad 42
+	`
+	p, err := Assemble(src, textBase, dataBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != p.MustSymbol("main") {
+		t.Fatalf("entry %#x, want main %#x", p.Entry, p.MustSymbol("main"))
+	}
+	if _, ok := p.Symbol("val"); !ok {
+		t.Fatal("missing data symbol")
+	}
+}
+
+func TestAssembleAllForms(t *testing.T) {
+	src := `
+	add x1, x2, x3
+	addi t0, t1, -5
+	li a0, 0x7fffffff
+	la a1, d
+	mv s0, s1
+	ld t2, 8(sp)
+	st t3, -8(sp)
+	lw t4, 0(sp)
+	sw t5, 4(sp)
+	lh a2, 2(sp)
+	sh a3, 6(sp)
+	fld f1, 0(sp)
+	fst f2, 8(sp)
+	ll t0, 0(a0)
+	sc t1, t2, 0(a0)
+	fadd f0, f1, f2
+	fsub f3, f4, f5
+	fmul f6, f7, f8
+	fdiv f9, f10, f11
+	fneg f1, f2
+	fabs f3, f4
+	fmov f5, f6
+	feq t0, f1, f2
+	flt t1, f3, f4
+	fle t2, f5, f6
+	itof f7, t3
+	ftoi t4, f8
+	beq t0, t1, l1
+	bne t0, t1, l1
+	blt t0, t1, l1
+	bge t0, t1, l1
+	bltu t0, t1, l1
+	bgeu t0, t1, l1
+	bgt t0, t1, l1
+	ble t0, t1, l1
+	beqz t0, l1
+	bnez t0, l1
+l1:
+	jal ra, l1
+	jalr x0, 0(ra)
+	j l1
+	call l1
+	ret
+	fence
+	iflush
+	icbi 0(s6)
+	dcbi 64(s7)
+	hwbar 2
+	nop
+	out a0
+	halt
+	.data
+d:
+	.quad 1, 2, 3
+	.double 3.14
+	.space 16
+	.byte 1, 2
+	`
+	if _, err := Assemble(src, textBase, dataBase); err != nil {
+		// .byte is not a supported directive; everything else must be.
+		if !strings.Contains(err.Error(), ".byte") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus x1, x2",
+		"add x1, x2",
+		"ld x1, x2",
+		"li x1, zork",
+		"addi q1, x2, 3",
+		".align -1",
+		".equ x",
+		"add x1, x2, x3 extra",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, textBase, dataBase); err == nil {
+			t.Errorf("Assemble(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	src := `
+	# full line comment
+	li t0, 1   # trailing comment
+	li t1, 2   // other comment style
+	halt
+	`
+	p, err := Assemble(src, textBase, dataBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Segments[0].Data) / 8; got != 3 {
+		t.Fatalf("got %d instructions, want 3", got)
+	}
+}
+
+func TestDisassembleListing(t *testing.T) {
+	b := NewBuilder(textBase, dataBase)
+	b.Label("e")
+	b.LI(4, 7)
+	b.HALT()
+	p := b.MustBuild()
+	if s := p.Disassemble(textBase, 2); !strings.Contains(s, "li") || !strings.Contains(s, "halt") {
+		t.Fatalf("disassembly missing content: %q", s)
+	}
+	if l := p.Listing(); !strings.Contains(l, "e") {
+		t.Fatalf("listing missing symbol: %q", l)
+	}
+}
+
+func TestLineAssemblerInterleaving(t *testing.T) {
+	b := NewBuilder(textBase, dataBase)
+	la := NewLineAssembler(b)
+	if err := la.Line("  li t0, 5"); err != nil {
+		t.Fatal(err)
+	}
+	// Programmatic emission interleaved with text.
+	b.ADDI(4, 4, 1)
+	if err := la.Line("out t0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Line(".data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Line("v: .quad 9"); err != nil {
+		t.Fatal(err)
+	}
+	// Instructions are rejected while in the data section.
+	if err := la.Line("add x1, x2, x3"); err == nil {
+		t.Fatal("instruction accepted in .data section")
+	}
+	if err := la.Line(".text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Line("halt"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Symbol("v"); !ok {
+		t.Fatal("data label lost")
+	}
+	if got := len(p.Segments[0].Data) / 8; got != 4 {
+		t.Fatalf("%d instructions, want 4", got)
+	}
+}

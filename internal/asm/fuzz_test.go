@@ -1,0 +1,79 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble ensures the assembler never panics and that every program it
+// accepts round-trips through the disassembler without crashing. Run with
+// `go test -fuzz=FuzzAssemble ./internal/asm` for continuous fuzzing; the
+// seed corpus runs as part of the normal test suite.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"halt",
+		"li t0, 42\nout t0\nhalt",
+		"x: j x",
+		".data\nv: .quad 1, 2, 3",
+		".equ k, 64\nli t0, 0x10",
+		"add x1, x2, x3 # comment",
+		"ld t0, -8(sp)",
+		"label:\n.text\nbeq t0, t1, label",
+		"fld f1, 0(sp)\nfadd f2, f1, f1",
+		".align 64\n.space 7",
+		"icbi 0(s6)\ndcbi 64(s7)\nfence\niflush",
+		"sc t0, t1, 0(a0)",
+		"hwbar 3",
+		"nop\nnop\nnop\nnop\nnop\nnop\nnop\nnop\nnop",
+		".entry main\nmain: halt",
+		"li t0, -2147483648",
+		"bogus",
+		"add x1",
+		": :",
+		"\t \t",
+		".quad",
+		"la t9, nowhere",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src, 0x10000, 0x100000)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted programs must disassemble and list without crashing.
+		_ = p.Listing()
+		for _, seg := range p.Segments {
+			_ = p.Disassemble(seg.Addr, len(seg.Data)/8)
+		}
+		// Segments must not overlap.
+		for i, a := range p.Segments {
+			for j, b := range p.Segments {
+				if i >= j {
+					continue
+				}
+				if a.Addr < b.Addr+uint64(len(b.Data)) && b.Addr < a.Addr+uint64(len(a.Data)) {
+					t.Fatalf("overlapping segments from %q", src)
+				}
+			}
+		}
+	})
+}
+
+// FuzzLineAssembler feeds arbitrary single lines.
+func FuzzLineAssembler(f *testing.F) {
+	f.Add("li t0, 1")
+	f.Add(".data")
+	f.Add("l: .quad 2")
+	f.Add("add x1, x2, x3")
+	f.Fuzz(func(t *testing.T, line string) {
+		if strings.Count(line, "\n") > 3 {
+			return
+		}
+		b := NewBuilder(0x10000, 0x100000)
+		la := NewLineAssembler(b)
+		_ = la.Line(line) // must not panic
+	})
+}

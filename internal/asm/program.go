@@ -1,0 +1,90 @@
+// Package asm builds SRISC programs. It provides two front-ends over the
+// same machinery:
+//
+//   - Builder: a programmatic emitter with labels and pseudo-instructions,
+//     used by the kernel and barrier code generators in this repository.
+//   - Assemble: a small two-pass text assembler for hand-written programs
+//     (examples, tests, cmd/srisc-as).
+//
+// The output of both is a Program: a set of memory segments plus a symbol
+// table, ready to be loaded into the simulated machine's physical memory.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Segment is a contiguous chunk of initialized memory.
+type Segment struct {
+	Addr uint64
+	Data []byte
+}
+
+// Program is a fully linked SRISC program image.
+type Program struct {
+	Entry    uint64
+	Segments []Segment
+	Symbols  map[string]uint64
+}
+
+// Symbol returns the address of a defined symbol.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// MustSymbol is Symbol that panics on missing symbols; used by test and
+// harness code where a missing symbol is a programming error.
+func (p *Program) MustSymbol(name string) uint64 {
+	v, ok := p.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("asm: undefined symbol %q", name))
+	}
+	return v
+}
+
+// Disassemble renders the text segment starting at addr for n instructions,
+// for debugging.
+func (p *Program) Disassemble(addr uint64, n int) string {
+	out := ""
+	for _, seg := range p.Segments {
+		if addr < seg.Addr || addr >= seg.Addr+uint64(len(seg.Data)) {
+			continue
+		}
+		off := addr - seg.Addr
+		for i := 0; i < n && int(off)+8 <= len(seg.Data); i++ {
+			w := binary.LittleEndian.Uint64(seg.Data[off:])
+			out += fmt.Sprintf("%08x: %s\n", seg.Addr+off, isa.Decode(w))
+			off += 8
+		}
+	}
+	return out
+}
+
+// sortedSymbols returns symbol names sorted by address (for listings).
+func (p *Program) sortedSymbols() []string {
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if p.Symbols[names[i]] != p.Symbols[names[j]] {
+			return p.Symbols[names[i]] < p.Symbols[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Listing renders the symbol table, for debugging.
+func (p *Program) Listing() string {
+	out := fmt.Sprintf("entry %#x\n", p.Entry)
+	for _, n := range p.sortedSymbols() {
+		out += fmt.Sprintf("%10x  %s\n", p.Symbols[n], n)
+	}
+	return out
+}

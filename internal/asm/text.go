@@ -1,0 +1,576 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Assemble translates SRISC assembly text into a Program.
+//
+// Syntax, one statement per line:
+//
+//	label:                     define a label at the current position
+//	mnemonic op1, op2, ...     instruction (see below)
+//	.text | .data              switch section
+//	.align N                   pad current section to N-byte alignment
+//	.quad v, ...               emit 64-bit values (data section)
+//	.double v, ...             emit float64 values
+//	.space N                   emit N zero bytes
+//	.equ name, value           define a constant
+//	.entry name                select the entry symbol
+//	# ... or // ...            comment
+//
+// Memory operands are written imm(reg) or (reg). Branch and jump targets
+// are labels. `la rd, sym` loads the address of a symbol; `li rd, imm`
+// loads a 32-bit constant.
+func Assemble(src string, textBase, dataBase uint64) (*Program, error) {
+	b := NewBuilder(textBase, dataBase)
+	la := NewLineAssembler(b)
+	for lineno, raw := range strings.Split(src, "\n") {
+		if err := la.Line(raw); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno+1, err)
+		}
+	}
+	return b.Build()
+}
+
+// LineAssembler feeds assembly text to a Builder one line at a time,
+// tracking the current section. It lets callers interleave textual assembly
+// with programmatic emission (cmd/cmpsim expands a `barrier`
+// pseudo-instruction this way).
+type LineAssembler struct {
+	b       *Builder
+	section string
+}
+
+// NewLineAssembler wraps a builder, starting in the .text section.
+func NewLineAssembler(b *Builder) *LineAssembler {
+	return &LineAssembler{b: b, section: ".text"}
+}
+
+// Line assembles one source line (labels, directive or instruction).
+func (la *LineAssembler) Line(raw string) error {
+	line := strings.TrimSpace(stripComment(raw))
+	if line == "" {
+		return nil
+	}
+	// Labels, possibly several on one line before an instruction.
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 {
+			break
+		}
+		head := strings.TrimSpace(line[:i])
+		if head == "" || strings.ContainsAny(head, " \t,()") {
+			break
+		}
+		if la.section == ".text" {
+			la.b.Label(head)
+		} else {
+			la.b.DataLabel(head)
+		}
+		line = strings.TrimSpace(line[i+1:])
+	}
+	if line == "" {
+		return nil
+	}
+	return assembleStmt(la.b, &la.section, line)
+}
+
+// MustAssemble panics on error; for tests and examples with fixed sources.
+func MustAssemble(src string, textBase, dataBase uint64) *Program {
+	p, err := Assemble(src, textBase, dataBase)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, "#"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func assembleStmt(b *Builder, section *string, line string) error {
+	mnem := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mnem = strings.ToLower(mnem)
+	ops := splitOperands(rest)
+
+	if strings.HasPrefix(mnem, ".") {
+		return assembleDirective(b, section, mnem, ops)
+	}
+	if *section != ".text" {
+		return fmt.Errorf("instruction %q outside .text", mnem)
+	}
+	return assembleInst(b, mnem, ops)
+}
+
+func assembleDirective(b *Builder, section *string, mnem string, ops []string) error {
+	switch mnem {
+	case ".text", ".data":
+		*section = mnem
+		return nil
+	case ".align":
+		if len(ops) != 1 {
+			return fmt.Errorf(".align wants 1 operand")
+		}
+		n, err := parseInt(ops[0])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad .align operand %q", ops[0])
+		}
+		if *section == ".data" {
+			b.AlignData(int(n))
+		}
+		return nil
+	case ".quad":
+		for _, o := range ops {
+			v, err := parseInt(o)
+			if err != nil {
+				return err
+			}
+			b.Quad(uint64(v))
+		}
+		return nil
+	case ".double":
+		for _, o := range ops {
+			f, err := strconv.ParseFloat(o, 64)
+			if err != nil {
+				return err
+			}
+			b.Double(f)
+		}
+		return nil
+	case ".space":
+		if len(ops) != 1 {
+			return fmt.Errorf(".space wants 1 operand")
+		}
+		n, err := parseInt(ops[0])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad .space operand %q", ops[0])
+		}
+		b.Space(int(n))
+		return nil
+	case ".equ":
+		if len(ops) != 2 {
+			return fmt.Errorf(".equ wants name, value")
+		}
+		v, err := parseInt(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Equ(ops[0], uint64(v))
+		return nil
+	case ".entry":
+		if len(ops) != 1 {
+			return fmt.Errorf(".entry wants 1 operand")
+		}
+		b.SetEntry(ops[0])
+		return nil
+	}
+	return fmt.Errorf("unknown directive %q", mnem)
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	default:
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// parseMem parses "imm(reg)" or "(reg)".
+func parseMem(s string) (uint8, int32, error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	reg, err := isa.ParseIntReg(strings.TrimSpace(s[open+1 : close]))
+	if err != nil {
+		return 0, 0, err
+	}
+	immStr := strings.TrimSpace(s[:open])
+	var imm int64
+	if immStr != "" {
+		imm, err = parseInt(immStr)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return reg, int32(imm), nil
+}
+
+var r3Ops = map[string]isa.Opcode{
+	"add": isa.ADD, "sub": isa.SUB, "mul": isa.MUL, "div": isa.DIV, "rem": isa.REM,
+	"and": isa.AND, "or": isa.OR, "xor": isa.XOR,
+	"sll": isa.SLL, "srl": isa.SRL, "sra": isa.SRA, "slt": isa.SLT, "sltu": isa.SLTU,
+}
+
+var immOps = map[string]isa.Opcode{
+	"addi": isa.ADDI, "andi": isa.ANDI, "ori": isa.ORI, "xori": isa.XORI,
+	"slli": isa.SLLI, "srli": isa.SRLI, "srai": isa.SRAI, "slti": isa.SLTI,
+}
+
+var fp3Ops = map[string]isa.Opcode{
+	"fadd": isa.FADD, "fsub": isa.FSUB, "fmul": isa.FMUL, "fdiv": isa.FDIV,
+}
+
+var fcmpOps = map[string]isa.Opcode{
+	"feq": isa.FEQ, "flt": isa.FLT, "fle": isa.FLE,
+}
+
+var loadOps = map[string]isa.Opcode{
+	"ld": isa.LD, "lw": isa.LW, "lh": isa.LH, "ll": isa.LL,
+}
+
+var storeOps = map[string]isa.Opcode{
+	"st": isa.ST, "sw": isa.SW, "sh": isa.SH,
+}
+
+var branchOps = map[string]func(b *Builder, rs1, rs2 uint8, label string){
+	"beq":  (*Builder).BEQ,
+	"bne":  (*Builder).BNE,
+	"blt":  (*Builder).BLT,
+	"bge":  (*Builder).BGE,
+	"bltu": (*Builder).BLTU,
+	"bgeu": (*Builder).BGEU,
+	"bgt":  (*Builder).BGT,
+	"ble":  (*Builder).BLE,
+}
+
+func assembleInst(b *Builder, mnem string, ops []string) error {
+	want := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	ireg := func(i int) (uint8, error) { return isa.ParseIntReg(ops[i]) }
+	freg := func(i int) (uint8, error) { return isa.ParseFPReg(ops[i]) }
+
+	if op, ok := r3Ops[mnem]; ok {
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, e1 := ireg(0)
+		rs1, e2 := ireg(1)
+		rs2, e3 := ireg(2)
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		b.r3(op, rd, rs1, rs2)
+		return nil
+	}
+	if op, ok := immOps[mnem]; ok {
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, e1 := ireg(0)
+		rs1, e2 := ireg(1)
+		imm, e3 := parseInt(ops[2])
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		b.imm2(op, rd, rs1, int32(imm))
+		return nil
+	}
+	if op, ok := fp3Ops[mnem]; ok {
+		if err := want(3); err != nil {
+			return err
+		}
+		fd, e1 := freg(0)
+		f1, e2 := freg(1)
+		f2, e3 := freg(2)
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		b.r3(op, fd, f1, f2)
+		return nil
+	}
+	if op, ok := fcmpOps[mnem]; ok {
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, e1 := ireg(0)
+		f1, e2 := freg(1)
+		f2, e3 := freg(2)
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		b.r3(op, rd, f1, f2)
+		return nil
+	}
+	if op, ok := loadOps[mnem]; ok {
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, e1 := ireg(0)
+		rs1, imm, e2 := parseMem(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		b.load(op, rd, rs1, imm)
+		return nil
+	}
+	if op, ok := storeOps[mnem]; ok {
+		if err := want(2); err != nil {
+			return err
+		}
+		rs2, e1 := ireg(0)
+		rs1, imm, e2 := parseMem(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		b.store(op, rs2, rs1, imm)
+		return nil
+	}
+	if fn, ok := branchOps[mnem]; ok {
+		if err := want(3); err != nil {
+			return err
+		}
+		rs1, e1 := ireg(0)
+		rs2, e2 := ireg(1)
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		fn(b, rs1, rs2, ops[2])
+		return nil
+	}
+
+	switch mnem {
+	case "li":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, e1 := ireg(0)
+		imm, e2 := parseInt(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		b.LI(rd, imm)
+	case "la":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := ireg(0)
+		if err != nil {
+			return err
+		}
+		b.LA(rd, ops[1])
+	case "mv":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, e1 := ireg(0)
+		rs1, e2 := ireg(1)
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		b.MV(rd, rs1)
+	case "fld":
+		if err := want(2); err != nil {
+			return err
+		}
+		fd, e1 := freg(0)
+		rs1, imm, e2 := parseMem(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		b.FLD(fd, rs1, imm)
+	case "fst":
+		if err := want(2); err != nil {
+			return err
+		}
+		fs2, e1 := freg(0)
+		rs1, imm, e2 := parseMem(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		b.FST(fs2, rs1, imm)
+	case "sc":
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, e1 := ireg(0)
+		rs2, e2 := ireg(1)
+		rs1, imm, e3 := parseMem(ops[2])
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		b.SC(rd, rs2, rs1, imm)
+	case "fneg", "fabs", "fmov":
+		if err := want(2); err != nil {
+			return err
+		}
+		fd, e1 := freg(0)
+		f1, e2 := freg(1)
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		switch mnem {
+		case "fneg":
+			b.FNEG(fd, f1)
+		case "fabs":
+			b.FABS(fd, f1)
+		default:
+			b.FMOV(fd, f1)
+		}
+	case "itof":
+		if err := want(2); err != nil {
+			return err
+		}
+		fd, e1 := freg(0)
+		rs1, e2 := ireg(1)
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		b.ITOF(fd, rs1)
+	case "ftoi":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, e1 := ireg(0)
+		f1, e2 := freg(1)
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		b.FTOI(rd, f1)
+	case "beqz", "bnez":
+		if err := want(2); err != nil {
+			return err
+		}
+		rs1, err := ireg(0)
+		if err != nil {
+			return err
+		}
+		if mnem == "beqz" {
+			b.BEQZ(rs1, ops[1])
+		} else {
+			b.BNEZ(rs1, ops[1])
+		}
+	case "jal":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := ireg(0)
+		if err != nil {
+			return err
+		}
+		b.JAL(rd, ops[1])
+	case "jalr":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, e1 := ireg(0)
+		rs1, imm, e2 := parseMem(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		b.JALR(rd, rs1, imm)
+	case "j":
+		if err := want(1); err != nil {
+			return err
+		}
+		b.J(ops[0])
+	case "call":
+		if err := want(1); err != nil {
+			return err
+		}
+		b.CALL(ops[0])
+	case "ret":
+		if err := want(0); err != nil {
+			return err
+		}
+		b.RET()
+	case "fence":
+		b.FENCE()
+	case "iflush":
+		b.IFLUSH()
+	case "icbi", "dcbi":
+		if err := want(1); err != nil {
+			return err
+		}
+		rs1, imm, err := parseMem(ops[0])
+		if err != nil {
+			return err
+		}
+		if mnem == "icbi" {
+			b.ICBI(rs1, imm)
+		} else {
+			b.DCBI(rs1, imm)
+		}
+	case "hwbar":
+		if err := want(1); err != nil {
+			return err
+		}
+		id, err := parseInt(ops[0])
+		if err != nil {
+			return err
+		}
+		b.HWBAR(int32(id))
+	case "nop":
+		b.NOP()
+	case "halt":
+		b.HALT()
+	case "out":
+		if err := want(1); err != nil {
+			return err
+		}
+		rs1, err := ireg(0)
+		if err != nil {
+			return err
+		}
+		b.OUT(rs1)
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package barrier
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/isa"
+)
+
+// filterD implements the data-cache barrier filter of §3.4.2 and its
+// ping-pong variant of §3.5.
+//
+// Entry/exit sequence per invocation (paper, §3.4.2):
+//
+//	fence                      ; prior memory ops complete first
+//	dcbi  0(arrival)           ; signal arrival, purge local copies
+//	ld    t6, 0(arrival)       ; starved until the barrier opens
+//	fence                      ; no later memory op may pass the load
+//	dcbi  0(exit)              ; signal "past the barrier"
+//
+// Ping-pong sequence (one invalidation per invocation): two barriers are
+// registered with the arrival region of each as the exit region of the
+// other; the code toggles which arrival address it uses.
+type filterD struct {
+	nthreads int
+	pingPong bool
+	stride   uint64
+	bank     int
+
+	arrivalBase uint64 // barrier 0 arrivals
+	exitBase    uint64 // entry/exit: exits; ping-pong: barrier 1 arrivals
+	installed   []*filter.Filter
+}
+
+func newFilterD(nthreads int, alloc *Allocator, pingPong bool, bank int) *filterD {
+	f := &filterD{
+		nthreads: nthreads,
+		pingPong: pingPong,
+		stride:   alloc.Stride(),
+		bank:     bank,
+	}
+	f.arrivalBase = alloc.AllocRegion(nthreads, bank)
+	f.exitBase = alloc.AllocRegion(nthreads, bank)
+	return f
+}
+
+func (f *filterD) Kind() Kind {
+	if f.pingPong {
+		return KindFilterDPP
+	}
+	return KindFilterD
+}
+
+func (f *filterD) Describe() string {
+	mode := "entry/exit"
+	if f.pingPong {
+		mode = "ping-pong"
+	}
+	return fmt.Sprintf("D-cache barrier filter, %s (arrivals %#x, exits %#x, stride %#x, bank %d, %d threads)",
+		mode, f.arrivalBase, f.exitBase, f.stride, f.bank, f.nthreads)
+}
+
+func (f *filterD) EmitSetup(b *asm.Builder) {
+	// RegB1 = arrivalBase + tid*stride; RegB2 = exitBase + tid*stride.
+	emitLI(b, RegT6, f.stride)
+	b.MUL(RegT6, RegT6, isa.RegA0)
+	emitLI(b, RegB1, f.arrivalBase)
+	b.ADD(RegB1, RegB1, RegT6)
+	emitLI(b, RegB2, f.exitBase)
+	b.ADD(RegB2, RegB2, RegT6)
+}
+
+func (f *filterD) EmitBarrier(b *asm.Builder) {
+	b.FENCE()
+	b.DCBI(RegB1, 0)
+	b.LD(RegT6, RegB1, 0)
+	b.FENCE()
+	if f.pingPong {
+		// Toggle to the twin barrier: swap arrival addresses.
+		b.MV(RegT7, RegB1)
+		b.MV(RegB1, RegB2)
+		b.MV(RegB2, RegT7)
+	} else {
+		b.DCBI(RegB2, 0)
+	}
+}
+
+func (f *filterD) EmitAux(b *asm.Builder) {}
+
+func (f *filterD) Install(m *core.Machine, p *asm.Program) error {
+	if f.pingPong {
+		f0 := filter.New("dpp0", f.arrivalBase, f.exitBase, f.stride, f.nthreads)
+		f1 := filter.New("dpp1", f.exitBase, f.arrivalBase, f.stride, f.nthreads)
+		f0.RegisterAll()
+		f1.RegisterAll()
+		f1.InitServicing() // first invocation's arrivals are legal exits for the twin
+		if err := m.InstallFilter(f0); err != nil {
+			return err
+		}
+		if err := m.InstallFilter(f1); err != nil {
+			m.RemoveFilter(f0)
+			return err
+		}
+		f.installed = []*filter.Filter{f0, f1}
+		return nil
+	}
+	fl := filter.New("d", f.arrivalBase, f.exitBase, f.stride, f.nthreads)
+	fl.RegisterAll()
+	if err := m.InstallFilter(fl); err != nil {
+		return err
+	}
+	f.installed = []*filter.Filter{fl}
+	return nil
+}
+
+// Filters returns the installed hardware filters (tests, stats).
+func (f *filterD) Filters() []*filter.Filter { return f.installed }

@@ -1,0 +1,170 @@
+package barrier
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/isa"
+)
+
+// nextStubID keeps stub label names unique across generators.
+var nextStubID int64
+
+// filterI implements the instruction-cache barrier filter of §3.4.1 and its
+// ping-pong variant. Each thread's arrival address is a line of code (a
+// stub); executing the barrier invalidates the stub line and jumps to it,
+// so the core's instruction fetch stalls until the filter services the
+// fill.
+//
+// Entry/exit sequence (paper, §3.4.1):
+//
+//	fence                 ; prior work globally visible, pipeline flushed
+//	icbi   0(arrival)     ; signal arrival, purge the stub line
+//	iflush                ; discard fetched/prefetched instructions
+//	jalr   ra, arrival    ; execution stalls fetching the stub
+//	  stub: dcbi exit(zero); ret      (exit signal baked per thread)
+//
+// In the ping-pong variant the stub is a bare ret and the twin barrier's
+// arrival invalidation doubles as this barrier's exit.
+type filterI struct {
+	nthreads int
+	pingPong bool
+	stride   uint64
+	bank     int
+
+	stubLabel0 string
+	stubLabel1 string // ping-pong twin stubs
+	exitBase   uint64 // entry/exit variant only
+
+	arrivalBase0 uint64 // resolved at Install
+	arrivalBase1 uint64
+	installed    []*filter.Filter
+}
+
+func newFilterI(nthreads int, alloc *Allocator, pingPong bool, bank int) *filterI {
+	id := atomic.AddInt64(&nextStubID, 1)
+	f := &filterI{
+		nthreads:   nthreads,
+		pingPong:   pingPong,
+		stride:     alloc.Stride(),
+		bank:       bank,
+		stubLabel0: fmt.Sprintf(".ibar%d_stubs0", id),
+		stubLabel1: fmt.Sprintf(".ibar%d_stubs1", id),
+	}
+	if !pingPong {
+		f.exitBase = alloc.AllocRegion(nthreads, f.bank)
+	}
+	return f
+}
+
+func (f *filterI) Kind() Kind {
+	if f.pingPong {
+		return KindFilterIPP
+	}
+	return KindFilterI
+}
+
+func (f *filterI) Describe() string {
+	mode := "entry/exit"
+	if f.pingPong {
+		mode = "ping-pong"
+	}
+	return fmt.Sprintf("I-cache barrier filter, %s (stride %#x, bank %d, %d threads)",
+		mode, f.stride, f.bank, f.nthreads)
+}
+
+func (f *filterI) EmitSetup(b *asm.Builder) {
+	// RegB1 = stub0 + tid*stride (current arrival).
+	emitLI(b, RegT6, f.stride)
+	b.MUL(RegT6, RegT6, isa.RegA0)
+	b.LA(RegB1, f.stubLabel0)
+	b.ADD(RegB1, RegB1, RegT6)
+	if f.pingPong {
+		b.LA(RegB2, f.stubLabel1)
+		b.ADD(RegB2, RegB2, RegT6)
+	} else {
+		emitLI(b, RegB2, f.exitBase)
+		b.ADD(RegB2, RegB2, RegT6)
+	}
+}
+
+func (f *filterI) EmitBarrier(b *asm.Builder) {
+	b.FENCE()
+	b.ICBI(RegB1, 0)
+	b.IFLUSH()
+	b.JALR(isa.RegRA, RegB1, 0)
+	if f.pingPong {
+		b.MV(RegT6, RegB1)
+		b.MV(RegB1, RegB2)
+		b.MV(RegB2, RegT6)
+	}
+	// Entry/exit variant: the stub itself performs the exit
+	// invalidation before returning.
+}
+
+// emitStubRegion lays out nthreads one-line stubs with the bank-preserving
+// stride, starting at a line in this generator's bank.
+func (f *filterI) emitStubRegion(b *asm.Builder, label string, withExit bool) {
+	b.AlignText(int(f.stride))
+	// Offset into the right bank.
+	for i := 0; i < f.bank*64/isa.WordBytes; i++ {
+		b.NOP()
+	}
+	b.Label(label)
+	for t := 0; t < f.nthreads; t++ {
+		start := b.PC()
+		if withExit {
+			exit := f.exitBase + uint64(t)*f.stride
+			if exit > 0x7fffffff {
+				panic("barrier: exit address does not fit DCBI immediate")
+			}
+			b.DCBI(isa.RegZero, int32(exit))
+		}
+		b.RET()
+		// Pad to the next stub (stride bytes after this one's start).
+		for b.PC() < start+f.stride {
+			b.NOP()
+		}
+	}
+}
+
+func (f *filterI) EmitAux(b *asm.Builder) {
+	f.emitStubRegion(b, f.stubLabel0, !f.pingPong)
+	if f.pingPong {
+		f.emitStubRegion(b, f.stubLabel1, false)
+	}
+}
+
+func (f *filterI) Install(m *core.Machine, p *asm.Program) error {
+	f.arrivalBase0 = p.MustSymbol(f.stubLabel0)
+	if f.pingPong {
+		f.arrivalBase1 = p.MustSymbol(f.stubLabel1)
+		f0 := filter.New("ipp0", f.arrivalBase0, f.arrivalBase1, f.stride, f.nthreads)
+		f1 := filter.New("ipp1", f.arrivalBase1, f.arrivalBase0, f.stride, f.nthreads)
+		f0.RegisterAll()
+		f1.RegisterAll()
+		f1.InitServicing()
+		if err := m.InstallFilter(f0); err != nil {
+			return err
+		}
+		if err := m.InstallFilter(f1); err != nil {
+			m.RemoveFilter(f0)
+			return err
+		}
+		f.installed = []*filter.Filter{f0, f1}
+		return nil
+	}
+	fl := filter.New("i", f.arrivalBase0, f.exitBase, f.stride, f.nthreads)
+	fl.RegisterAll()
+	if err := m.InstallFilter(fl); err != nil {
+		return err
+	}
+	f.installed = []*filter.Filter{fl}
+	return nil
+}
+
+// Filters returns the installed hardware filters (tests, stats).
+func (f *filterI) Filters() []*filter.Filter { return f.installed }

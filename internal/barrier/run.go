@@ -1,0 +1,31 @@
+package barrier
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+)
+
+// BuildProgram composes a complete SPMD program: barrier setup, the caller's
+// body (which may call gen.EmitBarrier any number of times and emit data),
+// a final HALT, and the barrier's auxiliary text (I-cache stubs).
+func BuildProgram(gen Generator, body func(b *asm.Builder)) (*asm.Program, error) {
+	b := asm.NewBuilder(core.TextBase, core.DataBase)
+	gen.EmitSetup(b)
+	body(b)
+	b.HALT()
+	gen.EmitAux(b)
+	return b.Build()
+}
+
+// Launch loads prog into m, installs gen's hardware, and starts nthreads
+// SPMD threads at the program entry.
+func Launch(m *core.Machine, gen Generator, prog *asm.Program, nthreads int) error {
+	m.Load(prog)
+	if err := gen.Install(m, prog); err != nil {
+		return fmt.Errorf("barrier: installing %s: %w", gen.Kind(), err)
+	}
+	m.StartSPMD(prog.Entry, nthreads)
+	return nil
+}

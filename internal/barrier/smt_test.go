@@ -1,0 +1,118 @@
+package barrier
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// runPhaseCheckerSMT is runPhaseChecker on a machine with multithreaded
+// cores: nthreads logical threads over nthreads/tpc physical cores.
+func runPhaseCheckerSMT(t *testing.T, kind Kind, nthreads, tpc, phases int, cfgEdit func(*core.Config)) *core.Machine {
+	t.Helper()
+	cfg := core.DefaultConfig(nthreads / tpc)
+	cfg.ThreadsPerCore = tpc
+	if cfgEdit != nil {
+		cfgEdit(&cfg)
+	}
+	alloc := NewAllocator(cfg.Mem)
+	gen := MustNew(kind, nthreads, alloc)
+	prog, err := BuildProgram(gen, func(b *asm.Builder) {
+		emitPhaseChecker(b, gen, phases)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMachine(cfg)
+	if err := Launch(m, gen, prog, nthreads); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(20_000_000); err != nil {
+		t.Fatalf("run (%s, %d threads on %d-way MT cores): %v", kind, nthreads, tpc, err)
+	}
+	slots := prog.MustSymbol("slots")
+	errsBase := prog.MustSymbol("errs")
+	for tid := 0; tid < nthreads; tid++ {
+		if got := m.Sys.Mem.ReadUint64(slots + uint64(tid*64)); got != uint64(phases) {
+			t.Errorf("%s: thread %d finished %d phases, want %d", kind, tid, got, phases)
+		}
+		if e := m.Sys.Mem.ReadUint64(errsBase + uint64(tid*64)); e != 0 {
+			t.Errorf("%s: thread %d observed a barrier violation", kind, tid)
+		}
+	}
+	return m
+}
+
+// TestBarriersOnMultithreadedCores runs the torture test with two and four
+// hardware contexts per physical core — contexts share L1s and MSHRs, so
+// several threads of one core can be blocked at the filter at once
+// (§3.2.1).
+func TestBarriersOnMultithreadedCores(t *testing.T) {
+	for _, kind := range []Kind{KindFilterD, KindFilterI, KindFilterDPP, KindSWCentral, KindHWNet} {
+		for _, tpc := range []int{2, 4} {
+			kind, tpc := kind, tpc
+			t.Run(fmt.Sprintf("%s/tpc%d", kind, tpc), func(t *testing.T) {
+				runPhaseCheckerSMT(t, kind, 8, tpc, 6, nil)
+			})
+		}
+	}
+}
+
+// TestSMTMSHRPressure: §3.2.1 says an SMT core should have at least as many
+// MSHR entries as contexts in a barrier, because each blocked context's
+// parked fill occupies one. With fewer MSHRs the barrier still completes
+// (the arrival invalidations were already counted, so the barrier opens and
+// frees the MSHR for the straggler) but the contexts serialize; with enough
+// MSHRs both contexts of a core block concurrently.
+func TestSMTMSHRPressure(t *testing.T) {
+	slow := runPhaseCheckerSMT(t, KindFilterD, 4, 2, 6, func(c *core.Config) {
+		c.Mem.MSHRs = 1
+	})
+	fast := runPhaseCheckerSMT(t, KindFilterD, 4, 2, 6, func(c *core.Config) {
+		c.Mem.MSHRs = 8
+	})
+	if fast.Now() >= slow.Now() {
+		t.Errorf("ample MSHRs (%d cycles) not faster than MSHRs=1 (%d cycles)", fast.Now(), slow.Now())
+	}
+}
+
+// TestFGMTThroughputSharing: two compute-bound contexts on one physical
+// core take roughly twice as long as one context alone (barrel execution).
+func TestFGMTThroughputSharing(t *testing.T) {
+	prog := func() *asm.Program {
+		b := asm.NewBuilder(core.TextBase, core.DataBase)
+		b.LI(isa.RegS0, 20000)
+		loop := b.NewLabel("loop")
+		b.Label(loop)
+		b.ADDI(isa.RegT0, isa.RegT0, 1)
+		b.XOR(isa.RegT0+1, isa.RegT0+1, isa.RegT0)
+		b.ADDI(isa.RegS0, isa.RegS0, -1)
+		b.BNEZ(isa.RegS0, loop)
+		b.HALT()
+		return b.MustBuild()
+	}()
+
+	runIt := func(contexts int) uint64 {
+		cfg := core.DefaultConfig(1)
+		cfg.ThreadsPerCore = 2
+		m := core.NewMachine(cfg)
+		m.Load(prog)
+		for t := 0; t < contexts; t++ {
+			m.StartThread(t, prog.Entry, t, contexts)
+		}
+		cycles, err := m.Run(50_000_000)
+		if err != nil {
+			panic(err)
+		}
+		return cycles
+	}
+	one := runIt(1)
+	two := runIt(2)
+	ratio := float64(two) / float64(one)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("two contexts took %.2fx one context, want ~2x (one=%d two=%d)", ratio, one, two)
+	}
+}

@@ -1,0 +1,170 @@
+package barrier
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// swCentral is the centralized sense-reversal software barrier: a single
+// LL/SC-incremented counter and a single release flag, each on its own
+// cache line (as the paper's implementation takes care to do). This simple
+// scheme has been reported to be faster than or as fast as ticket and
+// array-based locks [Culler/Singh/Gupta].
+type swCentral struct {
+	nthreads    int
+	counterAddr uint64
+	flagAddr    uint64
+}
+
+func newSWCentral(nthreads int, alloc *Allocator) *swCentral {
+	base := alloc.AllocLines(2)
+	return &swCentral{
+		nthreads:    nthreads,
+		counterAddr: base,
+		flagAddr:    base + uint64(alloc.Config().LineBytes),
+	}
+}
+
+func (s *swCentral) Kind() Kind { return KindSWCentral }
+
+func (s *swCentral) Describe() string {
+	return fmt.Sprintf("centralized sense-reversal (counter %#x, flag %#x, %d threads)",
+		s.counterAddr, s.flagAddr, s.nthreads)
+}
+
+func (s *swCentral) EmitSetup(b *asm.Builder) {
+	emitLI(b, RegB1, s.counterAddr)
+	emitLI(b, RegB2, s.flagAddr)
+	b.LI(RegSense, 0)
+}
+
+func (s *swCentral) EmitBarrier(b *asm.Builder) {
+	retry := b.NewLabel("cretry")
+	spin := b.NewLabel("cspin")
+	done := b.NewLabel("cdone")
+
+	b.FENCE() // make this thread's prior work globally visible
+	b.XORI(RegSense, RegSense, 1)
+	b.Label(retry)
+	b.LL(RegT6, RegB1, 0)
+	b.ADDI(RegT6, RegT6, 1)
+	b.SC(RegT7, RegT6, RegB1, 0)
+	b.BEQZ(RegT7, retry)
+	b.LI(RegT7, int64(s.nthreads))
+	b.BNE(RegT6, RegT7, spin)
+	// Last arriver: reset the counter, then release through the flag.
+	b.ST(isa.RegZero, RegB1, 0)
+	b.ST(RegSense, RegB2, 0)
+	b.J(done)
+	b.Label(spin)
+	b.LD(RegT7, RegB2, 0)
+	b.BNE(RegT7, RegSense, spin)
+	b.Label(done)
+	b.FENCE() // acquire: no later access may observe pre-barrier state
+}
+
+func (s *swCentral) EmitAux(b *asm.Builder) {}
+
+func (s *swCentral) Install(m *core.Machine, p *asm.Program) error { return nil }
+
+// swTree is the binary combining tree of pairwise sense-reversal barriers
+// used by the paper: a distinct counter and flag for each pairwise node,
+// each on its own cache line. The last arriver at a node climbs to the
+// parent; the first spins on the node flag; release cascades back down.
+type swTree struct {
+	nthreads int
+	rounds   int
+	lineB    int
+	// levelBase[r] is the address of round r's node array; each node is
+	// two lines (counter, flag).
+	levelBase []uint64
+}
+
+func newSWTree(nthreads int, alloc *Allocator) (*swTree, error) {
+	if nthreads&(nthreads-1) != 0 || nthreads < 2 {
+		return nil, fmt.Errorf("barrier: sw-tree requires a power-of-two thread count, got %d", nthreads)
+	}
+	rounds := bits.TrailingZeros(uint(nthreads))
+	t := &swTree{nthreads: nthreads, rounds: rounds, lineB: alloc.Config().LineBytes}
+	for r := 0; r < rounds; r++ {
+		nodes := nthreads >> (r + 1)
+		t.levelBase = append(t.levelBase, alloc.AllocLines(2*nodes))
+	}
+	return t, nil
+}
+
+func (t *swTree) Kind() Kind { return KindSWTree }
+
+func (t *swTree) Describe() string {
+	return fmt.Sprintf("binary combining tree (%d threads, %d rounds)", t.nthreads, t.rounds)
+}
+
+func (t *swTree) EmitSetup(b *asm.Builder) {
+	b.LI(RegSense, 0)
+}
+
+// nodeAddr emits code computing round r's node address for this thread
+// into RegT6 (node = counter line; flag line at +lineB).
+func (t *swTree) nodeAddr(b *asm.Builder, r int) {
+	b.SRLI(RegT6, isa.RegA0, int32(r+1))
+	b.SLLI(RegT6, RegT6, int32(bits.TrailingZeros(uint(2*t.lineB))))
+	emitLI(b, RegT7, t.levelBase[r])
+	b.ADD(RegT6, RegT6, RegT7)
+}
+
+func (t *swTree) EmitBarrier(b *asm.Builder) {
+	done := b.NewLabel("tdone")
+	release := make([]string, t.rounds+1)
+	for r := 0; r <= t.rounds; r++ {
+		release[r] = b.NewLabel(fmt.Sprintf("trel%d", r))
+	}
+
+	b.FENCE()
+	b.XORI(RegSense, RegSense, 1)
+	for r := 0; r < t.rounds; r++ {
+		retry := b.NewLabel(fmt.Sprintf("tretry%d", r))
+		spin := b.NewLabel(fmt.Sprintf("tspin%d", r))
+		up := b.NewLabel(fmt.Sprintf("tup%d", r))
+
+		t.nodeAddr(b, r)
+		b.Label(retry)
+		b.LL(RegT8, RegT6, 0) // old count: 0 = first, 1 = last
+		b.ADDI(RegT7, RegT8, 1)
+		b.SC(RegT7, RegT7, RegT6, 0) // rd == rs2: result replaces the data temp
+		b.BEQZ(RegT7, retry)
+		b.BNEZ(RegT8, up)
+		// First arriver: spin on this node's flag, then release below.
+		b.Label(spin)
+		b.LD(RegT7, RegT6, int32(t.lineB))
+		b.BNE(RegT7, RegSense, spin)
+		b.J(release[r])
+		// Last arriver: reset the counter and climb.
+		b.Label(up)
+		b.ST(isa.RegZero, RegT6, 0)
+	}
+	// The thread that wins the root releases everything below it.
+	b.J(release[t.rounds])
+
+	// Release blocks: a thread released (or completing) at round k sets
+	// the flags of the nodes it won at rounds k-1..0.
+	for k := t.rounds; k >= 0; k-- {
+		b.Label(release[k])
+		for r := k - 1; r >= 0; r-- {
+			t.nodeAddr(b, r)
+			b.ST(RegSense, RegT6, int32(t.lineB))
+		}
+		if k > 0 {
+			b.J(done)
+		}
+	}
+	b.Label(done)
+	b.FENCE()
+}
+
+func (t *swTree) EmitAux(b *asm.Builder) {}
+
+func (t *swTree) Install(m *core.Machine, p *asm.Program) error { return nil }

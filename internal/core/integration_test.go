@@ -1,0 +1,240 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// TestDeterminism: two runs of the same multi-threaded program must take
+// exactly the same number of cycles and leave identical results — the
+// simulator has no hidden nondeterminism.
+func TestDeterminism(t *testing.T) {
+	build := func() (*core.Machine, *asm.Program, barrier.Generator) {
+		cfg := core.DefaultConfig(8)
+		alloc := barrier.NewAllocator(cfg.Mem)
+		gen := barrier.MustNew(barrier.KindSWCentral, 8, alloc)
+		prog, err := barrier.BuildProgram(gen, func(b *asm.Builder) {
+			b.LI(isa.RegS0, 20)
+			loop := b.NewLabel("loop")
+			b.Label(loop)
+			gen.EmitBarrier(b)
+			b.ADDI(isa.RegS0, isa.RegS0, -1)
+			b.BNEZ(isa.RegS0, loop)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := core.NewMachine(cfg)
+		if err := barrier.Launch(m, gen, prog, 8); err != nil {
+			t.Fatal(err)
+		}
+		return m, prog, gen
+	}
+	m1, _, _ := build()
+	c1, err := m1.Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, _ := build()
+	c2, err := m2.Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("nondeterministic: %d vs %d cycles", c1, c2)
+	}
+}
+
+// TestFilterMisuseFaults: loading an arrival address without invalidating
+// it first is the §3.3.4 "load before invalidate" error; the filter embeds
+// an error code in the fill and the core faults.
+func TestFilterMisuseFaults(t *testing.T) {
+	cfg := core.DefaultConfig(2)
+	alloc := barrier.NewAllocator(cfg.Mem)
+	gen := barrier.MustNew(barrier.KindFilterD, 2, alloc)
+	// Build a program whose thread 0 loads its arrival address directly.
+	prog, err := barrier.BuildProgram(gen, func(b *asm.Builder) {
+		// RegB1 holds the arrival address after EmitSetup.
+		b.LD(isa.RegT0, barrier.RegB1, 0)
+		b.OUT(isa.RegT0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMachine(cfg)
+	if err := barrier.Launch(m, gen, prog, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(1_000_000)
+	if err == nil {
+		t.Fatal("expected a fault from barrier misuse")
+	}
+	if !strings.Contains(err.Error(), "Waiting") {
+		t.Fatalf("unexpected fault: %v", err)
+	}
+}
+
+// TestFilterTimeout: a barrier created for more threads than will ever
+// arrive starves its blocked threads; the hardware timeout releases the
+// fill with an error code instead of hanging forever (§3.3.4).
+func TestFilterTimeout(t *testing.T) {
+	cfg := core.DefaultConfig(2)
+	cfg.FilterTimeout = 5000
+	alloc := barrier.NewAllocator(cfg.Mem)
+	// Barrier sized for 3 threads, but only 2 will run.
+	gen := barrier.MustNew(barrier.KindFilterD, 3, alloc)
+	prog, err := barrier.BuildProgram(gen, func(b *asm.Builder) {
+		gen.EmitBarrier(b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMachine(cfg)
+	if err := barrier.Launch(m, gen, prog, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(1_000_000)
+	if err == nil {
+		t.Fatal("expected a timeout fault")
+	}
+	if !strings.Contains(err.Error(), "error") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestStrictFSMFaultsRepeatArrival: in strict §3.3.4 mode, a repeated
+// arrival invalidation from the same thread faults.
+func TestStrictFSMFaultsRepeatArrival(t *testing.T) {
+	cfg := core.DefaultConfig(2)
+	cfg.FilterStrict = true
+	alloc := barrier.NewAllocator(cfg.Mem)
+	gen := barrier.MustNew(barrier.KindFilterD, 2, alloc)
+	prog, err := barrier.BuildProgram(gen, func(b *asm.Builder) {
+		// Invalidate the arrival address twice before loading.
+		b.FENCE()
+		b.DCBI(barrier.RegB1, 0)
+		b.DCBI(barrier.RegB1, 0)
+		b.LD(isa.RegT0, barrier.RegB1, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMachine(cfg)
+	if err := barrier.Launch(m, gen, prog, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = m.Run(1_000_000); err == nil {
+		t.Fatal("expected strict-mode fault")
+	}
+}
+
+// TestMachineCycleLimit: a deadlocked program reports the limit error
+// rather than hanging.
+func TestMachineCycleLimit(t *testing.T) {
+	p := asm.MustAssemble("loop:\tj loop\n", core.TextBase, core.DataBase)
+	m := core.NewMachine(core.DefaultConfig(1))
+	m.Load(p)
+	m.StartSPMD(p.Entry, 1)
+	if _, err := m.Run(10_000); err == nil || !strings.Contains(err.Error(), "cycle limit") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestTable2Defaults asserts the machine defaults against the paper's
+// Table 2, row by row.
+func TestTable2Defaults(t *testing.T) {
+	cfg := core.DefaultConfig(16)
+	if cfg.CPU.FetchWidth != 4 {
+		t.Error("fetch width != 4")
+	}
+	if cfg.CPU.IssueWidth != 3 || cfg.CPU.DecodeWidth != 4 || cfg.CPU.CommitWidth != 4 {
+		t.Error("issue/decode/commit widths differ from 3/4/4")
+	}
+	if cfg.CPU.RUUSize != 64 {
+		t.Error("RUU size != 64")
+	}
+	if cfg.Mem.L1Size != 64<<10 || cfg.Mem.L1Assoc != 2 || cfg.Mem.L1Lat != 1 {
+		t.Error("L1 DCache/ICache: 64kB, 2 way, 1 cycle")
+	}
+	if cfg.Mem.L2Size != 512<<10 || cfg.Mem.L2Assoc != 2 || cfg.Mem.L2Lat != 14 {
+		t.Error("L2: 512 kB, 2 way, 14 cycles")
+	}
+	if cfg.Mem.L3Size != 4096<<10 || cfg.Mem.L3Assoc != 2 || cfg.Mem.L3Lat != 38 {
+		t.Error("L3: 4096 kB, 2 way, 38 cycles")
+	}
+	if cfg.Mem.MemLat != 138 {
+		t.Error("memory latency: 138 cycles")
+	}
+	if cfg.Mem.FilterBW != 1 {
+		t.Error("filter: 1 request per cycle")
+	}
+}
+
+// TestStackTopsDisjoint: per-thread stacks must not overlap.
+func TestStackTopsDisjoint(t *testing.T) {
+	for tid := 0; tid < 63; tid++ {
+		if core.StackTop(tid) >= core.StackTop(tid+1)-64 {
+			t.Fatalf("stacks %d and %d overlap", tid, tid+1)
+		}
+	}
+	if core.StackTop(63) >= core.BarrierRegion {
+		t.Fatal("stacks run into the barrier region")
+	}
+}
+
+// TestDeterminismMT: multithreaded-core machines are as deterministic as
+// single-threaded ones.
+func TestDeterminismMT(t *testing.T) {
+	run := func() uint64 {
+		cfg := core.DefaultConfig(2)
+		cfg.ThreadsPerCore = 2
+		alloc := barrier.NewAllocator(cfg.Mem)
+		gen := barrier.MustNew(barrier.KindFilterD, 4, alloc)
+		prog, err := barrier.BuildProgram(gen, func(b *asm.Builder) {
+			b.LI(isa.RegS0, 10)
+			loop := b.NewLabel("loop")
+			b.Label(loop)
+			gen.EmitBarrier(b)
+			b.ADDI(isa.RegS0, isa.RegS0, -1)
+			b.BNEZ(isa.RegS0, loop)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := core.NewMachine(cfg)
+		if err := barrier.Launch(m, gen, prog, 4); err != nil {
+			t.Fatal(err)
+		}
+		cycles, err := m.Run(20_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic MT run: %d vs %d", a, b)
+	}
+}
+
+// TestMTTopologyAccessors sanity-checks the logical/physical mapping.
+func TestMTTopologyAccessors(t *testing.T) {
+	cfg := core.DefaultConfig(2)
+	cfg.ThreadsPerCore = 4
+	m := core.NewMachine(cfg)
+	if m.LogicalCores() != 8 {
+		t.Fatalf("logical cores = %d, want 8", m.LogicalCores())
+	}
+	for l := 0; l < 8; l++ {
+		if got, want := m.PhysicalOf(l), l/4; got != want {
+			t.Fatalf("PhysicalOf(%d) = %d, want %d", l, got, want)
+		}
+	}
+	if m.Cores[5].ID != 5 {
+		t.Fatalf("logical id mismatch: %d", m.Cores[5].ID)
+	}
+}

@@ -1,0 +1,250 @@
+// Package core assembles the simulated chip multiprocessor: out-of-order
+// cores (package cpu), the shared memory hierarchy with barrier-filter
+// hooks (packages mem and filter), and the dedicated barrier network
+// baseline (package hwnet). It is the public entry point for loading SRISC
+// programs and running them to completion.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/filter"
+	"repro/internal/hwnet"
+	"repro/internal/mem"
+)
+
+// Memory-map conventions used by the loader and the code generators.
+const (
+	// TextBase is where program text starts.
+	TextBase = 0x0001_0000
+	// DataBase is where static data starts.
+	DataBase = 0x0100_0000
+	// StackRegion is the bottom of the per-thread stack area.
+	StackRegion = 0x0800_0000
+	// StackStride separates consecutive threads' stacks.
+	StackStride = 0x0004_0000
+	// BarrierRegion is where the OS allocates barrier data lines
+	// (D-cache arrival lines, exit lines, software barrier state).
+	BarrierRegion = 0x0F00_0000
+)
+
+// StackTop returns the initial stack pointer for a thread.
+func StackTop(tid int) uint64 {
+	return StackRegion + uint64(tid+1)*StackStride - 64
+}
+
+// Config configures a Machine.
+type Config struct {
+	Cores int
+	Mem   mem.Config
+	CPU   cpu.Config
+
+	// ThreadsPerCore builds fine-grained multithreaded cores with this
+	// many hardware contexts each (Niagara-style; 0 or 1 = one thread
+	// per core, the configuration of all the paper's experiments). The
+	// machine then has Cores*ThreadsPerCore logical cores sharing
+	// Cores sets of L1 caches and MSHRs (§3.2.1).
+	ThreadsPerCore int
+
+	// FilterSlotsPerBank is the number of barrier filters each L2 bank
+	// controller can hold (B in the paper).
+	FilterSlotsPerBank int
+	// FilterStrict applies §3.3.4 strict FSM checking to new filters.
+	FilterStrict bool
+	// FilterTimeout releases starved fills with an error code after this
+	// many cycles (0 disables the hardware timeout).
+	FilterTimeout uint64
+}
+
+// DefaultConfig returns the Table 2 machine for the given core count.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:              cores,
+		Mem:                mem.DefaultConfig(cores),
+		CPU:                cpu.DefaultConfig(),
+		FilterSlotsPerBank: 8,
+	}
+}
+
+// Machine is one simulated CMP.
+type Machine struct {
+	Cfg Config
+	Sys *mem.System
+	// Cores lists the logical cores (hardware thread contexts); with
+	// ThreadsPerCore > 1 several consecutive entries share one physical
+	// core.
+	Cores []*cpu.Core
+	Net   *hwnet.Net
+	Hooks []*filter.BankFilters // one per L2 bank
+
+	tickers []ticker // one per physical core
+	physOf  []int    // logical core -> physical core
+
+	now      uint64
+	faultErr error
+}
+
+// ticker is one physical core's per-cycle unit.
+type ticker interface {
+	Tick(now uint64)
+}
+
+// NewMachine builds the machine.
+func NewMachine(cfg Config) *Machine {
+	cfg.Mem.Cores = cfg.Cores
+	m := &Machine{Cfg: cfg}
+	m.Sys = mem.NewSystem(cfg.Mem)
+	m.Net = hwnet.New(cfg.CPU.HWBarrierWireLat)
+	for b := 0; b < cfg.Mem.L2Banks; b++ {
+		h := filter.NewBankFilters(cfg.FilterSlotsPerBank)
+		m.Hooks = append(m.Hooks, h)
+		m.Sys.Banks[b].SetHook(h)
+	}
+	tpc := cfg.ThreadsPerCore
+	if tpc < 1 {
+		tpc = 1
+	}
+	for p := 0; p < cfg.Cores; p++ {
+		if tpc == 1 {
+			c := cpu.New(cfg.CPU, p, m.Sys, m.Net)
+			m.Cores = append(m.Cores, c)
+			m.tickers = append(m.tickers, c)
+			m.physOf = append(m.physOf, p)
+			continue
+		}
+		mt := cpu.NewMT(cfg.CPU, p, p*tpc, tpc, m.Sys, m.Net)
+		m.tickers = append(m.tickers, mt)
+		for _, c := range mt.Contexts {
+			m.Cores = append(m.Cores, c)
+			m.physOf = append(m.physOf, p)
+		}
+	}
+	m.Sys.OnFault = func(phys int, t mem.Txn) {
+		err := fmt.Errorf("core %d: memory-system error on %s (filter: %s)",
+			phys, t, m.Hooks[cfg.Mem.BankOf(t.Addr)].LastError())
+		// The faulting response is addressed to a physical core; fault
+		// every context sharing it.
+		for l, c := range m.Cores {
+			if m.physOf[l] == phys {
+				c.RaiseFault(err)
+			}
+		}
+		if m.faultErr == nil {
+			m.faultErr = err
+		}
+	}
+	return m
+}
+
+// LogicalCores returns the number of hardware thread contexts.
+func (m *Machine) LogicalCores() int { return len(m.Cores) }
+
+// PhysicalOf returns the physical core hosting logical core l.
+func (m *Machine) PhysicalOf(l int) int { return m.physOf[l] }
+
+// Load writes a program image into physical memory.
+func (m *Machine) Load(p *asm.Program) {
+	for _, seg := range p.Segments {
+		m.Sys.Mem.WriteBytes(seg.Addr, seg.Data)
+	}
+}
+
+// InstallFilter places a barrier filter into the bank its arrival region
+// maps to. It fails when that bank's filter slots are exhausted; the caller
+// falls back to a software barrier (§3.3.1).
+func (m *Machine) InstallFilter(f *filter.Filter) error {
+	f.Strict = m.Cfg.FilterStrict
+	f.Timeout = m.Cfg.FilterTimeout
+	return m.Hooks[m.Cfg.Mem.BankOf(f.ArrivalBase)].Add(f)
+}
+
+// RemoveFilter swaps a filter out of its bank.
+func (m *Machine) RemoveFilter(f *filter.Filter) {
+	m.Hooks[m.Cfg.Mem.BankOf(f.ArrivalBase)].Remove(f)
+}
+
+// StartThread resets core tid to run at entry with thread id tid of
+// nthreads.
+func (m *Machine) StartThread(core int, entry uint64, tid, nthreads int) {
+	m.Cores[core].Reset(entry, tid, nthreads, StackTop(tid))
+}
+
+// StartSPMD starts nthreads threads at entry, one per logical core.
+func (m *Machine) StartSPMD(entry uint64, nthreads int) {
+	if nthreads > len(m.Cores) {
+		panic(fmt.Sprintf("core: %d threads on %d logical cores", nthreads, len(m.Cores)))
+	}
+	for t := 0; t < nthreads; t++ {
+		m.StartThread(t, entry, t, nthreads)
+	}
+}
+
+// Now returns the current cycle.
+func (m *Machine) Now() uint64 { return m.now }
+
+// Step advances the machine one cycle: physical cores first (each advances
+// one of its contexts), then the memory system.
+func (m *Machine) Step() {
+	for _, t := range m.tickers {
+		t.Tick(m.now)
+	}
+	m.Sys.Tick(m.now)
+	m.now++
+}
+
+// Running reports whether any core still has work.
+func (m *Machine) Running() bool {
+	for _, c := range m.Cores {
+		if c.Running() {
+			return true
+		}
+	}
+	return false
+}
+
+// Run steps the machine until every core halts or faults, or until
+// maxCycles elapse. It returns the number of cycles executed in this call
+// and the first fault, if any; hitting the cycle limit is reported as an
+// error.
+func (m *Machine) Run(maxCycles uint64) (uint64, error) {
+	start := m.now
+	for m.Running() {
+		if m.now-start >= maxCycles {
+			return m.now - start, fmt.Errorf("core: cycle limit %d exceeded (possible deadlock at pc %s)", maxCycles, m.describePCs())
+		}
+		m.Step()
+	}
+	if m.faultErr != nil {
+		return m.now - start, m.faultErr
+	}
+	for _, c := range m.Cores {
+		if c.Fault != nil {
+			return m.now - start, c.Fault
+		}
+	}
+	return m.now - start, nil
+}
+
+func (m *Machine) describePCs() string {
+	s := ""
+	for i, c := range m.Cores {
+		if c.Running() {
+			s += fmt.Sprintf("[core%d %#x]", i, c.ResumePC())
+		}
+	}
+	return s
+}
+
+// FaultErr returns the first recorded memory-system fault.
+func (m *Machine) FaultErr() error { return m.faultErr }
+
+// TotalCommitted sums committed instructions across cores.
+func (m *Machine) TotalCommitted() uint64 {
+	var n uint64
+	for _, c := range m.Cores {
+		n += c.Committed
+	}
+	return n
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// StatsReport gathers every component's counters into one registry, for
+// printing or programmatic inspection after (or during) a run.
+func (m *Machine) StatsReport() *sim.Stats {
+	s := sim.NewStats()
+	set := func(name string, v uint64) { *s.Counter(name) = v }
+
+	var committed, cycles, mispredicts, fetchStalls, fenceStalls, loads, stores, scFails uint64
+	for _, c := range m.Cores {
+		committed += c.Committed
+		cycles += c.Cycles
+		mispredicts += c.Mispredicts
+		fetchStalls += c.FetchMissStalls
+		fenceStalls += c.FenceStalls
+		loads += c.LoadsExecuted
+		stores += c.StoresDrained
+		scFails += c.SCFailures
+	}
+	set("core.cycles_total", cycles)
+	set("core.instructions_committed", committed)
+	set("core.branch_mispredicts", mispredicts)
+	set("core.fetch_miss_stall_cycles", fetchStalls)
+	set("core.fence_stall_cycles", fenceStalls)
+	set("core.loads_executed", loads)
+	set("core.stores_drained", stores)
+	set("core.sc_failures", scFails)
+	set("machine.wall_cycles", m.now)
+
+	var dHits, dMisses, iHits, iMisses, mshrFull uint64
+	for c := 0; c < m.Cfg.Cores; c++ {
+		dHits += m.Sys.L1D[c].Hits
+		dMisses += m.Sys.L1D[c].Misses
+		iHits += m.Sys.L1I[c].Hits
+		iMisses += m.Sys.L1I[c].Misses
+		mshrFull += m.Sys.L1D[c].MSHRFull
+	}
+	set("l1d.hits", dHits)
+	set("l1d.misses", dMisses)
+	set("l1i.hits", iHits)
+	set("l1i.misses", iMisses)
+	set("l1d.mshr_full_retries", mshrFull)
+
+	var l2Hits, l2Miss, invals, upgrades, wbs, parked, released, faults uint64
+	for _, bk := range m.Sys.Banks {
+		l2Hits += bk.Hits
+		l2Miss += bk.MissesToL3
+		invals += bk.Invals
+		upgrades += bk.Upgrades
+		wbs += bk.WBs
+		parked += bk.Parked
+		released += bk.Released
+		faults += bk.Faults
+	}
+	set("l2.hits", l2Hits)
+	set("l2.misses_to_l3", l2Miss)
+	set("l2.invalidations_seen", invals)
+	set("l2.upgrades", upgrades)
+	set("l2.writebacks", wbs)
+	set("filter.fills_parked", parked)
+	set("filter.fills_released", released)
+	set("filter.error_responses", faults)
+
+	set("l3.hits", m.Sys.L3Cache().Hits)
+	set("l3.misses_to_dram", m.Sys.L3Cache().Misses)
+
+	set("bus.request_grants", m.Sys.Bus.ReqGrants)
+	set("bus.request_busy_cycles", m.Sys.Bus.ReqBusyCyc)
+	set("bus.response_grants", m.Sys.Bus.RespGrants)
+	set("bus.response_busy_cycles", m.Sys.Bus.RespBusyCyc)
+	set("bus.max_request_queue", uint64(m.Sys.Bus.MaxReqQueue))
+	set("bus.max_response_queue", uint64(m.Sys.Bus.MaxRespQueue))
+
+	set("hwnet.arrivals", m.Net.Arrivals)
+	set("hwnet.releases", m.Net.Releases)
+	return s
+}
+
+// IPC returns committed instructions per active core cycle.
+func (m *Machine) IPC() float64 {
+	var committed, cycles uint64
+	for _, c := range m.Cores {
+		committed += c.Committed
+		cycles += c.Cycles
+	}
+	if cycles == 0 {
+		return 0
+	}
+	return float64(committed) / float64(cycles)
+}
+
+// String summarizes the machine configuration.
+func (m *Machine) String() string {
+	return fmt.Sprintf("CMP: %d cores, %d L2 banks, %dB lines, %d filter slots/bank",
+		m.Cfg.Cores, m.Cfg.Mem.L2Banks, m.Cfg.Mem.LineBytes, m.Cfg.FilterSlotsPerBank)
+}

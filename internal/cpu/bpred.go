@@ -1,0 +1,63 @@
+package cpu
+
+// bimodal is a classic 2-bit saturating-counter direction predictor with a
+// direct-mapped branch target buffer for indirect jumps.
+type bimodal struct {
+	ctr   []uint8 // 2-bit counters, initialised weakly taken
+	btb   []btbEnt
+	mask  uint64
+	bmask uint64
+}
+
+type btbEnt struct {
+	pc     uint64
+	target uint64
+	valid  bool
+}
+
+func newBimodal(entries, btbEntries int) *bimodal {
+	if entries&(entries-1) != 0 || btbEntries&(btbEntries-1) != 0 {
+		panic("cpu: predictor sizes must be powers of two")
+	}
+	b := &bimodal{
+		ctr:   make([]uint8, entries),
+		btb:   make([]btbEnt, btbEntries),
+		mask:  uint64(btbEntries - 1),
+		bmask: uint64(entries - 1),
+	}
+	for i := range b.ctr {
+		b.ctr[i] = 2 // weakly taken: inner loops predict well immediately
+	}
+	return b
+}
+
+func (b *bimodal) index(pc uint64) uint64 { return (pc >> 3) & b.bmask }
+
+// predictDir returns the predicted direction for a conditional branch.
+func (b *bimodal) predictDir(pc uint64) bool { return b.ctr[b.index(pc)] >= 2 }
+
+// updateDir trains the direction counter.
+func (b *bimodal) updateDir(pc uint64, taken bool) {
+	i := b.index(pc)
+	if taken {
+		if b.ctr[i] < 3 {
+			b.ctr[i]++
+		}
+	} else if b.ctr[i] > 0 {
+		b.ctr[i]--
+	}
+}
+
+// predictTarget returns the BTB target for an indirect jump at pc.
+func (b *bimodal) predictTarget(pc uint64) (uint64, bool) {
+	e := b.btb[(pc>>3)&b.mask]
+	if e.valid && e.pc == pc {
+		return e.target, true
+	}
+	return 0, false
+}
+
+// updateTarget installs the resolved target of an indirect jump.
+func (b *bimodal) updateTarget(pc, target uint64) {
+	b.btb[(pc>>3)&b.mask] = btbEnt{pc: pc, target: target, valid: true}
+}

@@ -1,0 +1,68 @@
+// Package cpu models one out-of-order SRISC core in the SimpleScalar/SMTSim
+// style used by the paper: a unified register-update-unit (RUU) acting as
+// reorder buffer and issue window, in-order fetch with a bimodal branch
+// predictor, out-of-order issue to typed function units, loads and stores
+// ordered through the window plus a post-commit store buffer, and in-order
+// commit.
+//
+// The core interacts with the memory system (package mem) only through its
+// two L1 caches and through ICBI/DCBI invalidation tokens, so a fill that
+// the barrier filter starves stalls the core exactly the way the paper
+// describes: the I-fetch or load sits on an MSHR that never completes until
+// the filter opens the barrier.
+package cpu
+
+// Config holds the pipeline parameters. DefaultConfig matches Table 2 of
+// the paper.
+type Config struct {
+	FetchWidth  int
+	DecodeWidth int // dispatch (decode/rename) width
+	IssueWidth  int
+	CommitWidth int
+
+	RUUSize int // instruction window / ROB entries
+	LSQSize int // in-window memory operations
+	SBSize  int // post-commit store buffer entries
+
+	IntALUs   int
+	IntMulDiv int
+	FPUnits   int
+
+	IntMulLat int
+	IntDivLat int
+	FPAddLat  int
+	FPMulLat  int
+	FPDivLat  int
+
+	BimodalEntries  int
+	BTBEntries      int
+	RedirectPenalty int // extra cycles to refill fetch after a mispredict
+
+	HWBarrierWireLat int // one-way latency to the dedicated barrier network
+}
+
+// DefaultConfig returns the Table 2 core: fetch 4, decode 4, issue 3,
+// commit 4, RUU 64.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:       4,
+		DecodeWidth:      4,
+		IssueWidth:       3,
+		CommitWidth:      4,
+		RUUSize:          64,
+		LSQSize:          32,
+		SBSize:           8,
+		IntALUs:          3,
+		IntMulDiv:        1,
+		FPUnits:          2,
+		IntMulLat:        3,
+		IntDivLat:        16,
+		FPAddLat:         4, // Alpha 21264 FP add/sub latency
+		FPMulLat:         4,
+		FPDivLat:         12,
+		BimodalEntries:   2048,
+		BTBEntries:       512,
+		RedirectPenalty:  2,
+		HWBarrierWireLat: 2,
+	}
+}

@@ -1,0 +1,1121 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// BarrierNet is the dedicated barrier-network device (the hardware baseline
+// of Beckmann & Polychronopoulos modelled in §4 of the paper). HWBAR talks
+// to it; the device applies the wire latencies internally.
+type BarrierNet interface {
+	// Arrive signals that core has reached barrier id at cycle now.
+	Arrive(now uint64, core, id int)
+	// TryRelease reports whether the release signal for core/id has
+	// arrived; a true result consumes it (resets the local status bit).
+	TryRelease(now uint64, core, id int) bool
+}
+
+// fetchedInst is one instruction waiting in the fetch buffer.
+type fetchedInst struct {
+	pc        uint64
+	in        isa.Inst
+	predTaken bool
+	predNext  uint64
+}
+
+// source is one captured operand.
+type source struct {
+	val   uint64
+	ready bool
+	dep   *entry
+}
+
+// entry is one RUU (window) slot.
+type entry struct {
+	seq  uint64
+	pc   uint64
+	in   isa.Inst
+	info isa.Info
+
+	predTaken bool
+	predNext  uint64
+
+	src  [2]source
+	dest int // regfile index (0..31 int, 32..63 fp), -1 none
+
+	issued bool
+	done   bool
+	doneAt uint64
+	result uint64
+
+	// memory state
+	addr      uint64
+	addrReady bool
+	missWait  bool // load waiting on a fill
+	storeVal  uint64
+
+	isSer bool // serializing (FENCE/IFLUSH/HWBAR/HALT), precomputed
+
+	// branch resolution
+	isBranch     bool
+	actualTaken  bool
+	actualNext   uint64
+	mispredicted bool
+
+	fault error
+}
+
+func (e *entry) isLoad() bool {
+	return e.info.Class == isa.ClassLoad
+}
+
+func (e *entry) isStore() bool {
+	return e.info.Class == isa.ClassStore
+}
+
+func (e *entry) isCacheOp() bool {
+	return e.info.Class == isa.ClassCacheOp
+}
+
+func (e *entry) serializing() bool { return e.isSer }
+
+func classSerializing(c isa.Class) bool {
+	switch c {
+	case isa.ClassFence, isa.ClassIFlush, isa.ClassHWBar, isa.ClassHalt:
+		return true
+	}
+	return false
+}
+
+// sbEntry is one post-commit store-buffer slot.
+type sbEntry struct {
+	cacheOp bool
+	icache  bool
+	addr    uint64
+	size    int
+	val     uint64
+	token   *mem.InvalToken
+}
+
+// Core is one out-of-order SRISC core (or one context of an MTCore).
+type Core struct {
+	Cfg Config
+	ID  int // logical thread/core id
+
+	// physID is the physical core whose L1s and memory-system bookkeeping
+	// this context uses (equal to ID for single-threaded cores).
+	physID int
+
+	sys  *mem.System
+	l1i  *mem.L1
+	l1d  *mem.L1
+	bnet BarrierNet
+
+	// Committed architectural state: x0..x31 then f0..f31.
+	regs [64]uint64
+
+	Halted  bool
+	Fault   error
+	Console []uint64
+
+	// Fetch.
+	fetchPC        uint64
+	fetchHoldUntil uint64
+	fetchStopped   bool
+	fetchBuf       []fetchedInst
+	pred           *bimodal
+
+	// Window.
+	window     []*entry
+	nextSeq    uint64
+	producer   [64]*entry
+	fenceBlock bool
+	memOps     int
+
+	sb []sbEntry
+
+	// LL/SC reservation.
+	llAddr  uint64
+	llValid bool
+
+	divBusyUntil uint64
+	hwbarSent    bool
+
+	// siblings lists the other contexts sharing this physical core's L1
+	// (multithreaded cores). A local store must clear their LL/SC
+	// reservations on the written line: no coherence event fires for a
+	// same-cache write, but the reservation is broken all the same.
+	siblings []*Core
+
+	// Fast-path bookkeeping.
+	inFlight    int // issued but not yet done
+	missWaiting int // loads waiting on fills
+	entryPool   []*entry
+
+	// Statistics.
+	Cycles          uint64
+	Committed       uint64
+	Mispredicts     uint64
+	FetchMissStalls uint64
+	FenceStalls     uint64
+	LoadsExecuted   uint64
+	StoresDrained   uint64
+	SCFailures      uint64
+}
+
+// New builds a core attached to its L1 caches in sys. bnet may be nil when
+// the machine has no dedicated barrier network.
+func New(cfg Config, id int, sys *mem.System, bnet BarrierNet) *Core {
+	c := &Core{
+		Cfg:  cfg,
+		ID:   id,
+		sys:  sys,
+		l1i:  sys.L1I[id],
+		l1d:  sys.L1D[id],
+		bnet: bnet,
+		pred: newBimodal(cfg.BimodalEntries, cfg.BTBEntries),
+	}
+	c.physID = id
+	c.l1d.OnExtInval = c.onLineLost
+	c.l1i.OnExtInval = nil
+	c.Halted = true // not running until Reset
+	return c
+}
+
+// Reset starts the core at pc with a0 = tid, a1 = nthreads and the given
+// stack pointer.
+func (c *Core) Reset(pc uint64, tid, nthreads int, sp uint64) {
+	c.flushPipeline()
+	for i := range c.regs {
+		c.regs[i] = 0
+	}
+	c.regs[isa.RegA0] = uint64(tid)
+	c.regs[isa.RegA1] = uint64(nthreads)
+	c.regs[isa.RegSP] = sp
+	c.fetchPC = pc
+	c.fetchHoldUntil = 0
+	c.Halted = false
+	c.Fault = nil
+	c.Console = nil
+}
+
+// SetReg sets a committed register (loader/test use; 0..31 int, 32..63 fp).
+func (c *Core) SetReg(i int, v uint64) { c.regs[i] = v }
+
+// Reg reads a committed register.
+func (c *Core) Reg(i int) uint64 { return c.regs[i] }
+
+// flushPipeline clears all speculative and in-flight state.
+func (c *Core) flushPipeline() {
+	c.window = nil
+	c.fetchBuf = nil
+	for i := range c.producer {
+		c.producer[i] = nil
+	}
+	c.fenceBlock = false
+	c.memOps = 0
+	c.sb = nil
+	c.llValid = false
+	c.fetchStopped = false
+	c.hwbarSent = false
+	c.inFlight = 0
+	c.missWaiting = 0
+}
+
+// allocEntry takes an entry from the pool (or allocates one) and resets it.
+func (c *Core) allocEntry() *entry {
+	if n := len(c.entryPool); n > 0 {
+		e := c.entryPool[n-1]
+		c.entryPool = c.entryPool[:n-1]
+		*e = entry{}
+		return e
+	}
+	return &entry{}
+}
+
+// freeEntry returns a committed or squashed entry to the pool. Dangling
+// dep pointers to freed entries are impossible: operands resolve before
+// their producer commits (in-order commit), and squashes clear consumers
+// together with producers (consumers are always younger).
+func (c *Core) freeEntry(e *entry) {
+	if len(c.entryPool) < 256 {
+		c.entryPool = append(c.entryPool, e)
+	}
+}
+
+// onLineLost clears the LL/SC reservation when its line leaves the L1.
+func (c *Core) onLineLost(lineAddr uint64) {
+	if c.llValid && c.lineOf(c.llAddr) == lineAddr {
+		c.llValid = false
+		tracef("core%d lock lost on %#x\n", c.ID, lineAddr)
+	}
+}
+
+// notifySiblingsOfWrite breaks sibling contexts' reservations covering a
+// line this context just wrote (same-L1 writes produce no coherence event).
+func (c *Core) notifySiblingsOfWrite(lineAddr uint64) {
+	for _, s := range c.siblings {
+		if s != c {
+			s.onLineLost(lineAddr)
+		}
+	}
+}
+
+func (c *Core) lineOf(addr uint64) uint64 { return c.sys.Cfg.LineAddr(addr) }
+
+// RaiseFault is used by the machine to deliver memory-system faults
+// (barrier filter error responses) to this core.
+func (c *Core) RaiseFault(err error) {
+	if c.Fault == nil {
+		c.Fault = err
+	}
+	c.Halted = true
+}
+
+// Running reports whether the core has work.
+func (c *Core) Running() bool { return !c.Halted && c.Fault == nil }
+
+// Drained reports whether all committed memory effects have reached the
+// memory system (used on context switches).
+func (c *Core) Drained() bool { return len(c.sb) == 0 }
+
+// ResumePC returns the precise architectural PC: the oldest in-flight
+// instruction, or the fetch PC if the pipeline is empty.
+func (c *Core) ResumePC() uint64 {
+	if len(c.window) > 0 {
+		return c.window[0].pc
+	}
+	if len(c.fetchBuf) > 0 {
+		return c.fetchBuf[0].pc
+	}
+	return c.fetchPC
+}
+
+// Context captures the committed architectural register state.
+func (c *Core) Context() (pc uint64, regs [64]uint64) {
+	return c.ResumePC(), c.regs
+}
+
+// Deschedule squashes all in-flight work (the paper's context-switch case:
+// a blocked fill's MSHR is squashed and the load will re-issue when the
+// thread is rescheduled). The store buffer must be drained first.
+func (c *Core) Deschedule() (pc uint64, regs [64]uint64, err error) {
+	if !c.Drained() {
+		return 0, c.regs, fmt.Errorf("cpu: core %d store buffer not drained", c.ID)
+	}
+	pc = c.ResumePC()
+	c.flushPipeline()
+	c.l1i.SquashMisses()
+	c.l1d.SquashMisses()
+	c.Halted = true
+	return pc, c.regs, nil
+}
+
+// Restore schedules a saved context onto this core.
+func (c *Core) Restore(pc uint64, regs [64]uint64) {
+	c.flushPipeline()
+	c.regs = regs
+	c.fetchPC = pc
+	c.fetchHoldUntil = 0
+	c.Halted = false
+	c.Fault = nil
+}
+
+// Tick advances the core one cycle.
+func (c *Core) Tick(now uint64) {
+	if !c.Running() {
+		return
+	}
+	c.Cycles++
+	c.completeStage(now)
+	c.commitStage(now)
+	c.drainStoreBuffer(now)
+	c.missWaitStage(now)
+	c.issueStage(now)
+	c.dispatchStage(now)
+	c.fetchStage(now)
+}
+
+// --- complete / wakeup -----------------------------------------------
+
+func (c *Core) completeStage(now uint64) {
+	if c.inFlight == 0 {
+		return
+	}
+	// Retire finished executions, waking their consumers; resolve
+	// branches.
+	for _, e := range c.window {
+		if e.issued && !e.done && e.doneAt <= now {
+			e.done = true
+			c.inFlight--
+			c.broadcast(e)
+			if e.mispredicted {
+				c.Mispredicts++
+				c.squashAfter(now, e)
+				break // window changed
+			}
+		}
+	}
+}
+
+// broadcast delivers a completed entry's result to waiting consumers.
+func (c *Core) broadcast(p *entry) {
+	for _, e := range c.window {
+		for i := range e.src {
+			if e.src[i].dep == p {
+				e.src[i].val = p.result
+				e.src[i].ready = true
+				e.src[i].dep = nil
+			}
+		}
+	}
+}
+
+// squashAfter removes all entries younger than e and redirects fetch.
+func (c *Core) squashAfter(now uint64, e *entry) {
+	keep := c.window[:0]
+	sawLL := false
+	for _, x := range c.window {
+		if x.seq <= e.seq {
+			keep = append(keep, x)
+		} else {
+			if x.in.Op == isa.LL && x.issued {
+				sawLL = true
+			}
+			c.freeEntry(x)
+		}
+	}
+	c.window = keep
+	if sawLL {
+		c.llValid = false
+	}
+	c.rebuildRename()
+	c.fetchBuf = nil
+	c.fetchStopped = false
+	c.fetchPC = e.actualNext
+	c.fetchHoldUntil = now + uint64(c.Cfg.RedirectPenalty)
+}
+
+// rebuildRename recomputes the producer table and dispatch bookkeeping from
+// the surviving window.
+func (c *Core) rebuildRename() {
+	for i := range c.producer {
+		c.producer[i] = nil
+	}
+	c.memOps = 0
+	c.fenceBlock = false
+	c.inFlight = 0
+	c.missWaiting = 0
+	for _, x := range c.window {
+		if x.dest >= 0 {
+			c.producer[x.dest] = x
+		}
+		if x.isLoad() || x.isStore() || x.isCacheOp() {
+			c.memOps++
+		}
+		if x.serializing() {
+			c.fenceBlock = true
+		}
+		if x.issued && !x.done && !x.missWait {
+			c.inFlight++
+		}
+		if x.missWait {
+			c.missWaiting++
+		}
+	}
+}
+
+// --- commit ----------------------------------------------------------
+
+func (c *Core) commitStage(now uint64) {
+	for n := 0; n < c.Cfg.CommitWidth && len(c.window) > 0; n++ {
+		e := c.window[0]
+		if e.serializing() && !e.done {
+			if !c.trySerializing(now, e) {
+				c.FenceStalls++
+				return
+			}
+		}
+		if !e.done {
+			return
+		}
+		if e.fault != nil {
+			c.Fault = e.fault
+			c.Halted = true
+			return
+		}
+		switch {
+		case e.isStore() && e.in.Op != isa.SC:
+			if len(c.sb) >= c.Cfg.SBSize {
+				return // store buffer full; retry next cycle
+			}
+			c.sb = append(c.sb, sbEntry{addr: e.addr, size: e.info.MemBytes, val: e.storeVal})
+		case e.isCacheOp():
+			if len(c.sb) >= c.Cfg.SBSize {
+				return
+			}
+			c.sb = append(c.sb, sbEntry{cacheOp: true, icache: e.in.Op == isa.ICBI, addr: e.addr})
+		}
+		if e.dest >= 0 {
+			c.regs[e.dest] = e.result
+			if c.producer[e.dest] == e {
+				c.producer[e.dest] = nil
+			}
+		}
+		tracef("[%d] core%d commit pc=%#x %v dest=%d res=%#x\n", now, c.ID, e.pc, e.in, e.dest, e.result)
+		if e.isBranch {
+			if e.in.Op != isa.JAL && e.in.Op != isa.JALR {
+				c.pred.updateDir(e.pc, e.actualTaken)
+			}
+			if e.in.Op == isa.JALR {
+				c.pred.updateTarget(e.pc, e.actualNext)
+			}
+		}
+		switch e.info.Class {
+		case isa.ClassHalt:
+			c.Halted = true
+			c.popHead(e)
+			return
+		case isa.ClassFence, isa.ClassHWBar:
+			c.fenceBlock = false
+		case isa.ClassIFlush:
+			c.fenceBlock = false
+			c.fetchBuf = nil
+			c.fetchStopped = false
+			c.fetchPC = e.pc + isa.WordBytes
+			c.fetchHoldUntil = now + uint64(c.Cfg.RedirectPenalty)
+		case isa.ClassOther:
+			if e.in.Op == isa.OUT {
+				c.Console = append(c.Console, e.src[0].val)
+			}
+		}
+		c.popHead(e)
+	}
+}
+
+func (c *Core) popHead(e *entry) {
+	c.window = c.window[1:]
+	if e.isLoad() || e.isStore() || e.isCacheOp() {
+		c.memOps--
+	}
+	c.Committed++
+	c.freeEntry(e)
+}
+
+// trySerializing handles FENCE / IFLUSH / HWBAR / HALT at the window head.
+// It returns true once the instruction is done and committable.
+func (c *Core) trySerializing(now uint64, e *entry) bool {
+	// A fence orders only this context's own memory operations: older
+	// window entries are done (the fence is at the head), loads complete
+	// only when their fill has arrived, stores and cache-ops sit in the
+	// store buffer until performed/acknowledged. Shared-L1 state (a
+	// sibling context's misses, wrong-path fills) is deliberately not
+	// waited for.
+	drained := len(c.sb) == 0
+	switch e.info.Class {
+	case isa.ClassFence, isa.ClassHalt:
+		if drained {
+			e.done = true
+		}
+	case isa.ClassIFlush:
+		// IFLUSH discards fetched instructions; it need not wait for
+		// invalidation acknowledgements, only for pending cache-ops to
+		// have been issued to the bus: the per-core request FIFO then
+		// guarantees the bank sees the ICBI before the refetched fill
+		// (the ordering the I-cache barrier relies on).
+		if c.sbIssuedOnly() {
+			e.done = true
+		}
+	case isa.ClassHWBar:
+		if !drained {
+			return false
+		}
+		if !c.hwbarSent {
+			c.bnet.Arrive(now, c.ID, int(e.in.Imm))
+			c.hwbarSent = true
+			return false
+		}
+		if c.bnet.TryRelease(now, c.ID, int(e.in.Imm)) {
+			// One cycle to check and reset the local status register.
+			e.doneAt = now + 1
+			e.issued = true
+			c.inFlight++
+			c.hwbarSent = false
+		}
+		return false // commits once completeStage marks it done
+	}
+	return e.done
+}
+
+// --- store buffer ------------------------------------------------------
+
+func (c *Core) drainStoreBuffer(now uint64) {
+	if len(c.sb) == 0 {
+		return
+	}
+	h := &c.sb[0]
+	if h.cacheOp {
+		if h.token == nil {
+			h.token = c.sys.IssueCacheInval(now, c.physID, h.addr, h.icache)
+			return
+		}
+		if h.token.Done {
+			c.sb = c.sb[1:]
+		}
+		return
+	}
+	switch c.l1d.WriteState(h.addr) {
+	case mem.Modified:
+		c.sys.Mem.Write(h.addr, h.size, h.val)
+		c.notifySiblingsOfWrite(c.lineOf(h.addr))
+		c.StoresDrained++
+		c.sb = c.sb[1:]
+	case mem.Shared:
+		c.l1d.StartMiss(now, h.addr, mem.Upgrade, false)
+	case mem.Invalid:
+		c.l1d.StartMiss(now, h.addr, mem.GetM, false)
+	}
+}
+
+// sbIssuedOnly reports whether every store-buffer entry is a cache-op whose
+// invalidation has already been issued to the bus.
+func (c *Core) sbIssuedOnly() bool {
+	for i := range c.sb {
+		if !c.sb[i].cacheOp || c.sb[i].token == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// --- loads waiting on fills --------------------------------------------
+
+func (c *Core) missWaitStage(now uint64) {
+	if c.missWaiting == 0 {
+		return
+	}
+	for _, e := range c.window {
+		if !e.missWait {
+			continue
+		}
+		if c.l1d.Present(e.addr) {
+			c.performLoad(now, e)
+			continue
+		}
+		// MSHR may have been unavailable; keep trying.
+		if !c.l1d.MissPending(e.addr) {
+			c.l1d.StartMiss(now, e.addr, mem.GetS, false)
+		}
+	}
+}
+
+// performLoad reads memory functionally and schedules completion.
+func (c *Core) performLoad(now uint64, e *entry) {
+	v := c.sys.Mem.Read(e.addr, e.info.MemBytes)
+	e.result = signExtend(v, e.info.MemBytes)
+	if e.missWait {
+		e.missWait = false
+		c.missWaiting--
+	}
+	e.doneAt = now + 1
+	c.inFlight++
+	c.LoadsExecuted++
+	tracef("[%d] core%d load pc=%#x addr=%#x -> %#x\n", now, c.ID, e.pc, e.addr, e.result)
+	if e.in.Op == isa.LL {
+		c.llAddr = e.addr
+		c.llValid = true
+		tracef("[%d] core%d LL pc=%#x addr=%#x -> %d\n", now, c.ID, e.pc, e.addr, e.result)
+	}
+}
+
+// --- issue -------------------------------------------------------------
+
+func (c *Core) issueStage(now uint64) {
+	issued := 0
+	intUsed, mulUsed, fpUsed := 0, 0, 0
+	memPortUsed := false
+	for _, e := range c.window {
+		if issued >= c.Cfg.IssueWidth {
+			return
+		}
+		if e.issued || e.done || e.serializing() {
+			continue
+		}
+		if !e.src[0].ready || !e.src[1].ready {
+			continue
+		}
+		switch e.info.Class {
+		case isa.ClassALU, isa.ClassBranch, isa.ClassJump:
+			if intUsed >= c.Cfg.IntALUs {
+				continue
+			}
+			intUsed++
+			c.executeSimple(now, e, 1)
+		case isa.ClassMul:
+			if mulUsed >= c.Cfg.IntMulDiv {
+				continue
+			}
+			mulUsed++
+			c.executeSimple(now, e, uint64(c.Cfg.IntMulLat))
+		case isa.ClassDiv:
+			if mulUsed >= c.Cfg.IntMulDiv || now < c.divBusyUntil {
+				continue
+			}
+			mulUsed++
+			c.divBusyUntil = now + uint64(c.Cfg.IntDivLat)
+			c.executeSimple(now, e, uint64(c.Cfg.IntDivLat))
+		case isa.ClassFPAdd:
+			if fpUsed >= c.Cfg.FPUnits {
+				continue
+			}
+			fpUsed++
+			c.executeSimple(now, e, uint64(c.Cfg.FPAddLat))
+		case isa.ClassFPMul:
+			if fpUsed >= c.Cfg.FPUnits {
+				continue
+			}
+			fpUsed++
+			c.executeSimple(now, e, uint64(c.Cfg.FPMulLat))
+		case isa.ClassFPDiv:
+			if fpUsed >= c.Cfg.FPUnits {
+				continue
+			}
+			fpUsed++
+			c.executeSimple(now, e, uint64(c.Cfg.FPDivLat))
+		case isa.ClassOther:
+			if intUsed >= c.Cfg.IntALUs {
+				continue
+			}
+			intUsed++
+			e.issued = true
+			c.inFlight++
+			e.doneAt = now + 1
+		case isa.ClassLoad:
+			if memPortUsed {
+				continue
+			}
+			if !c.tryIssueLoad(now, e) {
+				continue
+			}
+			memPortUsed = true
+		case isa.ClassStore:
+			if e.in.Op == isa.SC {
+				if memPortUsed || !c.tryIssueSC(now, e) {
+					continue
+				}
+				memPortUsed = true
+			} else {
+				if intUsed >= c.Cfg.IntALUs {
+					continue
+				}
+				intUsed++
+				c.executeStore(now, e)
+			}
+		case isa.ClassCacheOp:
+			if intUsed >= c.Cfg.IntALUs {
+				continue
+			}
+			intUsed++
+			c.executeCacheOp(now, e)
+		default:
+			// BAD and anything unknown: fault at commit.
+			e.issued = true
+			e.done = true
+			e.fault = fmt.Errorf("cpu: illegal instruction %v at %#x", e.in.Op, e.pc)
+			c.broadcast(e)
+			continue
+		}
+		issued++
+	}
+}
+
+func (c *Core) executeSimple(now uint64, e *entry, lat uint64) {
+	e.issued = true
+	c.inFlight++
+	e.doneAt = now + lat
+	switch e.info.Class {
+	case isa.ClassBranch:
+		e.isBranch = true
+		e.actualTaken, e.actualNext = branchOutcome(e.in, e.pc, e.src[0].val, e.src[1].val)
+		e.mispredicted = e.actualNext != e.predNext
+	case isa.ClassJump:
+		e.isBranch = true
+		e.actualTaken = true
+		e.result = e.pc + isa.WordBytes
+		if e.in.Op == isa.JAL {
+			e.actualNext = uint64(int64(e.pc) + int64(e.in.Imm))
+		} else {
+			e.actualNext = uint64(int64(e.src[0].val) + int64(e.in.Imm))
+		}
+		e.mispredicted = e.actualNext != e.predNext
+	default:
+		e.result = aluResult(e.in, e.src[0].val, e.src[1].val)
+	}
+}
+
+func (c *Core) executeStore(now uint64, e *entry) {
+	e.addr = uint64(int64(e.src[0].val) + int64(e.in.Imm))
+	e.addrReady = true
+	e.storeVal = e.src[1].val
+	e.issued = true
+	c.inFlight++
+	e.doneAt = now + 1
+	if e.addr%uint64(e.info.MemBytes) != 0 {
+		e.fault = fmt.Errorf("cpu: misaligned %d-byte store to %#x at pc %#x", e.info.MemBytes, e.addr, e.pc)
+	}
+	if e.addr < 0x1000 {
+		e.fault = fmt.Errorf("cpu: null store to %#x at pc %#x", e.addr, e.pc)
+	}
+}
+
+func (c *Core) executeCacheOp(now uint64, e *entry) {
+	e.addr = c.lineOf(uint64(int64(e.src[0].val) + int64(e.in.Imm)))
+	e.addrReady = true
+	e.issued = true
+	c.inFlight++
+	e.doneAt = now + 1
+}
+
+// tryIssueLoad applies the memory-ordering rules and starts the access.
+func (c *Core) tryIssueLoad(now uint64, e *entry) bool {
+	addr := uint64(int64(e.src[0].val) + int64(e.in.Imm))
+	if addr%uint64(e.info.MemBytes) != 0 || addr < 0x1000 {
+		e.addr = addr
+		e.issued = true
+		e.done = true
+		e.fault = fmt.Errorf("cpu: bad %d-byte load from %#x at pc %#x", e.info.MemBytes, addr, e.pc)
+		c.broadcast(e)
+		return true
+	}
+	fwd, ok := c.loadOrdering(e, addr)
+	if !ok {
+		return false
+	}
+	e.addr = addr
+	e.addrReady = true
+	e.issued = true
+	if e.in.Op == isa.LL && fwd != nil {
+		// LL ignores forwarding: it needs the line in the cache for
+		// the reservation to mean anything.
+		e.missWait = true
+		c.missWaiting++
+		e.doneAt = ^uint64(0)
+		if !c.l1d.Present(addr) {
+			c.l1d.StartMiss(now, addr, mem.GetS, false)
+		}
+		return true
+	}
+	if fwd != nil {
+		e.result = signExtend(fwd.val, e.info.MemBytes)
+		e.doneAt = now + 1
+		c.inFlight++
+		c.LoadsExecuted++
+		return true
+	}
+	if c.l1d.Present(addr) {
+		c.performLoad(now, e)
+		return true
+	}
+	e.missWait = true
+	c.missWaiting++
+	e.doneAt = ^uint64(0) // not done until the fill arrives (performLoad)
+	c.l1d.StartMiss(now, addr, mem.GetS, false)
+	return true
+}
+
+type fwdVal struct{ val uint64 }
+
+// loadOrdering checks this load against older stores and cache-ops in the
+// window and store buffer. It returns (forwardedValue, okToIssue).
+func (c *Core) loadOrdering(e *entry, addr uint64) (*fwdVal, bool) {
+	size := uint64(e.info.MemBytes)
+	line := c.lineOf(addr)
+	var fwd *fwdVal
+
+	// Committed store buffer first (oldest); later matches override.
+	for i := range c.sb {
+		h := &c.sb[i]
+		if h.cacheOp {
+			// A same-line cache-op blocks the load only until its
+			// invalidation has been issued: the local line is dead
+			// by then and the bus FIFO orders the broadcast before
+			// the load's fill request.
+			if h.token == nil && c.lineOf(h.addr) == line {
+				return nil, false
+			}
+			continue
+		}
+		f, conflict := coverCheck(h.addr, uint64(h.size), h.val, addr, size)
+		if conflict {
+			return nil, false
+		}
+		if f != nil {
+			fwd = f
+		}
+	}
+	// Older window entries.
+	for _, o := range c.window {
+		if o.seq >= e.seq {
+			break
+		}
+		if o.isCacheOp() {
+			if !o.addrReady {
+				return nil, false
+			}
+			if c.lineOf(o.addr) == line {
+				return nil, false
+			}
+			continue
+		}
+		if !o.isStore() {
+			continue
+		}
+		if !o.addrReady {
+			return nil, false
+		}
+		if o.in.Op == isa.SC {
+			// SC writes memory directly when it performs; a younger
+			// load to the same line must wait for it and then read
+			// the memory image (no forwarding).
+			if !o.done && c.lineOf(o.addr) == line {
+				return nil, false
+			}
+			continue
+		}
+		f, conflict := coverCheck(o.addr, uint64(o.info.MemBytes), o.storeVal, addr, size)
+		if conflict {
+			return nil, false
+		}
+		if f != nil {
+			fwd = f
+		}
+	}
+	return fwd, true
+}
+
+// coverCheck classifies an older store against a load: full coverage allows
+// forwarding, partial overlap blocks the load.
+func coverCheck(sAddr, sSize uint64, sVal uint64, lAddr, lSize uint64) (*fwdVal, bool) {
+	if sAddr+sSize <= lAddr || lAddr+lSize <= sAddr {
+		return nil, false // disjoint
+	}
+	if sAddr <= lAddr && lAddr+lSize <= sAddr+sSize {
+		shift := (lAddr - sAddr) * 8
+		return &fwdVal{val: sVal >> shift}, false
+	}
+	return nil, true // partial overlap
+}
+
+// tryIssueSC issues a store-conditional. SC is non-speculative: it waits
+// until it is the only incomplete instruction and the store buffer has
+// drained, then performs atomically.
+func (c *Core) tryIssueSC(now uint64, e *entry) bool {
+	if len(c.sb) != 0 {
+		return false
+	}
+	for _, o := range c.window {
+		if o.seq >= e.seq {
+			break
+		}
+		if !o.done {
+			return false
+		}
+	}
+	addr := uint64(int64(e.src[0].val) + int64(e.in.Imm))
+	e.addr = addr
+	if addr%8 != 0 || addr < 0x1000 {
+		e.issued = true
+		e.done = true
+		e.fault = fmt.Errorf("cpu: bad SC to %#x at pc %#x", addr, e.pc)
+		c.broadcast(e)
+		return true
+	}
+	if !c.llValid || c.lineOf(c.llAddr) != c.lineOf(addr) {
+		e.issued = true
+		c.inFlight++
+		e.addrReady = true
+		e.result = 0
+		e.doneAt = now + 1
+		c.llValid = false
+		c.SCFailures++
+		return true
+	}
+	switch c.l1d.WriteState(addr) {
+	case mem.Modified:
+		c.sys.Mem.Write(addr, 8, e.src[1].val)
+		c.notifySiblingsOfWrite(c.lineOf(addr))
+		tracef("[%d] core%d SC OK pc=%#x addr=%#x val=%d\n", now, c.ID, e.pc, addr, e.src[1].val)
+		e.issued = true
+		c.inFlight++
+		e.addrReady = true
+		e.result = 1
+		e.doneAt = now + 1
+		c.llValid = false
+		return true
+	case mem.Shared:
+		c.l1d.StartMiss(now, addr, mem.Upgrade, false)
+		return false
+	default:
+		// Line lost: the reservation is gone too (onLineLost), but be
+		// defensive and fail rather than fetch the line again.
+		e.issued = true
+		c.inFlight++
+		e.addrReady = true
+		e.result = 0
+		e.doneAt = now + 1
+		c.llValid = false
+		c.SCFailures++
+		return true
+	}
+}
+
+// --- dispatch ----------------------------------------------------------
+
+func (c *Core) dispatchStage(now uint64) {
+	for n := 0; n < c.Cfg.DecodeWidth; n++ {
+		if len(c.fetchBuf) == 0 || len(c.window) >= c.Cfg.RUUSize || c.fenceBlock {
+			return
+		}
+		f := c.fetchBuf[0]
+		info := isa.Lookup(f.in.Op)
+		isMem := info.Class == isa.ClassLoad || info.Class == isa.ClassStore || info.Class == isa.ClassCacheOp
+		if isMem && c.memOps >= c.Cfg.LSQSize {
+			return
+		}
+		c.fetchBuf = c.fetchBuf[1:]
+		c.nextSeq++
+		e := c.allocEntry()
+		e.seq = c.nextSeq
+		e.pc = f.pc
+		e.in = f.in
+		e.info = info
+		e.predTaken = f.predTaken
+		e.predNext = f.predNext
+		e.dest = -1
+		e.isSer = classSerializing(info.Class)
+		// Capture sources.
+		c.captureSrc(e, 0, srcSpec(info, f.in, 0))
+		c.captureSrc(e, 1, srcSpec(info, f.in, 1))
+		// Destination.
+		switch {
+		case info.WritesRd && f.in.Rd != 0:
+			e.dest = int(f.in.Rd)
+		case info.WritesFd:
+			e.dest = 32 + int(f.in.Rd)
+		}
+		if e.dest >= 0 {
+			c.producer[e.dest] = e
+		}
+		if isMem {
+			c.memOps++
+		}
+		if e.serializing() {
+			c.fenceBlock = true
+		}
+		if f.in.Op == isa.BAD {
+			e.issued = true
+			e.done = true
+			e.fault = fmt.Errorf("cpu: illegal instruction at %#x", f.pc)
+		}
+		if f.in.Op == isa.NOP {
+			e.issued = true
+			e.done = true
+		}
+		c.window = append(c.window, e)
+		_ = now
+	}
+}
+
+// srcSpec returns the regfile index read by source slot i, or -1.
+func srcSpec(info isa.Info, in isa.Inst, i int) int {
+	if i == 0 {
+		switch {
+		case info.ReadsR1:
+			return int(in.Rs1)
+		case info.ReadsF1:
+			return 32 + int(in.Rs1)
+		}
+		return -1
+	}
+	switch {
+	case info.ReadsR2:
+		return int(in.Rs2)
+	case info.ReadsF2:
+		return 32 + int(in.Rs2)
+	}
+	return -1
+}
+
+func (c *Core) captureSrc(e *entry, slot, reg int) {
+	if reg < 0 || reg == 0 { // no source or x0
+		e.src[slot] = source{val: 0, ready: true}
+		return
+	}
+	if p := c.producer[reg]; p != nil {
+		if p.done {
+			e.src[slot] = source{val: p.result, ready: true}
+		} else {
+			e.src[slot] = source{dep: p}
+		}
+		return
+	}
+	e.src[slot] = source{val: c.regs[reg], ready: true}
+}
+
+// --- fetch ---------------------------------------------------------------
+
+func (c *Core) fetchStage(now uint64) {
+	if now < c.fetchHoldUntil || c.fetchStopped {
+		return
+	}
+	lineMask := uint64(c.sys.Cfg.LineBytes - 1)
+	lineOK := uint64(1) // no line verified yet (1 is never line-aligned)
+	for n := 0; n < c.Cfg.FetchWidth; n++ {
+		if len(c.fetchBuf) >= 4*c.Cfg.FetchWidth {
+			return
+		}
+		if line := c.fetchPC &^ lineMask; line != lineOK {
+			if !c.l1i.Present(c.fetchPC) {
+				c.FetchMissStalls++
+				c.l1i.StartMiss(now, c.fetchPC, mem.GetI, false)
+				return
+			}
+			lineOK = line
+		}
+		word := c.sys.Mem.ReadUint64(c.fetchPC)
+		in := isa.Decode(word)
+		f := fetchedInst{pc: c.fetchPC, in: in, predNext: c.fetchPC + isa.WordBytes}
+		switch isa.Lookup(in.Op).Class {
+		case isa.ClassBranch:
+			if c.pred.predictDir(c.fetchPC) {
+				f.predTaken = true
+				f.predNext = uint64(int64(c.fetchPC) + int64(in.Imm))
+			}
+		case isa.ClassJump:
+			if in.Op == isa.JAL {
+				f.predTaken = true
+				f.predNext = uint64(int64(c.fetchPC) + int64(in.Imm))
+			} else if t, ok := c.pred.predictTarget(c.fetchPC); ok {
+				f.predTaken = true
+				f.predNext = t
+			}
+		case isa.ClassHalt:
+			c.fetchStopped = true
+		}
+		c.fetchBuf = append(c.fetchBuf, f)
+		prev := c.fetchPC
+		c.fetchPC = f.predNext
+		if c.fetchStopped {
+			return
+		}
+		if f.predTaken {
+			return // taken control flow ends the fetch group
+		}
+		if (prev | lineMask) != (c.fetchPC | lineMask) {
+			return // crossed a cache-line boundary
+		}
+	}
+}

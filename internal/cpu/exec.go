@@ -1,0 +1,147 @@
+package cpu
+
+import (
+	"math"
+
+	"repro/internal/isa"
+)
+
+// aluResult computes the functional result of a non-memory, non-control
+// instruction. Operand and result values are raw 64-bit patterns: two's
+// complement for integers, IEEE-754 bits for floats.
+func aluResult(in isa.Inst, a, b uint64) uint64 {
+	sa, sb := int64(a), int64(b)
+	fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+	switch in.Op {
+	case isa.ADD:
+		return uint64(sa + sb)
+	case isa.SUB:
+		return uint64(sa - sb)
+	case isa.MUL:
+		return uint64(sa * sb)
+	case isa.DIV:
+		if sb == 0 {
+			return ^uint64(0)
+		}
+		return uint64(sa / sb)
+	case isa.REM:
+		if sb == 0 {
+			return a
+		}
+		return uint64(sa % sb)
+	case isa.AND:
+		return a & b
+	case isa.OR:
+		return a | b
+	case isa.XOR:
+		return a ^ b
+	case isa.SLL:
+		return a << (b & 63)
+	case isa.SRL:
+		return a >> (b & 63)
+	case isa.SRA:
+		return uint64(sa >> (b & 63))
+	case isa.SLT:
+		if sa < sb {
+			return 1
+		}
+		return 0
+	case isa.SLTU:
+		if a < b {
+			return 1
+		}
+		return 0
+
+	case isa.ADDI:
+		return uint64(sa + int64(in.Imm))
+	case isa.ANDI:
+		return a & uint64(int64(in.Imm))
+	case isa.ORI:
+		return a | uint64(int64(in.Imm))
+	case isa.XORI:
+		return a ^ uint64(int64(in.Imm))
+	case isa.SLLI:
+		return a << (uint64(in.Imm) & 63)
+	case isa.SRLI:
+		return a >> (uint64(in.Imm) & 63)
+	case isa.SRAI:
+		return uint64(sa >> (uint64(in.Imm) & 63))
+	case isa.SLTI:
+		if sa < int64(in.Imm) {
+			return 1
+		}
+		return 0
+	case isa.LI:
+		return uint64(int64(in.Imm))
+
+	case isa.FADD:
+		return math.Float64bits(fa + fb)
+	case isa.FSUB:
+		return math.Float64bits(fa - fb)
+	case isa.FMUL:
+		return math.Float64bits(fa * fb)
+	case isa.FDIV:
+		return math.Float64bits(fa / fb)
+	case isa.FNEG:
+		return math.Float64bits(-fa)
+	case isa.FABS:
+		return math.Float64bits(math.Abs(fa))
+	case isa.FMOV:
+		return a
+	case isa.FEQ:
+		if fa == fb {
+			return 1
+		}
+		return 0
+	case isa.FLT:
+		if fa < fb {
+			return 1
+		}
+		return 0
+	case isa.FLE:
+		if fa <= fb {
+			return 1
+		}
+		return 0
+	case isa.ITOF:
+		return math.Float64bits(float64(sa))
+	case isa.FTOI:
+		return uint64(int64(fa))
+	}
+	return 0
+}
+
+// branchOutcome evaluates a conditional branch: taken and target.
+func branchOutcome(in isa.Inst, pc uint64, a, b uint64) (bool, uint64) {
+	sa, sb := int64(a), int64(b)
+	var taken bool
+	switch in.Op {
+	case isa.BEQ:
+		taken = a == b
+	case isa.BNE:
+		taken = a != b
+	case isa.BLT:
+		taken = sa < sb
+	case isa.BGE:
+		taken = sa >= sb
+	case isa.BLTU:
+		taken = a < b
+	case isa.BGEU:
+		taken = a >= b
+	}
+	if taken {
+		return true, uint64(int64(pc) + int64(in.Imm))
+	}
+	return false, pc + isa.WordBytes
+}
+
+// signExtend widens a loaded value of the given byte size.
+func signExtend(v uint64, size int) uint64 {
+	switch size {
+	case 2:
+		return uint64(int64(int16(v)))
+	case 4:
+		return uint64(int64(int32(v)))
+	}
+	return v
+}

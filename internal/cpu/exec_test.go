@@ -1,0 +1,182 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestALUIntegerOps(t *testing.T) {
+	type ref func(a, b int64) int64
+	cases := map[isa.Opcode]ref{
+		isa.ADD:  func(a, b int64) int64 { return a + b },
+		isa.SUB:  func(a, b int64) int64 { return a - b },
+		isa.MUL:  func(a, b int64) int64 { return a * b },
+		isa.AND:  func(a, b int64) int64 { return a & b },
+		isa.OR:   func(a, b int64) int64 { return a | b },
+		isa.XOR:  func(a, b int64) int64 { return a ^ b },
+		isa.SLL:  func(a, b int64) int64 { return int64(uint64(a) << (uint64(b) & 63)) },
+		isa.SRL:  func(a, b int64) int64 { return int64(uint64(a) >> (uint64(b) & 63)) },
+		isa.SRA:  func(a, b int64) int64 { return a >> (uint64(b) & 63) },
+		isa.SLT:  func(a, b int64) int64 { return b2i(a < b) },
+		isa.SLTU: func(a, b int64) int64 { return b2i(uint64(a) < uint64(b)) },
+	}
+	for op, want := range cases {
+		op, want := op, want
+		f := func(a, b int64) bool {
+			got := aluResult(isa.Inst{Op: op}, uint64(a), uint64(b))
+			return int64(got) == want(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%v: %v", op, err)
+		}
+	}
+}
+
+func TestALUDivRem(t *testing.T) {
+	f := func(a, b int64) bool {
+		gotD := int64(aluResult(isa.Inst{Op: isa.DIV}, uint64(a), uint64(b)))
+		gotR := int64(aluResult(isa.Inst{Op: isa.REM}, uint64(a), uint64(b)))
+		if b == 0 {
+			return gotD == -1 && gotR == a // RISC-style div-by-zero results
+		}
+		if a == math.MinInt64 && b == -1 {
+			// Implementation-defined overflow; just require it not to
+			// panic (reaching here proves that).
+			return true
+		}
+		return gotD == a/b && gotR == a%b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(aluResult(isa.Inst{Op: isa.DIV}, 7, 0)); got != -1 {
+		t.Fatalf("7/0 = %d", got)
+	}
+}
+
+func TestALUImmediates(t *testing.T) {
+	a := uint64(0xFFFF_0000_1234_5678)
+	cases := []struct {
+		op   isa.Opcode
+		imm  int32
+		want uint64
+	}{
+		{isa.ADDI, -1, a - 1},
+		{isa.ANDI, 0xFF, a & 0xFF},
+		{isa.ORI, 0x100, a | 0x100},
+		{isa.XORI, -1, a ^ 0xFFFF_FFFF_FFFF_FFFF},
+		{isa.SLLI, 4, a << 4},
+		{isa.SRLI, 4, a >> 4},
+		{isa.SRAI, 4, uint64(int64(a) >> 4)},
+		{isa.SLTI, 1, 1},                     // a is negative as int64
+		{isa.LI, -42, 0xFFFF_FFFF_FFFF_FFD6}, // -42 sign-extended
+	}
+	for _, c := range cases {
+		if got := aluResult(isa.Inst{Op: c.op, Imm: c.imm}, a, 0); got != c.want {
+			t.Errorf("%v imm=%d: got %#x, want %#x", c.op, c.imm, got, c.want)
+		}
+	}
+}
+
+func TestALUFloatOps(t *testing.T) {
+	f := func(a, b float64) bool {
+		ab, bb := math.Float64bits(a), math.Float64bits(b)
+		check := func(op isa.Opcode, want float64) bool {
+			got := math.Float64frombits(aluResult(isa.Inst{Op: op}, ab, bb))
+			return got == want || (math.IsNaN(got) && math.IsNaN(want))
+		}
+		return check(isa.FADD, a+b) && check(isa.FSUB, a-b) &&
+			check(isa.FMUL, a*b) && check(isa.FDIV, a/b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	// Unary and compare ops.
+	x := math.Float64bits(-2.5)
+	y := math.Float64bits(3.0)
+	if got := math.Float64frombits(aluResult(isa.Inst{Op: isa.FNEG}, x, 0)); got != 2.5 {
+		t.Errorf("FNEG: %v", got)
+	}
+	if got := math.Float64frombits(aluResult(isa.Inst{Op: isa.FABS}, x, 0)); got != 2.5 {
+		t.Errorf("FABS: %v", got)
+	}
+	if aluResult(isa.Inst{Op: isa.FLT}, x, y) != 1 || aluResult(isa.Inst{Op: isa.FLT}, y, x) != 0 {
+		t.Error("FLT")
+	}
+	if aluResult(isa.Inst{Op: isa.FLE}, x, x) != 1 {
+		t.Error("FLE reflexive")
+	}
+	if aluResult(isa.Inst{Op: isa.FEQ}, y, y) != 1 || aluResult(isa.Inst{Op: isa.FEQ}, x, y) != 0 {
+		t.Error("FEQ")
+	}
+}
+
+func TestALUConversions(t *testing.T) {
+	if got := math.Float64frombits(aluResult(isa.Inst{Op: isa.ITOF}, ^uint64(6), 0)); got != -7.0 {
+		t.Errorf("ITOF(-7) = %v", got)
+	}
+	if got := int64(aluResult(isa.Inst{Op: isa.FTOI}, math.Float64bits(-7.9), 0)); got != -7 {
+		t.Errorf("FTOI(-7.9) = %d (truncation expected)", got)
+	}
+}
+
+func TestBranchOutcome(t *testing.T) {
+	pc := uint64(0x1000)
+	cases := []struct {
+		op    isa.Opcode
+		a, b  int64
+		taken bool
+	}{
+		{isa.BEQ, 5, 5, true},
+		{isa.BEQ, 5, 6, false},
+		{isa.BNE, 5, 6, true},
+		{isa.BLT, -1, 0, true},
+		{isa.BLT, 0, -1, false},
+		{isa.BGE, 0, 0, true},
+		{isa.BLTU, -1, 0, false}, // unsigned: ^0 is huge
+		{isa.BGEU, -1, 0, true},
+	}
+	for _, c := range cases {
+		ua, ub := uint64(c.a), uint64(c.b)
+		taken, target := branchOutcome(isa.Inst{Op: c.op, Imm: 64}, pc, ua, ub)
+		if taken != c.taken {
+			t.Errorf("%v(%d,%d): taken=%v", c.op, c.a, c.b, taken)
+		}
+		if taken && target != pc+64 {
+			t.Errorf("%v: target %#x", c.op, target)
+		}
+		if !taken && target != pc+isa.WordBytes {
+			t.Errorf("%v: fallthrough %#x", c.op, target)
+		}
+	}
+	// Negative displacement.
+	taken, target := branchOutcome(isa.Inst{Op: isa.BEQ, Imm: -16}, pc, 1, 1)
+	if !taken || target != pc-16 {
+		t.Errorf("backward branch: %v %#x", taken, target)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	if got := signExtend(0x8000, 2); int64(got) != -32768 {
+		t.Errorf("LH sign extension: %#x", got)
+	}
+	if got := signExtend(0x7FFF, 2); got != 0x7FFF {
+		t.Errorf("LH positive: %#x", got)
+	}
+	if got := signExtend(0x8000_0000, 4); int64(got) != int64(math.MinInt32) {
+		t.Errorf("LW sign extension: %#x", got)
+	}
+	if got := signExtend(0xDEADBEEF_00000000, 8); got != 0xDEADBEEF_00000000 {
+		t.Errorf("LD passthrough: %#x", got)
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,12 @@
+package cpu
+
+import "fmt"
+
+// Trace enables verbose per-event tracing for debugging.
+var Trace bool
+
+func tracef(format string, args ...interface{}) {
+	if Trace {
+		fmt.Printf(format, args...)
+	}
+}

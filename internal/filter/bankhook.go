@@ -1,0 +1,96 @@
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// BankFilters aggregates the barrier filters hosted by one L2 bank
+// controller (the hardware holds up to Slots of them) and implements
+// mem.BankHook. An invalidation can be meaningful to two filters at once —
+// in the ping-pong construction one barrier's arrival line is its twin's
+// exit line — so invalidations are shown to every matching filter.
+type BankFilters struct {
+	Slots   int
+	filters []*Filter
+}
+
+var _ mem.BankHook = (*BankFilters)(nil)
+
+// NewBankFilters creates a hook with capacity for slots filters.
+func NewBankFilters(slots int) *BankFilters {
+	return &BankFilters{Slots: slots}
+}
+
+// Add installs a filter, failing when the bank's slots are exhausted (the
+// OS then falls back to a software barrier, §3.3.1).
+func (b *BankFilters) Add(f *Filter) error {
+	if len(b.filters) >= b.Slots {
+		return fmt.Errorf("filter: bank has no free filter slots (%d in use)", b.Slots)
+	}
+	b.filters = append(b.filters, f)
+	return nil
+}
+
+// Remove swaps a filter out (OS barrier swap, §3.3.3).
+func (b *BankFilters) Remove(f *Filter) {
+	for i, x := range b.filters {
+		if x == f {
+			b.filters = append(b.filters[:i], b.filters[i+1:]...)
+			return
+		}
+	}
+}
+
+// InUse returns the number of occupied slots.
+func (b *BankFilters) InUse() int { return len(b.filters) }
+
+// OnInval shows an invalidation to every filter that recognizes the
+// address, as arrival or exit.
+func (b *BankFilters) OnInval(now uint64, addr uint64, core int) (fault bool) {
+	for _, f := range b.filters {
+		if t, ok := f.MatchExit(addr); ok {
+			if f.onExitInval(t) {
+				fault = true
+			}
+		}
+		if t, ok := f.MatchArrival(addr); ok {
+			if f.onArrivalInval(now, t) {
+				fault = true
+			}
+		}
+	}
+	return fault
+}
+
+// OnFill consults the filter owning the arrival line, if any.
+func (b *BankFilters) OnFill(now uint64, t mem.Txn) (park, fault bool) {
+	for _, f := range b.filters {
+		if tid, ok := f.MatchArrival(t.Addr); ok {
+			return f.onFill(now, tid, t)
+		}
+	}
+	return false, false
+}
+
+// PopReleased round-robins over the filters' release queues.
+func (b *BankFilters) PopReleased(now uint64) (mem.Txn, bool, bool) {
+	for _, f := range b.filters {
+		if t, errFill, ok := f.popReleased(now); ok {
+			return t, errFill, ok
+		}
+	}
+	return mem.Txn{}, false, false
+}
+
+// LastError reports the most recent protocol error across the bank's
+// filters.
+func (b *BankFilters) LastError() string {
+	for _, f := range b.filters {
+		if f.lastErr != "" {
+			return f.lastErr
+		}
+	}
+	return ""
+}

@@ -1,0 +1,281 @@
+// Package filter implements the barrier filter of the paper: a hardware
+// table attached to an L2 bank controller that provides global barrier
+// synchronization by starving cache-line fills.
+//
+// Each participating thread owns two distinct cache lines, its arrival
+// address and its exit address, allocated by the OS so that all of a
+// barrier's lines map to the same L2 bank and so that the line index bits
+// identify the thread (here: a fixed stride between consecutive threads'
+// lines). The filter watches invalidation transactions (arrival and exit
+// signals) and fill requests for those lines, and runs the per-thread
+// finite-state automaton of Figure 3:
+//
+//	Waiting   --inval(arrival)-->  Blocking      (arrived-counter++)
+//	Blocking  --fill(arrival)-->   Blocking      (fill parked, pending set)
+//	(last arrival)                 all threads -> Servicing, fills released
+//	Servicing --fill(arrival)-->   Servicing     (fill serviced normally)
+//	Servicing --inval(exit)-->     Waiting
+//
+// All other transitions are protocol errors (§3.3.4) and produce
+// error-coded responses that fault the offending core. A configurable
+// hardware timeout releases parked fills with an error code so that a
+// mis-sized barrier cannot starve a core forever.
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// ThreadState is the 2-bit per-thread state of Figure 2/3.
+type ThreadState int8
+
+const (
+	Waiting   ThreadState = iota // waiting-on-arrival
+	Blocking                     // blocked-until-release
+	Servicing                    // service-until-exit
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case Waiting:
+		return "Waiting"
+	case Blocking:
+		return "Blocking"
+	case Servicing:
+		return "Servicing"
+	}
+	return "?"
+}
+
+// parked is one withheld fill request.
+type parked struct {
+	txn      mem.Txn
+	parkedAt uint64
+}
+
+// Filter is one barrier's state table: arrival/exit tags, T thread entries
+// (valid bit, pending-fill bit, 2-bit state), num-threads and the
+// arrived-counter.
+type Filter struct {
+	Name        string
+	ArrivalBase uint64 // thread 0's arrival line
+	ExitBase    uint64 // thread 0's exit line
+	Stride      uint64 // line stride between consecutive threads
+	NumThreads  int
+
+	// Strict applies the §3.3.4 checking semantics to repeated arrival
+	// invalidations in Blocking state (Figure 3 tolerates them).
+	Strict bool
+	// Timeout releases a parked fill with an error code after this many
+	// cycles (0 disables).
+	Timeout uint64
+
+	states         []ThreadState
+	valid          []bool
+	pending        [][]parked // parked fills per thread (2 possible after a context switch)
+	lastValidEntry int
+	arrivedCounter int
+
+	releaseQ []releaseEnt
+	lastErr  string
+
+	// Statistics.
+	Arrivals, Openings, ParkedFills, ServicedInBlock, Errors, Timeouts uint64
+}
+
+type releaseEnt struct {
+	txn mem.Txn
+	err bool
+}
+
+// New creates a filter for nthreads threads whose arrival and exit line
+// regions start at the given bases with the given stride. All threads start
+// in the Waiting state and unregistered.
+func New(name string, arrivalBase, exitBase, stride uint64, nthreads int) *Filter {
+	return &Filter{
+		Name:           name,
+		ArrivalBase:    arrivalBase,
+		ExitBase:       exitBase,
+		Stride:         stride,
+		NumThreads:     nthreads,
+		states:         make([]ThreadState, nthreads),
+		valid:          make([]bool, nthreads),
+		pending:        make([][]parked, nthreads),
+		lastValidEntry: -1,
+	}
+}
+
+// RegisterThread marks thread entry t valid (OS registration, §3.3.1).
+func (f *Filter) RegisterThread(t int) error {
+	if t < 0 || t >= f.NumThreads {
+		return fmt.Errorf("filter %s: thread %d out of range", f.Name, t)
+	}
+	f.valid[t] = true
+	if t > f.lastValidEntry {
+		f.lastValidEntry = t
+	}
+	return nil
+}
+
+// RegisterAll marks every entry valid.
+func (f *Filter) RegisterAll() {
+	for i := range f.valid {
+		f.valid[i] = true
+	}
+	f.lastValidEntry = f.NumThreads - 1
+}
+
+// InitServicing puts every thread in the Servicing state. The ping-pong
+// construction uses it for the twin barrier so that the first invocation's
+// arrival invalidations are legal exits for the twin.
+func (f *Filter) InitServicing() {
+	for i := range f.states {
+		f.states[i] = Servicing
+	}
+}
+
+// State returns thread t's automaton state (test/diagnostic use).
+func (f *Filter) State(t int) ThreadState { return f.states[t] }
+
+// ArrivedCount returns the arrived-counter (test/diagnostic use).
+func (f *Filter) ArrivedCount() int { return f.arrivedCounter }
+
+// LastError describes the most recent protocol error.
+func (f *Filter) LastError() string { return f.lastErr }
+
+// ArrivalAddr returns thread t's arrival line address.
+func (f *Filter) ArrivalAddr(t int) uint64 { return f.ArrivalBase + uint64(t)*f.Stride }
+
+// ExitAddr returns thread t's exit line address.
+func (f *Filter) ExitAddr(t int) uint64 { return f.ExitBase + uint64(t)*f.Stride }
+
+// matchRegion resolves addr within a region (base, stride, n).
+func (f *Filter) matchRegion(base, addr uint64) (int, bool) {
+	if addr < base {
+		return 0, false
+	}
+	d := addr - base
+	if d%f.Stride != 0 {
+		return 0, false
+	}
+	t := int(d / f.Stride)
+	if t >= f.NumThreads {
+		return 0, false
+	}
+	return t, true
+}
+
+// MatchArrival resolves addr to a thread's arrival entry.
+func (f *Filter) MatchArrival(addr uint64) (int, bool) { return f.matchRegion(f.ArrivalBase, addr) }
+
+// MatchExit resolves addr to a thread's exit entry.
+func (f *Filter) MatchExit(addr uint64) (int, bool) { return f.matchRegion(f.ExitBase, addr) }
+
+func (f *Filter) fail(format string, args ...interface{}) bool {
+	f.Errors++
+	f.lastErr = fmt.Sprintf("filter %s: ", f.Name) + fmt.Sprintf(format, args...)
+	return true
+}
+
+// onArrivalInval applies an arrival-address invalidation for thread t.
+func (f *Filter) onArrivalInval(now uint64, t int) (fault bool) {
+	if !f.valid[t] {
+		return f.fail("arrival inval for unregistered thread %d", t)
+	}
+	switch f.states[t] {
+	case Waiting:
+		f.states[t] = Blocking
+		f.arrivedCounter++
+		f.Arrivals++
+		if f.arrivedCounter == f.NumThreads {
+			f.open(now)
+		}
+		return false
+	case Blocking:
+		if f.Strict {
+			return f.fail("arrival inval for thread %d already Blocking", t)
+		}
+		return false
+	default:
+		return f.fail("arrival inval for thread %d in state %s", t, f.states[t])
+	}
+}
+
+// open releases the barrier: every thread moves to Servicing and all parked
+// fills are queued for service.
+func (f *Filter) open(now uint64) {
+	f.Openings++
+	f.arrivedCounter = 0
+	for t := range f.states {
+		f.states[t] = Servicing
+		for _, p := range f.pending[t] {
+			f.releaseQ = append(f.releaseQ, releaseEnt{txn: p.txn})
+		}
+		f.pending[t] = f.pending[t][:0]
+	}
+	_ = now
+}
+
+// onExitInval applies an exit-address invalidation for thread t.
+func (f *Filter) onExitInval(t int) (fault bool) {
+	if !f.valid[t] {
+		return f.fail("exit inval for unregistered thread %d", t)
+	}
+	if f.states[t] != Servicing {
+		return f.fail("exit inval for thread %d in state %s", t, f.states[t])
+	}
+	f.states[t] = Waiting
+	return false
+}
+
+// onFill decides the fate of a fill request for an arrival line.
+func (f *Filter) onFill(now uint64, t int, txn mem.Txn) (park, fault bool) {
+	if !f.valid[t] {
+		return false, f.fail("fill for unregistered thread %d", t)
+	}
+	switch f.states[t] {
+	case Blocking:
+		f.ParkedFills++
+		f.pending[t] = append(f.pending[t], parked{txn: txn, parkedAt: now})
+		return true, false
+	case Servicing:
+		f.ServicedInBlock++
+		return false, false
+	default: // Waiting
+		if txn.Prefetch || txn.Kind == mem.GetI {
+			// Hardware prefetches and instruction fetches are
+			// inherently speculative (wrong-path fetch can touch an
+			// arrival line); they are filtered, never faulted, so
+			// they can neither open nor observe the barrier early.
+			f.pending[t] = append(f.pending[t], parked{txn: txn, parkedAt: now})
+			return true, false
+		}
+		return false, f.fail("fill for thread %d in state Waiting (load before invalidate?)", t)
+	}
+}
+
+// popReleased yields one ready-to-service fill, honouring the timeout.
+func (f *Filter) popReleased(now uint64) (mem.Txn, bool, bool) {
+	if len(f.releaseQ) > 0 {
+		r := f.releaseQ[0]
+		f.releaseQ = f.releaseQ[1:]
+		return r.txn, r.err, true
+	}
+	if f.Timeout > 0 {
+		for t := range f.pending {
+			for i, p := range f.pending[t] {
+				if now-p.parkedAt >= f.Timeout {
+					f.pending[t] = append(f.pending[t][:i], f.pending[t][i+1:]...)
+					f.Timeouts++
+					return p.txn, true, true
+				}
+			}
+		}
+	}
+	return mem.Txn{}, false, false
+}
+
+// PendingFor returns how many fills are parked for thread t (tests).
+func (f *Filter) PendingFor(t int) int { return len(f.pending[t]) }

@@ -1,0 +1,122 @@
+// Package harness defines and runs the paper's experiments: Table 1,
+// Figure 4 (barrier latency vs core count), Figures 5/6 (EEMBC-style kernel
+// speedups at 16 cores), and Figures 7/8/10 (Livermore loop execution time
+// vs vector length). Each experiment builds the kernels through the barrier
+// generators, runs them on freshly constructed machines, verifies results
+// against the Go references, and returns structured data that cmd/bench and
+// the root benchmarks render.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+)
+
+// Options tunes experiment cost.
+type Options struct {
+	// Cores for the kernel experiments (the paper uses 16).
+	Cores int
+	// Quick shrinks problem sizes and repetition counts so the whole
+	// suite runs in seconds; the shapes are preserved.
+	Quick bool
+	// Verify cross-checks every kernel run against its Go reference.
+	Verify bool
+	// MaxCycles bounds any single simulation (deadlock guard).
+	MaxCycles uint64
+	// Fig4Cores overrides the core counts of the Figure 4 sweep
+	// (default 4, 8, 16, 32, 64).
+	Fig4Cores []int
+	// Lengths overrides the vector lengths of the Figure 7/8/10 sweeps.
+	Lengths []int
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{Cores: 16, Verify: true, MaxCycles: 2_000_000_000}
+}
+
+// QuickOptions returns a configuration that runs the full suite in seconds.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Quick = true
+	o.MaxCycles = 300_000_000
+	return o
+}
+
+// RunSeq runs a kernel's sequential build on a single-core machine and
+// returns the cycle count.
+func RunSeq(k kernels.Kernel, opt Options) (uint64, error) {
+	prog, err := k.BuildSeq()
+	if err != nil {
+		return 0, fmt.Errorf("harness: %s: %w", k.Name(), err)
+	}
+	m := core.NewMachine(core.DefaultConfig(1))
+	m.Load(prog)
+	m.StartSPMD(prog.Entry, 1)
+	cycles, err := m.Run(opt.MaxCycles)
+	if err != nil {
+		return 0, fmt.Errorf("harness: %s seq: %w", k.Name(), err)
+	}
+	if opt.Verify {
+		if err := k.Verify(m.Sys.Mem, prog, 1); err != nil {
+			return 0, err
+		}
+	}
+	return cycles, nil
+}
+
+// RunPar runs a kernel's parallel build with the given barrier mechanism
+// and thread count and returns the cycle count.
+func RunPar(k kernels.Kernel, kind barrier.Kind, nthreads int, opt Options) (uint64, error) {
+	cfg := core.DefaultConfig(nthreads)
+	alloc := barrier.NewAllocator(cfg.Mem)
+	gen, err := barrier.New(kind, nthreads, alloc)
+	if err != nil {
+		return 0, err
+	}
+	prog, err := k.BuildPar(gen, nthreads)
+	if err != nil {
+		return 0, fmt.Errorf("harness: %s/%s: %w", k.Name(), kind, err)
+	}
+	m := core.NewMachine(cfg)
+	if err := barrier.Launch(m, gen, prog, nthreads); err != nil {
+		return 0, err
+	}
+	cycles, err := m.Run(opt.MaxCycles)
+	if err != nil {
+		return 0, fmt.Errorf("harness: %s/%s: %w", k.Name(), kind, err)
+	}
+	if opt.Verify {
+		if err := k.Verify(m.Sys.Mem, prog, nthreads); err != nil {
+			return 0, fmt.Errorf("harness: %s/%s: %w", k.Name(), kind, err)
+		}
+	}
+	return cycles, nil
+}
+
+// runSeqMachine runs a kernel sequentially and returns the memory image
+// (test support).
+func runSeqMachine(k kernels.Kernel, opt Options) (*mem.Memory, error) {
+	prog, err := k.BuildSeq()
+	if err != nil {
+		return nil, err
+	}
+	m := core.NewMachine(core.DefaultConfig(1))
+	m.Load(prog)
+	m.StartSPMD(prog.Entry, 1)
+	if _, err := m.Run(opt.MaxCycles); err != nil {
+		return nil, err
+	}
+	return m.Sys.Mem, nil
+}
+
+// buildLatencyProgram emits the Figure 4 microbenchmark for a generator.
+func buildLatencyProgram(gen barrier.Generator, k, m int) (*asm.Program, error) {
+	mb := &kernels.Microbench{K: k, M: m}
+	return mb.BuildPar(gen, 0) // thread count unused by the builder
+}

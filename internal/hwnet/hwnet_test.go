@@ -1,0 +1,123 @@
+package hwnet
+
+import "testing"
+
+func TestBarrierReleaseTiming(t *testing.T) {
+	n := New(2) // 2-cycle wires
+	n.Register(0, 3)
+	n.Arrive(10, 0, 0) // effective at 12
+	n.Arrive(11, 1, 0) // effective at 13
+	if n.TryRelease(100, 0, 0) {
+		t.Fatal("released before all arrived")
+	}
+	n.Arrive(20, 2, 0) // effective at 22 -> release wired back at 24
+	for _, c := range []int{0, 1, 2} {
+		if n.TryRelease(23, c, 0) {
+			t.Fatalf("core %d released before the wire latency elapsed", c)
+		}
+		if !n.TryRelease(24, c, 0) {
+			t.Fatalf("core %d not released at cycle 24", c)
+		}
+		if n.TryRelease(25, c, 0) {
+			t.Fatalf("core %d release not consumed", c)
+		}
+	}
+	if n.Releases != 1 || n.Arrivals != 3 {
+		t.Fatalf("stats: %d releases, %d arrivals", n.Releases, n.Arrivals)
+	}
+}
+
+func TestBarrierReuse(t *testing.T) {
+	n := New(2)
+	n.Register(1, 2)
+	for episode := 0; episode < 3; episode++ {
+		base := uint64(episode * 100)
+		n.Arrive(base, 0, 1)
+		n.Arrive(base+1, 1, 1)
+		if !n.TryRelease(base+50, 0, 1) || !n.TryRelease(base+50, 1, 1) {
+			t.Fatalf("episode %d did not release", episode)
+		}
+	}
+	if n.Releases != 3 {
+		t.Fatalf("releases = %d", n.Releases)
+	}
+}
+
+func TestIndependentBarriers(t *testing.T) {
+	n := New(2)
+	n.Register(0, 2)
+	n.Register(1, 2)
+	n.Arrive(0, 0, 0)
+	n.Arrive(0, 0, 1)
+	n.Arrive(0, 1, 1)
+	if n.TryRelease(50, 0, 0) {
+		t.Fatal("barrier 0 released by barrier 1 arrivals")
+	}
+	if !n.TryRelease(50, 0, 1) {
+		t.Fatal("barrier 1 not released")
+	}
+}
+
+func TestUnregisteredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unregistered barrier")
+		}
+	}()
+	New(2).Arrive(0, 0, 9)
+}
+
+func TestRegisterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero threads")
+		}
+	}()
+	New(2).Register(0, 0)
+}
+
+func TestTreeBarrierLatencyScalesWithDepth(t *testing.T) {
+	n := New(2)
+	n.Register(0, 16)           // flat wired-AND
+	n.RegisterTree(1, 16, 2, 3) // binary tree, 3 cycles per hop: depth 4
+	n.RegisterTree(2, 16, 4, 3) // quad tree: depth 2
+
+	release := func(id int) uint64 {
+		for c := 0; c < 16; c++ {
+			n.Arrive(100, c, id)
+		}
+		at := uint64(0)
+		for ; at < 1000; at++ {
+			if n.TryRelease(at, 0, id) {
+				break
+			}
+		}
+		for c := 1; c < 16; c++ {
+			if !n.TryRelease(at, c, id) {
+				t.Fatalf("id %d: core %d not released with core 0", id, c)
+			}
+		}
+		return at - 100
+	}
+	flat := release(0)
+	bin := release(1)
+	quad := release(2)
+	if flat != 4 { // 2 up + 2 down
+		t.Fatalf("flat latency %d, want 4", flat)
+	}
+	if bin != 24 { // 4 levels x 3 cycles, both directions
+		t.Fatalf("binary tree latency %d, want 24", bin)
+	}
+	if quad != 12 { // 2 levels x 3 cycles, both directions
+		t.Fatalf("quad tree latency %d, want 12", quad)
+	}
+}
+
+func TestRegisterTreeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for degree < 2")
+		}
+	}()
+	New(2).RegisterTree(0, 8, 1, 3)
+}

@@ -1,0 +1,331 @@
+// Package isa defines SRISC, the simulated RISC instruction set executed by
+// the CMP cores in this repository.
+//
+// SRISC is deliberately Alpha/RISC-V-flavoured: 32 64-bit integer registers
+// (x0 hardwired to zero), 32 float64 registers, and fixed-width 64-bit
+// instruction words so that a 64-byte cache line holds exactly eight
+// instructions. On top of the usual ALU/memory/branch repertoire it provides
+// the synchronization primitives the paper's barrier sequences require:
+//
+//   - LL/SC     load-linked / store-conditional (Alpha ldq_l / stq_c)
+//   - FENCE    full memory fence (Alpha mb, PowerPC sync/dsync)
+//   - IFLUSH   discard fetched/prefetched instructions (PowerPC isync)
+//   - ICBI     invalidate the instruction-cache line holding an address
+//   - DCBI     write back (if dirty) and invalidate a data-cache line
+//   - HWBAR    dedicated-barrier-network arrival (the Beckmann/
+//     Polychronopoulos baseline; not used by barrier filters)
+//
+// Instruction word layout (big to little):
+//
+//	[63:56] opcode   [55:51] rd   [50:46] rs1   [45:41] rs2
+//	[40:32] reserved [31:0]  imm (two's-complement int32)
+package isa
+
+import "fmt"
+
+// WordBytes is the size of one instruction word in memory.
+const WordBytes = 8
+
+// NumIntRegs and NumFPRegs give the architectural register file sizes.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+)
+
+// Opcode identifies an SRISC instruction.
+type Opcode uint8
+
+// Integer register-register ALU operations.
+const (
+	BAD Opcode = iota // zero word decodes to an illegal instruction
+
+	ADD
+	SUB
+	MUL
+	DIV
+	REM
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+
+	// Integer register-immediate ALU operations (imm sign-extended).
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	LI // rd = signext(imm32)
+
+	// Floating point (float64) operations on f registers.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FABS
+	FMOV
+	FEQ // rd(int) = fs1 == fs2
+	FLT // rd(int) = fs1 <  fs2
+	FLE // rd(int) = fs1 <= fs2
+	ITOF
+	FTOI
+
+	// Memory. Effective address is rs1 + signext(imm).
+	LD  // 64-bit integer load
+	LW  // 32-bit load, sign-extended
+	LH  // 16-bit load, sign-extended
+	ST  // 64-bit store of rs2
+	SW  // 32-bit store of rs2
+	SH  // 16-bit store of rs2
+	FLD // float64 load into fd
+	FST // float64 store of fs2
+	LL  // load-linked 64-bit
+	SC  // store-conditional 64-bit: rd = 1 on success, 0 on failure
+
+	// Control. Branch/jump displacements are in bytes relative to the
+	// branch's own address.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	JAL  // rd = return address; pc += imm
+	JALR // rd = return address; pc = rs1 + imm
+
+	// Synchronization and cache control.
+	FENCE  // order: all prior memory operations complete first
+	IFLUSH // discard fetch buffer / prefetched instructions, refetch
+	ICBI   // invalidate I-cache line at rs1+imm, propagate below L1
+	DCBI   // writeback+invalidate D-cache line at rs1+imm, propagate
+	HWBAR  // dedicated barrier network arrival; imm = barrier id
+
+	// Miscellaneous.
+	NOP
+	HALT
+	OUT // append rs1's value to the core's console (debug/examples)
+
+	numOpcodes
+)
+
+// Class groups opcodes by the pipeline resources they use.
+type Class int
+
+const (
+	ClassALU     Class = iota // 1-cycle integer
+	ClassMul                  // integer multiply
+	ClassDiv                  // integer divide / remainder
+	ClassFPAdd                // FP add/sub/compare/convert/move
+	ClassFPMul                // FP multiply
+	ClassFPDiv                // FP divide
+	ClassLoad                 // memory read
+	ClassStore                // memory write
+	ClassCacheOp              // ICBI / DCBI
+	ClassBranch               // conditional branch
+	ClassJump                 // JAL / JALR
+	ClassFence                // FENCE
+	ClassIFlush               // IFLUSH
+	ClassHWBar                // HWBAR
+	ClassHalt                 // HALT
+	ClassOther                // NOP, OUT
+)
+
+// Info describes the static properties of one opcode.
+type Info struct {
+	Name     string
+	Class    Class
+	ReadsR1  bool // reads integer rs1
+	ReadsR2  bool // reads integer rs2
+	ReadsF1  bool // reads fp rs1
+	ReadsF2  bool // reads fp rs2
+	WritesRd bool // writes integer rd
+	WritesFd bool // writes fp rd
+	MemBytes int  // memory access size (loads/stores)
+}
+
+var infos = [numOpcodes]Info{
+	BAD: {Name: "bad", Class: ClassOther},
+
+	ADD:  {Name: "add", Class: ClassALU, ReadsR1: true, ReadsR2: true, WritesRd: true},
+	SUB:  {Name: "sub", Class: ClassALU, ReadsR1: true, ReadsR2: true, WritesRd: true},
+	MUL:  {Name: "mul", Class: ClassMul, ReadsR1: true, ReadsR2: true, WritesRd: true},
+	DIV:  {Name: "div", Class: ClassDiv, ReadsR1: true, ReadsR2: true, WritesRd: true},
+	REM:  {Name: "rem", Class: ClassDiv, ReadsR1: true, ReadsR2: true, WritesRd: true},
+	AND:  {Name: "and", Class: ClassALU, ReadsR1: true, ReadsR2: true, WritesRd: true},
+	OR:   {Name: "or", Class: ClassALU, ReadsR1: true, ReadsR2: true, WritesRd: true},
+	XOR:  {Name: "xor", Class: ClassALU, ReadsR1: true, ReadsR2: true, WritesRd: true},
+	SLL:  {Name: "sll", Class: ClassALU, ReadsR1: true, ReadsR2: true, WritesRd: true},
+	SRL:  {Name: "srl", Class: ClassALU, ReadsR1: true, ReadsR2: true, WritesRd: true},
+	SRA:  {Name: "sra", Class: ClassALU, ReadsR1: true, ReadsR2: true, WritesRd: true},
+	SLT:  {Name: "slt", Class: ClassALU, ReadsR1: true, ReadsR2: true, WritesRd: true},
+	SLTU: {Name: "sltu", Class: ClassALU, ReadsR1: true, ReadsR2: true, WritesRd: true},
+
+	ADDI: {Name: "addi", Class: ClassALU, ReadsR1: true, WritesRd: true},
+	ANDI: {Name: "andi", Class: ClassALU, ReadsR1: true, WritesRd: true},
+	ORI:  {Name: "ori", Class: ClassALU, ReadsR1: true, WritesRd: true},
+	XORI: {Name: "xori", Class: ClassALU, ReadsR1: true, WritesRd: true},
+	SLLI: {Name: "slli", Class: ClassALU, ReadsR1: true, WritesRd: true},
+	SRLI: {Name: "srli", Class: ClassALU, ReadsR1: true, WritesRd: true},
+	SRAI: {Name: "srai", Class: ClassALU, ReadsR1: true, WritesRd: true},
+	SLTI: {Name: "slti", Class: ClassALU, ReadsR1: true, WritesRd: true},
+	LI:   {Name: "li", Class: ClassALU, WritesRd: true},
+
+	FADD: {Name: "fadd", Class: ClassFPAdd, ReadsF1: true, ReadsF2: true, WritesFd: true},
+	FSUB: {Name: "fsub", Class: ClassFPAdd, ReadsF1: true, ReadsF2: true, WritesFd: true},
+	FMUL: {Name: "fmul", Class: ClassFPMul, ReadsF1: true, ReadsF2: true, WritesFd: true},
+	FDIV: {Name: "fdiv", Class: ClassFPDiv, ReadsF1: true, ReadsF2: true, WritesFd: true},
+	FNEG: {Name: "fneg", Class: ClassFPAdd, ReadsF1: true, WritesFd: true},
+	FABS: {Name: "fabs", Class: ClassFPAdd, ReadsF1: true, WritesFd: true},
+	FMOV: {Name: "fmov", Class: ClassFPAdd, ReadsF1: true, WritesFd: true},
+	FEQ:  {Name: "feq", Class: ClassFPAdd, ReadsF1: true, ReadsF2: true, WritesRd: true},
+	FLT:  {Name: "flt", Class: ClassFPAdd, ReadsF1: true, ReadsF2: true, WritesRd: true},
+	FLE:  {Name: "fle", Class: ClassFPAdd, ReadsF1: true, ReadsF2: true, WritesRd: true},
+	ITOF: {Name: "itof", Class: ClassFPAdd, ReadsR1: true, WritesFd: true},
+	FTOI: {Name: "ftoi", Class: ClassFPAdd, ReadsF1: true, WritesRd: true},
+
+	LD:  {Name: "ld", Class: ClassLoad, ReadsR1: true, WritesRd: true, MemBytes: 8},
+	LW:  {Name: "lw", Class: ClassLoad, ReadsR1: true, WritesRd: true, MemBytes: 4},
+	LH:  {Name: "lh", Class: ClassLoad, ReadsR1: true, WritesRd: true, MemBytes: 2},
+	ST:  {Name: "st", Class: ClassStore, ReadsR1: true, ReadsR2: true, MemBytes: 8},
+	SW:  {Name: "sw", Class: ClassStore, ReadsR1: true, ReadsR2: true, MemBytes: 4},
+	SH:  {Name: "sh", Class: ClassStore, ReadsR1: true, ReadsR2: true, MemBytes: 2},
+	FLD: {Name: "fld", Class: ClassLoad, ReadsR1: true, WritesFd: true, MemBytes: 8},
+	FST: {Name: "fst", Class: ClassStore, ReadsR1: true, ReadsF2: true, MemBytes: 8},
+	LL:  {Name: "ll", Class: ClassLoad, ReadsR1: true, WritesRd: true, MemBytes: 8},
+	SC:  {Name: "sc", Class: ClassStore, ReadsR1: true, ReadsR2: true, WritesRd: true, MemBytes: 8},
+
+	BEQ:  {Name: "beq", Class: ClassBranch, ReadsR1: true, ReadsR2: true},
+	BNE:  {Name: "bne", Class: ClassBranch, ReadsR1: true, ReadsR2: true},
+	BLT:  {Name: "blt", Class: ClassBranch, ReadsR1: true, ReadsR2: true},
+	BGE:  {Name: "bge", Class: ClassBranch, ReadsR1: true, ReadsR2: true},
+	BLTU: {Name: "bltu", Class: ClassBranch, ReadsR1: true, ReadsR2: true},
+	BGEU: {Name: "bgeu", Class: ClassBranch, ReadsR1: true, ReadsR2: true},
+	JAL:  {Name: "jal", Class: ClassJump, WritesRd: true},
+	JALR: {Name: "jalr", Class: ClassJump, ReadsR1: true, WritesRd: true},
+
+	FENCE:  {Name: "fence", Class: ClassFence},
+	IFLUSH: {Name: "iflush", Class: ClassIFlush},
+	ICBI:   {Name: "icbi", Class: ClassCacheOp, ReadsR1: true},
+	DCBI:   {Name: "dcbi", Class: ClassCacheOp, ReadsR1: true},
+	HWBAR:  {Name: "hwbar", Class: ClassHWBar},
+
+	NOP:  {Name: "nop", Class: ClassOther},
+	HALT: {Name: "halt", Class: ClassHalt},
+	OUT:  {Name: "out", Class: ClassOther, ReadsR1: true},
+}
+
+// Lookup returns the Info for op. Unknown opcodes report as BAD.
+func Lookup(op Opcode) Info {
+	if int(op) >= len(infos) {
+		return infos[BAD]
+	}
+	return infos[op]
+}
+
+// String returns the mnemonic for op.
+func (op Opcode) String() string { return Lookup(op).Name }
+
+// Inst is one decoded SRISC instruction.
+type Inst struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+// Encode packs the instruction into its 64-bit memory representation.
+func Encode(in Inst) uint64 {
+	return uint64(in.Op)<<56 |
+		uint64(in.Rd&31)<<51 |
+		uint64(in.Rs1&31)<<46 |
+		uint64(in.Rs2&31)<<41 |
+		uint64(uint32(in.Imm))
+}
+
+// Decode unpacks a 64-bit word. Unknown opcode bits decode to BAD, which the
+// pipeline raises as an illegal-instruction fault at commit.
+func Decode(w uint64) Inst {
+	in := Inst{
+		Op:  Opcode(w >> 56),
+		Rd:  uint8(w>>51) & 31,
+		Rs1: uint8(w>>46) & 31,
+		Rs2: uint8(w>>41) & 31,
+		Imm: int32(uint32(w)),
+	}
+	if in.Op >= numOpcodes {
+		in.Op = BAD
+	}
+	return in
+}
+
+// IsMem reports whether the instruction reads or writes data memory
+// (including LL/SC but not cache-control ops).
+func (in Inst) IsMem() bool {
+	c := Lookup(in.Op).Class
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsCtrl reports whether the instruction can redirect the PC.
+func (in Inst) IsCtrl() bool {
+	c := Lookup(in.Op).Class
+	return c == ClassBranch || c == ClassJump
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	inf := Lookup(in.Op)
+	switch in.Op {
+	case NOP, HALT, FENCE, IFLUSH:
+		return inf.Name
+	case LI:
+		return fmt.Sprintf("%s x%d, %d", inf.Name, in.Rd, in.Imm)
+	case JAL:
+		return fmt.Sprintf("%s x%d, %+d", inf.Name, in.Rd, in.Imm)
+	case JALR:
+		return fmt.Sprintf("%s x%d, x%d, %d", inf.Name, in.Rd, in.Rs1, in.Imm)
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return fmt.Sprintf("%s x%d, x%d, %+d", inf.Name, in.Rs1, in.Rs2, in.Imm)
+	case ICBI, DCBI:
+		return fmt.Sprintf("%s %d(x%d)", inf.Name, in.Imm, in.Rs1)
+	case HWBAR:
+		return fmt.Sprintf("%s %d", inf.Name, in.Imm)
+	case OUT:
+		return fmt.Sprintf("%s x%d", inf.Name, in.Rs1)
+	case ST, SW, SH:
+		return fmt.Sprintf("%s x%d, %d(x%d)", inf.Name, in.Rs2, in.Imm, in.Rs1)
+	case FST:
+		return fmt.Sprintf("%s f%d, %d(x%d)", inf.Name, in.Rs2, in.Imm, in.Rs1)
+	case SC:
+		return fmt.Sprintf("%s x%d, x%d, %d(x%d)", inf.Name, in.Rd, in.Rs2, in.Imm, in.Rs1)
+	case LD, LW, LH, LL:
+		return fmt.Sprintf("%s x%d, %d(x%d)", inf.Name, in.Rd, in.Imm, in.Rs1)
+	case FLD:
+		return fmt.Sprintf("%s f%d, %d(x%d)", inf.Name, in.Rd, in.Imm, in.Rs1)
+	}
+	switch {
+	case inf.WritesFd && inf.ReadsF1 && inf.ReadsF2:
+		return fmt.Sprintf("%s f%d, f%d, f%d", inf.Name, in.Rd, in.Rs1, in.Rs2)
+	case inf.WritesFd && inf.ReadsF1:
+		return fmt.Sprintf("%s f%d, f%d", inf.Name, in.Rd, in.Rs1)
+	case inf.WritesFd && inf.ReadsR1:
+		return fmt.Sprintf("%s f%d, x%d", inf.Name, in.Rd, in.Rs1)
+	case inf.WritesRd && inf.ReadsF1 && inf.ReadsF2:
+		return fmt.Sprintf("%s x%d, f%d, f%d", inf.Name, in.Rd, in.Rs1, in.Rs2)
+	case inf.WritesRd && inf.ReadsF1:
+		return fmt.Sprintf("%s x%d, f%d", inf.Name, in.Rd, in.Rs1)
+	case inf.WritesRd && inf.ReadsR1 && inf.ReadsR2:
+		return fmt.Sprintf("%s x%d, x%d, x%d", inf.Name, in.Rd, in.Rs1, in.Rs2)
+	case inf.WritesRd && inf.ReadsR1:
+		return fmt.Sprintf("%s x%d, x%d, %d", inf.Name, in.Rd, in.Rs1, in.Imm)
+	}
+	return inf.Name
+}

@@ -1,0 +1,68 @@
+package isa
+
+import "fmt"
+
+// ABI register conventions used by the assembler, the code generators and
+// the loader:
+//
+//	x0          zero     hardwired zero
+//	x1          ra       return address
+//	x2          sp       stack pointer (per-thread stack, set by loader)
+//	x3          gp       global pointer (unused by generated code, reserved)
+//	x4..x9      t0..t5   caller-saved temporaries
+//	x10..x17    a0..a7   arguments; loader sets a0 = thread id, a1 = nthreads
+//	x18..x29    s0..s11  callee-saved
+//	x30, x31    t6, t7   more temporaries
+const (
+	RegZero = 0
+	RegRA   = 1
+	RegSP   = 2
+	RegGP   = 3
+	RegT0   = 4
+	RegA0   = 10
+	RegA1   = 11
+	RegS0   = 18
+	RegT6   = 30
+	RegT7   = 31
+)
+
+var intRegNames = map[string]uint8{
+	"zero": 0, "ra": 1, "sp": 2, "gp": 3,
+	"t0": 4, "t1": 5, "t2": 6, "t3": 7, "t4": 8, "t5": 9,
+	"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+	"s0": 18, "s1": 19, "s2": 20, "s3": 21, "s4": 22, "s5": 23,
+	"s6": 24, "s7": 25, "s8": 26, "s9": 27, "s10": 28, "s11": 29,
+	"t6": 30, "t7": 31,
+}
+
+// ParseIntReg resolves an integer register name ("x7", "sp", "a0", ...).
+func ParseIntReg(s string) (uint8, error) {
+	if n, ok := intRegNames[s]; ok {
+		return n, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(s, "x%d", &n); err == nil && n >= 0 && n < NumIntRegs && fmt.Sprintf("x%d", n) == s {
+		return uint8(n), nil
+	}
+	return 0, fmt.Errorf("isa: unknown integer register %q", s)
+}
+
+// ParseFPReg resolves a floating-point register name ("f0".."f31").
+func ParseFPReg(s string) (uint8, error) {
+	var n int
+	if _, err := fmt.Sscanf(s, "f%d", &n); err == nil && n >= 0 && n < NumFPRegs && fmt.Sprintf("f%d", n) == s {
+		return uint8(n), nil
+	}
+	return 0, fmt.Errorf("isa: unknown fp register %q", s)
+}
+
+// IntRegName returns the canonical ABI name of integer register n.
+func IntRegName(n uint8) string {
+	names := [NumIntRegs]string{
+		"zero", "ra", "sp", "gp", "t0", "t1", "t2", "t3", "t4", "t5",
+		"a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+		"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+		"t6", "t7",
+	}
+	return names[n&31]
+}

@@ -1,0 +1,12 @@
+package kernels
+
+// Constructor adapters with a uniform (n, loops) signature for the harness.
+
+// NewLivermore2Kernel adapts NewLivermore2.
+func NewLivermore2Kernel(n, loops int) Kernel { return NewLivermore2(n, loops) }
+
+// NewLivermore3Kernel adapts NewLivermore3.
+func NewLivermore3Kernel(n, loops int) Kernel { return NewLivermore3(n, loops) }
+
+// NewLivermore6Kernel adapts NewLivermore6.
+func NewLivermore6Kernel(n, loops int) Kernel { return NewLivermore6(n, loops) }

@@ -1,0 +1,104 @@
+// Package kernels generates the SRISC workloads evaluated in the paper,
+// each in a sequential variant and a barrier-parallel SPMD variant:
+//
+//   - Microbench: the Figure 4 latency loop (K consecutive barriers × M
+//     iterations with no work between them)
+//   - Livermore loop 2 (incomplete Cholesky conjugate gradient excerpt)
+//   - Livermore loop 3 (inner product)
+//   - Livermore loop 6 (general linear recurrence, wavefront-parallel)
+//   - Autcor: EEMBC-style fixed-point autocorrelation (synthetic speech
+//     input; the EEMBC data is proprietary — see DESIGN.md)
+//   - Viterbi: EEMBC-style K=5 convolutional Viterbi decoder over a
+//     synthetic encoded bitstream
+//
+// Every kernel carries a Go reference implementation; Verify compares the
+// simulated memory image against it bit-exactly (the generated code
+// replicates the reference's floating-point accumulation order).
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Kernel is one workload.
+type Kernel interface {
+	// Name identifies the kernel (e.g. "livermore3[N=256]").
+	Name() string
+
+	// BuildSeq builds the single-threaded program.
+	BuildSeq() (*asm.Program, error)
+
+	// BuildPar builds the SPMD program for nthreads threads using gen's
+	// barrier. gen must have been created for the same thread count.
+	BuildPar(gen barrier.Generator, nthreads int) (*asm.Program, error)
+
+	// Verify checks the memory image left by a completed run of the
+	// program p. threads is the thread count the program was built for
+	// (1 for the sequential build).
+	Verify(m *mem.Memory, p *asm.Program, threads int) error
+}
+
+// Chunk computes the paper's partitioning rule: at least minElems elements
+// per thread so partitions cover whole cache lines, otherwise an even
+// ceiling split. It returns the chunk size in elements.
+func Chunk(n, threads, minElems int) int {
+	c := (n + threads - 1) / threads
+	if c < minElems {
+		c = minElems
+	}
+	return c
+}
+
+// ChunkRange returns thread t's half-open element range under Chunk.
+func ChunkRange(n, threads, minElems, t int) (lo, hi int) {
+	c := Chunk(n, threads, minElems)
+	lo = t * c
+	hi = lo + c
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// newBuilder returns a builder over the standard memory map.
+func newBuilder() *asm.Builder {
+	return asm.NewBuilder(core.TextBase, core.DataBase)
+}
+
+// buildSeq wraps a sequential body with the standard prologue/epilogue.
+func buildSeq(body func(b *asm.Builder)) (*asm.Program, error) {
+	b := newBuilder()
+	body(b)
+	b.HALT()
+	return b.Build()
+}
+
+// verifyF64 compares a float64 array in simulated memory against want.
+func verifyF64(m *mem.Memory, base uint64, want []float64, what string) error {
+	for i, w := range want {
+		got := m.ReadFloat64(base + uint64(i*8))
+		if got != w {
+			return fmt.Errorf("kernels: %s[%d] = %v, want %v", what, i, got, w)
+		}
+	}
+	return nil
+}
+
+// verifyU64 compares a uint64 array in simulated memory against want.
+func verifyU64(m *mem.Memory, base uint64, want []uint64, what string) error {
+	for i, w := range want {
+		got := m.ReadUint64(base + uint64(i*8))
+		if got != w {
+			return fmt.Errorf("kernels: %s[%d] = %d, want %d", what, i, got, w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,390 @@
+package mem
+
+// BankHook is the barrier filter's attachment point in an L2 bank
+// controller. The bank shows the hook every invalidation transaction and
+// every fill request that reaches it; the hook may park fills (withhold
+// service) and later release them through PopReleased. A nil hook disables
+// filtering.
+type BankHook interface {
+	// OnInval observes an InvalD/InvalI transaction for addr from core.
+	// It returns true when the transaction is an illegal barrier-protocol
+	// transition that must fault the requester (§3.3.4).
+	OnInval(now uint64, addr uint64, core int) (fault bool)
+
+	// OnFill observes a fill request. park=true parks the request inside
+	// the hook (the bank must not respond); fault=true makes the bank
+	// answer with an error-coded fill.
+	OnFill(now uint64, t Txn) (park bool, fault bool)
+
+	// PopReleased yields a previously parked request that is now ready
+	// to be serviced, with an error flag for timeout releases. ok=false
+	// when none is pending this cycle.
+	PopReleased(now uint64) (t Txn, errFill bool, ok bool)
+}
+
+// dirEntry is the full-map directory state for one line: which L1Ds and
+// L1Is may hold it and which core (if any) owns it in Modified state. The
+// directory is idealized (untagged, unbounded), standing in for the snoopy
+// broadcast of the paper's bus without transient-state complexity.
+type dirEntry struct {
+	dSharers uint64
+	iSharers uint64
+	owner    int8 // -1 when no L1 holds the line Modified
+}
+
+// Bank is one bank of the shared L2 plus its slice of the directory and an
+// optional barrier-filter hook.
+type Bank struct {
+	sys   *System
+	idx   int
+	cache *Cache
+	dir   map[uint64]*dirEntry
+	hook  BankHook
+
+	inQ      []timedTxn
+	refillQ  []timedTxn
+	pendMiss map[uint64][]Txn // line addr -> requests awaiting L3/DRAM
+	grants   map[uint64]grant // line addr -> most recent fill grant
+
+	// Statistics.
+	Hits, MissesToL3, Invals, Upgrades, WBs, Parked, Faults, Released uint64
+}
+
+// grant records who last received a line exclusively. delivered is the
+// cycle the fill/ack actually reached the core (0 while still in flight);
+// the hold window runs from delivery so that bus congestion cannot let a
+// competitor snipe a grant before its owner has even seen the line.
+type grant struct {
+	core      int
+	delivered uint64 // 0 = fill still in flight
+}
+
+func newBank(sys *System, idx int) *Bank {
+	cfg := sys.Cfg
+	return &Bank{
+		sys:      sys,
+		idx:      idx,
+		cache:    NewCache("L2", cfg.L2Size/cfg.L2Banks, cfg.L2Assoc, cfg.LineBytes),
+		dir:      make(map[uint64]*dirEntry),
+		pendMiss: make(map[uint64][]Txn),
+		grants:   make(map[uint64]grant),
+	}
+}
+
+// heldFor reports whether addr is inside another core's grant-hold window,
+// returning the cycle at which the conflicting request may retry.
+func (bk *Bank) heldFor(now uint64, addr uint64, core int) (uint64, bool) {
+	g, ok := bk.grants[addr]
+	if !ok {
+		return 0, false
+	}
+	if g.core == core {
+		delete(bk.grants, addr)
+		return 0, false
+	}
+	if g.delivered == 0 {
+		// Fill still in flight: poll again shortly.
+		return now + 8, true
+	}
+	hold := uint64(bk.sys.Cfg.GrantHoldCycles)
+	if now >= g.delivered+hold {
+		delete(bk.grants, addr)
+		return 0, false
+	}
+	return g.delivered + hold, true
+}
+
+// grantDelivered records that the exclusive fill for addr reached its core.
+func (bk *Bank) grantDelivered(addr uint64, core int, now uint64) {
+	if g, ok := bk.grants[addr]; ok && g.core == core && g.delivered == 0 {
+		g.delivered = now
+		bk.grants[addr] = g
+	}
+	// Bound the map: sweep stale delivered grants occasionally.
+	if len(bk.grants) > 8192 {
+		hold := uint64(bk.sys.Cfg.GrantHoldCycles)
+		for a, g := range bk.grants {
+			if g.delivered != 0 && now > g.delivered+4*hold {
+				delete(bk.grants, a)
+			}
+		}
+	}
+}
+
+// SetHook attaches a barrier filter hook.
+func (bk *Bank) SetHook(h BankHook) { bk.hook = h }
+
+func (bk *Bank) entry(addr uint64) *dirEntry {
+	e, ok := bk.dir[addr]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		bk.dir[addr] = e
+	}
+	return e
+}
+
+// push receives a transaction from the bus, arriving at cycle at.
+func (bk *Bank) push(t Txn, at uint64) {
+	bk.inQ = append(bk.inQ, timedTxn{t, at})
+}
+
+// pushRefill receives a line coming back from L3/DRAM.
+func (bk *Bank) pushRefill(t Txn, at uint64) {
+	bk.refillQ = append(bk.refillQ, timedTxn{t, at})
+}
+
+// Tick processes refills, released parked fills (filter bandwidth), and at
+// most one new request per cycle.
+func (bk *Bank) Tick(now uint64) {
+	// Refills from below complete pending misses without consuming the
+	// request slot (they use the fill pipeline).
+	for i := 0; i < len(bk.refillQ); {
+		if bk.refillQ[i].ready > now {
+			i++
+			continue
+		}
+		t := bk.refillQ[i].txn
+		bk.refillQ = append(bk.refillQ[:i], bk.refillQ[i+1:]...)
+		bk.finishRefill(now, t)
+	}
+
+	// Parked fills released by the filter, up to FilterBW per cycle.
+	budget := bk.sys.Cfg.FilterBW
+	if budget < 1 {
+		budget = 1
+	}
+	released := 0
+	if bk.hook != nil {
+		for released < budget {
+			t, errFill, ok := bk.hook.PopReleased(now)
+			if !ok {
+				break
+			}
+			released++
+			bk.Released++
+			if errFill {
+				bk.respond(now, t, true)
+				continue
+			}
+			bk.serviceFill(now, t, true)
+		}
+	}
+	if released > 0 {
+		return // the released fills consumed this cycle's slot(s)
+	}
+
+	// One new request. Requests against a line inside another core's
+	// grant-hold window are deferred in place (their ready time advanced)
+	// so they cost no bank bandwidth while they wait — at high core
+	// counts, spinning requesters would otherwise monopolize the bank.
+	for i := 0; i < len(bk.inQ); i++ {
+		if bk.inQ[i].ready > now {
+			continue
+		}
+		t := bk.inQ[i].txn
+		if t.Kind == GetM || t.Kind == GetS || t.Kind == Upgrade {
+			if retry, held := bk.heldFor(now, t.Addr, t.Core); held {
+				bk.inQ[i].ready = retry
+				continue
+			}
+		}
+		bk.inQ = append(bk.inQ[:i], bk.inQ[i+1:]...)
+		bk.process(now, t)
+		return
+	}
+}
+
+func (bk *Bank) process(now uint64, t Txn) {
+	switch t.Kind {
+	case InvalD, InvalI:
+		bk.processInval(now, t)
+	case GetS, GetI, GetM:
+		if bk.hook != nil {
+			park, fault := bk.hook.OnFill(now, t)
+			if fault {
+				bk.Faults++
+				bk.respond(now, t, true)
+				return
+			}
+			if park {
+				bk.Parked++
+				return
+			}
+		}
+		bk.serviceFill(now, t, false)
+	case Upgrade:
+		bk.processUpgrade(now, t)
+	case WB:
+		bk.processWB(now, t)
+	}
+}
+
+func (bk *Bank) processInval(now uint64, t Txn) {
+	bk.Invals++
+	fault := false
+	if bk.hook != nil {
+		fault = bk.hook.OnInval(now, t.Addr, t.Core)
+	}
+	e := bk.entry(t.Addr)
+	if t.Kind == InvalD {
+		for c := 0; c < bk.sys.Cfg.Cores; c++ {
+			if c != t.Core && e.dSharers&(1<<uint(c)) != 0 {
+				bk.sys.L1D[c].extInval(t.Addr)
+			}
+		}
+		e.dSharers = 0
+		e.owner = -1
+	} else {
+		for c := 0; c < bk.sys.Cfg.Cores; c++ {
+			if c != t.Core && e.iSharers&(1<<uint(c)) != 0 {
+				bk.sys.L1I[c].extInval(t.Addr)
+			}
+		}
+		e.iSharers = 0
+	}
+	resp := Txn{Kind: InvalAck, Addr: t.Addr, Core: t.Core, ID: t.ID, ReqKind: t.Kind, Err: fault}
+	bk.sys.Bus.PushResponse(bk.idx, resp, now+uint64(bk.sys.Cfg.L2Lat))
+}
+
+// serviceFill runs the normal fill path (directory + L2 array + miss path).
+// skipHook marks fills re-injected by the filter after release.
+func (bk *Bank) serviceFill(now uint64, t Txn, skipHook bool) {
+	_ = skipHook
+	e := bk.entry(t.Addr)
+	penalty := 0
+	cbit := uint64(1) << uint(t.Core)
+
+	switch t.Kind {
+	case GetS, GetI:
+		if e.owner >= 0 && int(e.owner) != t.Core {
+			// Pull the dirty line out of the owner's L1 (data is
+			// functionally current in Memory already).
+			bk.sys.L1D[e.owner].extDowngrade(t.Addr)
+			e.owner = -1
+			penalty += bk.sys.Cfg.OwnerFetchPenalty
+		}
+		if t.Kind == GetS {
+			e.dSharers |= cbit
+		} else {
+			e.iSharers |= cbit
+		}
+	case GetM:
+		had := false
+		for c := 0; c < bk.sys.Cfg.Cores; c++ {
+			if c != t.Core && e.dSharers&(1<<uint(c)) != 0 {
+				bk.sys.L1D[c].extInval(t.Addr)
+				had = true
+			}
+		}
+		if e.owner >= 0 && int(e.owner) != t.Core {
+			penalty += bk.sys.Cfg.OwnerFetchPenalty
+		} else if had {
+			penalty += bk.sys.Cfg.SharerInvalPenalty
+		}
+		e.dSharers = cbit
+		e.owner = int8(t.Core)
+	}
+
+	if t.Kind == GetM {
+		bk.grants[t.Addr] = grant{core: t.Core}
+	}
+	if bk.cache.Lookup(t.Addr) != Invalid {
+		bk.Hits++
+		bk.respondAt(t, now+uint64(bk.sys.Cfg.L2Lat+penalty))
+		return
+	}
+	// L2 miss: forward to L3. Coalesce requests for the same line.
+	bk.MissesToL3++
+	la := t.Addr
+	bk.pendMiss[la] = append(bk.pendMiss[la], t)
+	if len(bk.pendMiss[la]) == 1 {
+		bk.sys.l3.push(bk.idx, la, now+uint64(bk.sys.Cfg.L2Lat+penalty))
+	}
+}
+
+func (bk *Bank) finishRefill(now uint64, t Txn) {
+	bk.cache.Insert(t.Addr, Shared)
+	// Non-inclusive: an L2 victim needs no back-invalidation; its data is
+	// in Memory and the directory is untagged.
+	reqs := bk.pendMiss[t.Addr]
+	delete(bk.pendMiss, t.Addr)
+	for i, r := range reqs {
+		// Stagger multiple waiters by a cycle each.
+		bk.respondAt(r, now+uint64(i))
+	}
+}
+
+func (bk *Bank) respondAt(t Txn, ready uint64) {
+	resp := Txn{
+		Kind:      Fill,
+		Addr:      t.Addr,
+		Core:      t.Core,
+		ID:        t.ID,
+		ReqKind:   t.Kind,
+		Exclusive: t.Kind == GetM,
+		Prefetch:  t.Prefetch,
+	}
+	bk.sys.Bus.PushResponse(bk.idx, resp, ready)
+}
+
+// respond sends an (error) fill immediately.
+func (bk *Bank) respond(now uint64, t Txn, errFill bool) {
+	resp := Txn{
+		Kind:    Fill,
+		Addr:    t.Addr,
+		Core:    t.Core,
+		ID:      t.ID,
+		ReqKind: t.Kind,
+		Err:     errFill,
+	}
+	bk.sys.Bus.PushResponse(bk.idx, resp, now+1)
+}
+
+func (bk *Bank) processUpgrade(now uint64, t Txn) {
+	bk.Upgrades++
+	bk.grants[t.Addr] = grant{core: t.Core}
+	e := bk.entry(t.Addr)
+	penalty := 0
+	for c := 0; c < bk.sys.Cfg.Cores; c++ {
+		if c != t.Core && e.dSharers&(1<<uint(c)) != 0 {
+			bk.sys.L1D[c].extInval(t.Addr)
+			penalty = bk.sys.Cfg.SharerInvalPenalty
+		}
+	}
+	e.dSharers = 1 << uint(t.Core)
+	e.owner = int8(t.Core)
+	resp := Txn{Kind: UpgAck, Addr: t.Addr, Core: t.Core, ID: t.ID, ReqKind: t.Kind}
+	bk.sys.Bus.PushResponse(bk.idx, resp, now+uint64(bk.sys.Cfg.L2Lat+penalty))
+}
+
+func (bk *Bank) processWB(now uint64, t Txn) {
+	bk.WBs++
+	e := bk.entry(t.Addr)
+	e.dSharers &^= 1 << uint(t.Core)
+	if int(e.owner) == t.Core {
+		e.owner = -1
+	}
+	bk.cache.Insert(t.Addr, Modified)
+	_ = now
+}
+
+// dropSharer records a silent clean eviction.
+func (bk *Bank) dropSharer(addr uint64, core int, icache bool) {
+	e, ok := bk.dir[addr]
+	if !ok {
+		return
+	}
+	if icache {
+		e.iSharers &^= 1 << uint(core)
+	} else {
+		e.dSharers &^= 1 << uint(core)
+		if int(e.owner) == core {
+			e.owner = -1
+		}
+	}
+}
+
+// Quiet reports whether the bank has no queued or pending work.
+func (bk *Bank) Quiet() bool {
+	return len(bk.inQ) == 0 && len(bk.refillQ) == 0 && len(bk.pendMiss) == 0
+}

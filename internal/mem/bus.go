@@ -1,0 +1,185 @@
+package mem
+
+// The bus connects the cores' L1 caches to the L2 banks. It is a
+// split-transaction bus with two independently arbitrated halves:
+//
+//   - the request (address) bus: one grant per cycle, round-robin across
+//     cores; writebacks and dirty invalidations carry their line on the
+//     request path and occupy it for the full data-transfer time. This is
+//     the shared resource whose saturation past 16 cores the paper reports;
+//   - the response (data) path: by default a Niagara-style crossbar with an
+//     independent channel per L2 bank (Config.SharedDataBus collapses it to
+//     one shared bus for the ablation). A line fill occupies its channel
+//     for LineBytes/DataBusBytesPerCycle cycles, acks for one.
+//
+// Per-core request queues are FIFO, which gives the same-address ordering
+// the barrier sequences rely on: an ICBI/DCBI transaction always reaches the
+// bank before the fill request the same core issues afterwards.
+type Bus struct {
+	cfg *Config
+
+	reqQ    [][]timedTxn // per core
+	reqNext int
+	reqFree uint64 // first cycle the request bus is free
+
+	respQ    [][]timedTxn // per bank
+	respNext int
+	respFree []uint64 // per bank channel (single shared entry when SharedDataBus)
+
+	deliverReq  func(bank int, t Txn, at uint64)
+	deliverResp func(t Txn, at uint64)
+
+	// statistics
+	ReqGrants    uint64
+	ReqBusyCyc   uint64
+	RespGrants   uint64
+	RespBusyCyc  uint64
+	MaxReqQueue  int
+	MaxRespQueue int
+}
+
+type timedTxn struct {
+	txn   Txn
+	ready uint64 // earliest cycle the entry may be granted
+}
+
+// NewBus wires a bus for cfg.Cores cores and cfg.L2Banks banks. deliverReq
+// and deliverResp are invoked when a transfer completes.
+func NewBus(cfg *Config, deliverReq func(bank int, t Txn, at uint64), deliverResp func(t Txn, at uint64)) *Bus {
+	nchan := cfg.L2Banks
+	if cfg.SharedDataBus {
+		nchan = 1
+	}
+	return &Bus{
+		cfg:         cfg,
+		reqQ:        make([][]timedTxn, cfg.Cores),
+		respQ:       make([][]timedTxn, cfg.L2Banks),
+		respFree:    make([]uint64, nchan),
+		deliverReq:  deliverReq,
+		deliverResp: deliverResp,
+	}
+}
+
+// PushRequest enqueues a request transaction from a core, available for
+// arbitration at cycle ready.
+func (b *Bus) PushRequest(t Txn, ready uint64) {
+	b.reqQ[t.Core] = append(b.reqQ[t.Core], timedTxn{t, ready})
+	if n := len(b.reqQ[t.Core]); n > b.MaxReqQueue {
+		b.MaxReqQueue = n
+	}
+}
+
+// PushResponse enqueues a response from a bank, available at cycle ready.
+func (b *Bus) PushResponse(bank int, t Txn, ready uint64) {
+	b.respQ[bank] = append(b.respQ[bank], timedTxn{t, ready})
+	if n := len(b.respQ[bank]); n > b.MaxRespQueue {
+		b.MaxRespQueue = n
+	}
+}
+
+// reqOccupancy returns the number of cycles a request occupies the address
+// bus.
+func (b *Bus) reqOccupancy(t Txn) uint64 {
+	if t.Kind == WB || (t.Kind == InvalD && t.Dirty) {
+		return uint64(b.cfg.LineBytes / b.cfg.DataBusBytesPerCycle)
+	}
+	return 1
+}
+
+// respOccupancy returns the number of cycles a response occupies the data
+// bus.
+func (b *Bus) respOccupancy(t Txn) uint64 {
+	if t.Kind == Fill && !t.Err {
+		return uint64(b.cfg.LineBytes / b.cfg.DataBusBytesPerCycle)
+	}
+	return 1
+}
+
+// Tick arbitrates both bus halves for one cycle.
+func (b *Bus) Tick(now uint64) {
+	b.tickReq(now)
+	b.tickResp(now)
+}
+
+func (b *Bus) tickReq(now uint64) {
+	if now < b.reqFree {
+		b.ReqBusyCyc++
+		return
+	}
+	n := len(b.reqQ)
+	for i := 0; i < n; i++ {
+		c := (b.reqNext + i) % n
+		q := b.reqQ[c]
+		if len(q) == 0 || q[0].ready > now {
+			continue
+		}
+		t := q[0].txn
+		b.reqQ[c] = q[1:]
+		b.reqNext = (c + 1) % n
+		occ := b.reqOccupancy(t)
+		b.reqFree = now + occ
+		b.ReqGrants++
+		bank := b.cfg.BankOf(t.Addr)
+		b.deliverReq(bank, t, now+occ)
+		return
+	}
+}
+
+func (b *Bus) tickResp(now uint64) {
+	if b.cfg.SharedDataBus {
+		// One shared data bus: a single grant per transfer time.
+		if now < b.respFree[0] {
+			b.RespBusyCyc++
+			return
+		}
+		n := len(b.respQ)
+		for i := 0; i < n; i++ {
+			k := (b.respNext + i) % n
+			q := b.respQ[k]
+			if len(q) == 0 || q[0].ready > now {
+				continue
+			}
+			t := q[0].txn
+			b.respQ[k] = q[1:]
+			b.respNext = (k + 1) % n
+			occ := b.respOccupancy(t)
+			b.respFree[0] = now + occ
+			b.RespGrants++
+			b.deliverResp(t, now+occ)
+			return
+		}
+		return
+	}
+	// Crossbar: each bank's channel grants independently.
+	for k := range b.respQ {
+		if now < b.respFree[k] {
+			b.RespBusyCyc++
+			continue
+		}
+		q := b.respQ[k]
+		if len(q) == 0 || q[0].ready > now {
+			continue
+		}
+		t := q[0].txn
+		b.respQ[k] = q[1:]
+		occ := b.respOccupancy(t)
+		b.respFree[k] = now + occ
+		b.RespGrants++
+		b.deliverResp(t, now+occ)
+	}
+}
+
+// Quiet reports whether no transaction is queued on either half.
+func (b *Bus) Quiet() bool {
+	for _, q := range b.reqQ {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	for _, q := range b.respQ {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}

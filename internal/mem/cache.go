@@ -1,0 +1,188 @@
+package mem
+
+import "fmt"
+
+// LineState is the MSI coherence state of one cache line copy.
+type LineState int8
+
+const (
+	Invalid LineState = iota
+	Shared
+	Modified
+)
+
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// line is one way of one set in a tag array.
+type line struct {
+	tag     uint64
+	state   LineState
+	lastUse uint64 // LRU timestamp
+}
+
+// Cache is a set-associative tag/state array. It holds no data (see the
+// package comment); it models presence, permission and replacement.
+type Cache struct {
+	name      string
+	sets      int
+	ways      int
+	lineBytes int
+	shift     uint // log2(lineBytes)
+	mask      uint64
+	arr       [][]line
+	useClock  uint64
+}
+
+// NewCache builds a cache of totalBytes capacity with the given
+// associativity and line size. totalBytes must divide evenly.
+func NewCache(name string, totalBytes, ways, lineBytes int) *Cache {
+	if totalBytes%(ways*lineBytes) != 0 {
+		panic(fmt.Sprintf("mem: %s: %dB not divisible into %d ways of %dB lines", name, totalBytes, ways, lineBytes))
+	}
+	sets := totalBytes / (ways * lineBytes)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: %s: set count %d is not a power of two", name, sets))
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	c := &Cache{
+		name:      name,
+		sets:      sets,
+		ways:      ways,
+		lineBytes: lineBytes,
+		shift:     shift,
+		mask:      uint64(sets - 1),
+		arr:       make([][]line, sets),
+	}
+	for i := range c.arr {
+		c.arr[i] = make([]line, ways)
+	}
+	return c
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ uint64(c.lineBytes-1) }
+
+func (c *Cache) set(addr uint64) int { return int((addr >> c.shift) & c.mask) }
+
+// Lookup returns the state of the line containing addr (Invalid if absent)
+// and refreshes its LRU position when present.
+func (c *Cache) Lookup(addr uint64) LineState {
+	la := c.LineAddr(addr)
+	s := c.arr[c.set(la)]
+	for i := range s {
+		if s[i].state != Invalid && s[i].tag == la {
+			c.useClock++
+			s[i].lastUse = c.useClock
+			return s[i].state
+		}
+	}
+	return Invalid
+}
+
+// Peek is Lookup without the LRU update.
+func (c *Cache) Peek(addr uint64) LineState {
+	la := c.LineAddr(addr)
+	s := c.arr[c.set(la)]
+	for i := range s {
+		if s[i].state != Invalid && s[i].tag == la {
+			return s[i].state
+		}
+	}
+	return Invalid
+}
+
+// SetState changes the state of a present line; it is a no-op if the line is
+// absent (silent-eviction races make that legal).
+func (c *Cache) SetState(addr uint64, st LineState) {
+	la := c.LineAddr(addr)
+	s := c.arr[c.set(la)]
+	for i := range s {
+		if s[i].state != Invalid && s[i].tag == la {
+			if st == Invalid {
+				s[i] = line{}
+			} else {
+				s[i].state = st
+			}
+			return
+		}
+	}
+}
+
+// Victim describes a line displaced by Insert.
+type Victim struct {
+	Addr  uint64
+	Dirty bool // state was Modified
+	Valid bool
+}
+
+// Insert places the line containing addr with the given state, evicting the
+// LRU way if the set is full. It returns the victim, if any. Inserting a
+// line that is already present just updates its state.
+func (c *Cache) Insert(addr uint64, st LineState) Victim {
+	la := c.LineAddr(addr)
+	s := c.arr[c.set(la)]
+	c.useClock++
+	// Already present?
+	for i := range s {
+		if s[i].state != Invalid && s[i].tag == la {
+			s[i].state = st
+			s[i].lastUse = c.useClock
+			return Victim{}
+		}
+	}
+	// Free way?
+	for i := range s {
+		if s[i].state == Invalid {
+			s[i] = line{tag: la, state: st, lastUse: c.useClock}
+			return Victim{}
+		}
+	}
+	// Evict LRU.
+	vi := 0
+	for i := 1; i < len(s); i++ {
+		if s[i].lastUse < s[vi].lastUse {
+			vi = i
+		}
+	}
+	v := Victim{Addr: s[vi].tag, Dirty: s[vi].state == Modified, Valid: true}
+	s[vi] = line{tag: la, state: st, lastUse: c.useClock}
+	return v
+}
+
+// Invalidate removes the line containing addr, returning whether it was
+// present and whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	la := c.LineAddr(addr)
+	s := c.arr[c.set(la)]
+	for i := range s {
+		if s[i].state != Invalid && s[i].tag == la {
+			dirty = s[i].state == Modified
+			s[i] = line{}
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// Flush invalidates every line (used when a thread context is torn down in
+// tests).
+func (c *Cache) Flush() {
+	for si := range c.arr {
+		for wi := range c.arr[si] {
+			c.arr[si][wi] = line{}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// refCache is a trivial reference model of a set-associative LRU cache.
+type refCache struct {
+	sets      int
+	ways      int
+	lineBytes int
+	lines     map[uint64]LineState
+	order     map[uint64]uint64 // LRU stamp
+	clock     uint64
+}
+
+func newRefCache(total, ways, lineBytes int) *refCache {
+	return &refCache{
+		sets:      total / (ways * lineBytes),
+		ways:      ways,
+		lineBytes: lineBytes,
+		lines:     make(map[uint64]LineState),
+		order:     make(map[uint64]uint64),
+	}
+}
+
+func (r *refCache) line(addr uint64) uint64 { return addr &^ uint64(r.lineBytes-1) }
+func (r *refCache) set(addr uint64) uint64 {
+	return (r.line(addr) / uint64(r.lineBytes)) % uint64(r.sets)
+}
+
+func (r *refCache) lookup(addr uint64) LineState {
+	la := r.line(addr)
+	st, ok := r.lines[la]
+	if !ok {
+		return Invalid
+	}
+	r.clock++
+	r.order[la] = r.clock
+	return st
+}
+
+func (r *refCache) insert(addr uint64, st LineState) (victim uint64, hadVictim bool) {
+	la := r.line(addr)
+	r.clock++
+	if _, ok := r.lines[la]; ok {
+		r.lines[la] = st
+		r.order[la] = r.clock
+		return 0, false
+	}
+	// Count occupancy of the set.
+	var members []uint64
+	for a := range r.lines {
+		if r.set(a) == r.set(la) {
+			members = append(members, a)
+		}
+	}
+	if len(members) >= r.ways {
+		// Evict LRU member.
+		lru := members[0]
+		for _, a := range members[1:] {
+			if r.order[a] < r.order[lru] {
+				lru = a
+			}
+		}
+		delete(r.lines, lru)
+		delete(r.order, lru)
+		victim, hadVictim = lru, true
+	}
+	r.lines[la] = st
+	r.order[la] = r.clock
+	return victim, hadVictim
+}
+
+func (r *refCache) invalidate(addr uint64) bool {
+	la := r.line(addr)
+	_, ok := r.lines[la]
+	delete(r.lines, la)
+	delete(r.order, la)
+	return ok
+}
+
+// TestCachePropertyVsReference drives the real tag array and the reference
+// model with an identical random operation stream and requires identical
+// observable behaviour.
+func TestCachePropertyVsReference(t *testing.T) {
+	rng := sim.NewRand(12345)
+	c := NewCache("prop", 8*2*64, 2, 64) // 8 sets, 2 ways
+	r := newRefCache(8*2*64, 2, 64)
+
+	addrs := make([]uint64, 40)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(32)) * 64 // 32 lines over 8 sets
+	}
+	for step := 0; step < 20000; step++ {
+		a := addrs[rng.Intn(len(addrs))]
+		switch rng.Intn(4) {
+		case 0: // lookup
+			if got, want := c.Lookup(a), r.lookup(a); got != want {
+				t.Fatalf("step %d: Lookup(%#x) = %v, want %v", step, a, got, want)
+			}
+		case 1: // insert
+			st := Shared
+			if rng.Intn(2) == 1 {
+				st = Modified
+			}
+			v := c.Insert(a, st)
+			victim, had := r.insert(a, st)
+			if v.Valid != had {
+				t.Fatalf("step %d: Insert(%#x) victim presence mismatch (%v vs %v)", step, a, v.Valid, had)
+			}
+			if had && v.Addr != victim {
+				t.Fatalf("step %d: Insert(%#x) evicted %#x, reference evicted %#x", step, a, v.Addr, victim)
+			}
+		case 2: // invalidate
+			p, _ := c.Invalidate(a)
+			if want := r.invalidate(a); p != want {
+				t.Fatalf("step %d: Invalidate(%#x) = %v, want %v", step, a, p, want)
+			}
+		case 3: // peek (no LRU side effect in either model)
+			got := c.Peek(a)
+			want, ok := r.lines[r.line(a)]
+			if !ok {
+				want = Invalid
+			}
+			if got != want {
+				t.Fatalf("step %d: Peek(%#x) = %v, want %v", step, a, got, want)
+			}
+		}
+	}
+}

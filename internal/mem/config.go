@@ -1,0 +1,90 @@
+package mem
+
+// Config describes the memory system. DefaultConfig matches Table 2 of the
+// paper.
+type Config struct {
+	Cores     int
+	LineBytes int
+
+	L1Size  int // per core, each of I and D
+	L1Assoc int
+	L1Lat   int // cycles, modelled by the pipeline (1 = hit usable next cycle)
+
+	L2Size  int // total across banks
+	L2Assoc int
+	L2Lat   int
+	L2Banks int
+
+	L3Size  int
+	L3Assoc int
+	L3Lat   int
+
+	MemLat int // DRAM access beyond L3
+
+	DataBusBytesPerCycle int // width of data transfers
+
+	// SharedDataBus collapses the per-bank data crossbar into one shared
+	// data bus (ablation; the default organization follows Figure 1's
+	// Niagara-style core-to-bank crossbar).
+	SharedDataBus bool
+
+	// L1INextLinePrefetch enables a next-line instruction prefetcher.
+	// Prefetch fills that touch barrier arrival lines are filtered —
+	// parked, never serviced early and never faulted — exactly the
+	// §3.4.1 guarantee that "prefetching cannot trigger an early opening
+	// of the barrier".
+	L1INextLinePrefetch bool
+
+	MSHRs  int // outstanding data misses per core
+	IMSHRs int // outstanding instruction misses per core
+
+	OwnerFetchPenalty  int // extra cycles when a fill must pull a dirty line from an L1
+	SharerInvalPenalty int // extra cycles when a GetM/Upgrade must invalidate sharers
+
+	FilterBW int // parked fills released per bank per cycle (paper: 1)
+
+	// GrantHoldCycles protects a just-granted exclusive line from being
+	// stolen by another core's conflicting request until this many cycles
+	// after the fill was delivered, giving the owner time to perform one
+	// store or store-conditional. Without it, contended LL/SC sequences
+	// livelock: competing GetM requests invalidate each other's grants
+	// while the fills are still in flight.
+	GrantHoldCycles int
+}
+
+// DefaultConfig returns the baseline multicore configuration of Table 2 for
+// the given core count.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:                cores,
+		LineBytes:            64,
+		L1Size:               64 << 10,
+		L1Assoc:              2,
+		L1Lat:                1,
+		L2Size:               512 << 10,
+		L2Assoc:              2,
+		L2Lat:                14,
+		L2Banks:              4,
+		L3Size:               4096 << 10,
+		L3Assoc:              2,
+		L3Lat:                38,
+		MemLat:               138,
+		DataBusBytesPerCycle: 16,
+		MSHRs:                8,
+		IMSHRs:               2,
+		OwnerFetchPenalty:    6,
+		SharerInvalPenalty:   2,
+		FilterBW:             1,
+		GrantHoldCycles:      16,
+	}
+}
+
+// BankOf maps a physical address to its L2 bank (line interleaving).
+func (c *Config) BankOf(addr uint64) int {
+	return int((addr / uint64(c.LineBytes)) % uint64(c.L2Banks))
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Config) LineAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.LineBytes-1)
+}

@@ -1,0 +1,224 @@
+package mem
+
+import "fmt"
+
+// L1 is one private first-level cache (instruction or data). The owning
+// core drives it with direct method calls during its pipeline tick; misses
+// turn into bus transactions and complete when the matching response
+// arrives.
+type L1 struct {
+	sys    *System
+	core   int
+	icache bool
+	cache  *Cache
+
+	mshr    map[uint64]*mshrEntry // keyed by line address
+	maxMSHR int
+	nextID  uint64
+
+	// OnExtInval is called whenever a line leaves this cache for any
+	// reason other than the core's own cache-op: external invalidation,
+	// downgrade-to-invalid, or capacity eviction. The CPU uses it to
+	// clear LL/SC reservations.
+	OnExtInval func(lineAddr uint64)
+
+	// Statistics.
+	Hits, Misses, FillsDone, MSHRFull uint64
+}
+
+type mshrEntry struct {
+	id       uint64
+	kind     TxnKind
+	prefetch bool
+
+	// A directory action can target a line whose fill is still in
+	// flight (the grant happened at the bank before this request was
+	// processed). The effect is remembered here and applied when the
+	// fill installs, preserving the bank's serialization order.
+	pendInval     bool
+	pendDowngrade bool
+}
+
+func newL1(sys *System, core int, icache bool) *L1 {
+	cfg := sys.Cfg
+	name := fmt.Sprintf("L1D%d", core)
+	max := cfg.MSHRs
+	if icache {
+		name = fmt.Sprintf("L1I%d", core)
+		max = cfg.IMSHRs
+	}
+	return &L1{
+		sys:     sys,
+		core:    core,
+		icache:  icache,
+		cache:   NewCache(name, cfg.L1Size, cfg.L1Assoc, cfg.LineBytes),
+		mshr:    make(map[uint64]*mshrEntry),
+		maxMSHR: max,
+	}
+}
+
+// Present reports whether the line containing addr is readable here.
+func (l *L1) Present(addr uint64) bool {
+	if l.cache.Lookup(addr) != Invalid {
+		l.Hits++
+		return true
+	}
+	return false
+}
+
+// WriteState returns the coherence state of the line for a store: Modified
+// means the store may perform now, Shared means an Upgrade is needed,
+// Invalid means a GetM is needed.
+func (l *L1) WriteState(addr uint64) LineState { return l.cache.Lookup(addr) }
+
+// MissPending reports whether a fill for addr's line is already in flight.
+func (l *L1) MissPending(addr uint64) bool {
+	_, ok := l.mshr[l.cache.LineAddr(addr)]
+	return ok
+}
+
+// StartMiss allocates an MSHR and issues the bus request for addr's line.
+// It returns false when no MSHR is available (the caller simply retries
+// next cycle). If a fill for the line is already outstanding, the request
+// piggybacks and StartMiss reports true.
+func (l *L1) StartMiss(now uint64, addr uint64, kind TxnKind, prefetch bool) bool {
+	la := l.cache.LineAddr(addr)
+	if _, ok := l.mshr[la]; ok {
+		return true
+	}
+	if len(l.mshr) >= l.maxMSHR {
+		l.MSHRFull++
+		return false
+	}
+	l.nextID++
+	e := &mshrEntry{id: l.nextID, kind: kind, prefetch: prefetch}
+	l.mshr[la] = e
+	l.Misses++
+	l.sys.Bus.PushRequest(Txn{
+		Kind:     kind,
+		Addr:     la,
+		Core:     l.core,
+		ID:       e.id,
+		Prefetch: prefetch,
+	}, now+1)
+	return true
+}
+
+// onResponse completes an outstanding miss. A response whose MSHR has been
+// squashed (context switch) is dropped, as §3.3.3 of the paper requires.
+// It returns an error flag when the filter embedded an error code in the
+// fill.
+func (l *L1) onResponse(now uint64, t Txn) (errFill bool) {
+	e, ok := l.mshr[t.Addr]
+	if !ok || e.id != t.ID {
+		return false // stale response for a squashed MSHR
+	}
+	delete(l.mshr, t.Addr)
+	if t.Err {
+		return true
+	}
+	l.FillsDone++
+	if l.icache && l.sys.Cfg.L1INextLinePrefetch && !t.Prefetch && t.Kind == Fill {
+		next := t.Addr + uint64(l.sys.Cfg.LineBytes)
+		if l.cache.Peek(next) == Invalid {
+			l.StartMiss(now, next, GetI, true)
+		}
+	}
+	switch t.Kind {
+	case Fill:
+		if e.pendInval {
+			// The line was invalidated (by a later-serialized GetM/
+			// Upgrade/DCBI) between the bank's grant and this fill's
+			// arrival: it arrives dead. Waiting loads re-request and
+			// LL reservations never cover it.
+			if l.OnExtInval != nil {
+				l.OnExtInval(t.Addr)
+			}
+			break
+		}
+		st := Shared
+		if t.Exclusive {
+			st = Modified
+		}
+		if e.pendDowngrade {
+			st = Shared
+		}
+		v := l.cache.Insert(t.Addr, st)
+		l.evictVictim(now, v)
+	case UpgAck:
+		// The line may have been invalidated while the upgrade was in
+		// flight (it lost the race to another core's GetM/Upgrade).
+		// Do not resurrect it: the store retries with a fresh GetM,
+		// which re-invalidates the winner through the directory.
+		if l.cache.Peek(t.Addr) != Invalid {
+			l.cache.SetState(t.Addr, Modified)
+		}
+	}
+	return false
+}
+
+func (l *L1) evictVictim(now uint64, v Victim) {
+	if !v.Valid {
+		return
+	}
+	if l.OnExtInval != nil {
+		l.OnExtInval(v.Addr)
+	}
+	if v.Dirty {
+		// Data is already functionally in Memory; the writeback
+		// transaction models the bus/directory cost.
+		l.sys.Bus.PushRequest(Txn{Kind: WB, Addr: v.Addr, Core: l.core}, now+1)
+	} else {
+		// Clean lines are evicted silently; the directory tolerates
+		// the staleness.
+		l.sys.dirDropSharer(v.Addr, l.core, l.icache)
+	}
+}
+
+// extInval removes a line at the directory's request.
+func (l *L1) extInval(addr uint64) {
+	present, _ := l.cache.Invalidate(addr)
+	if present && l.OnExtInval != nil {
+		l.OnExtInval(addr)
+	}
+	if e, ok := l.mshr[addr]; ok {
+		e.pendInval = true
+	}
+}
+
+// extDowngrade demotes a Modified line to Shared (data is already in
+// Memory).
+func (l *L1) extDowngrade(addr uint64) {
+	if l.cache.Peek(addr) == Modified {
+		l.cache.SetState(addr, Shared)
+	}
+	if e, ok := l.mshr[addr]; ok {
+		e.pendDowngrade = true
+		if l.OnExtInval != nil {
+			l.OnExtInval(addr) // an in-flight exclusive grant loses its reservation
+		}
+	}
+}
+
+// localInval implements the core-local half of ICBI/DCBI: drop the line
+// from this cache, reporting whether it was present and dirty.
+func (l *L1) localInval(addr uint64) (present, dirty bool) {
+	return l.cache.Invalidate(addr)
+}
+
+// Quiet reports whether this cache has no outstanding misses.
+func (l *L1) Quiet() bool { return len(l.mshr) == 0 }
+
+// OutstandingMisses returns the number of allocated MSHRs.
+func (l *L1) OutstandingMisses() int { return len(l.mshr) }
+
+// SquashMisses drops all outstanding MSHRs (context switch support). Any
+// in-flight responses for them will be ignored on arrival.
+func (l *L1) SquashMisses() {
+	for k := range l.mshr {
+		delete(l.mshr, k)
+	}
+}
+
+// Flush drops every line (used when migrating a thread in tests).
+func (l *L1) Flush() { l.cache.Flush() }

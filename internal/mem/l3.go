@@ -1,0 +1,70 @@
+package mem
+
+// l3req is a miss forwarded from an L2 bank.
+type l3req struct {
+	bank  int
+	addr  uint64
+	ready uint64
+}
+
+// L3 models the shared third-level cache and the DRAM behind it. Both are
+// simple latency/queue models: one request enters each per cycle, hits
+// return after L3Lat, misses after L3Lat+MemLat (installing the line in L3
+// on the way back).
+type L3 struct {
+	sys   *System
+	cache *Cache
+	inQ   []l3req
+	dramQ []l3req
+
+	Hits, Misses uint64
+}
+
+func newL3(sys *System) *L3 {
+	cfg := sys.Cfg
+	return &L3{
+		sys:   sys,
+		cache: NewCache("L3", cfg.L3Size, cfg.L3Assoc, cfg.LineBytes),
+	}
+}
+
+func (l *L3) push(bank int, addr uint64, ready uint64) {
+	l.inQ = append(l.inQ, l3req{bank: bank, addr: addr, ready: ready})
+}
+
+// Tick processes one lookup and one DRAM completion per cycle.
+func (l *L3) Tick(now uint64) {
+	for i := 0; i < len(l.inQ); i++ {
+		if l.inQ[i].ready > now {
+			continue
+		}
+		r := l.inQ[i]
+		l.inQ = append(l.inQ[:i], l.inQ[i+1:]...)
+		if l.cache.Lookup(r.addr) != Invalid {
+			l.Hits++
+			l.refill(r, now+uint64(l.sys.Cfg.L3Lat))
+		} else {
+			l.Misses++
+			r.ready = now + uint64(l.sys.Cfg.L3Lat+l.sys.Cfg.MemLat)
+			l.dramQ = append(l.dramQ, r)
+		}
+		break
+	}
+	for i := 0; i < len(l.dramQ); i++ {
+		if l.dramQ[i].ready > now {
+			continue
+		}
+		r := l.dramQ[i]
+		l.dramQ = append(l.dramQ[:i], l.dramQ[i+1:]...)
+		l.cache.Insert(r.addr, Shared)
+		l.refill(r, now)
+		break
+	}
+}
+
+func (l *L3) refill(r l3req, at uint64) {
+	l.sys.Banks[r.bank].pushRefill(Txn{Addr: r.addr}, at)
+}
+
+// Quiet reports whether no request is in flight at this level.
+func (l *L3) Quiet() bool { return len(l.inQ) == 0 && len(l.dramQ) == 0 }

@@ -1,0 +1,122 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// pageBytes is the allocation granule of the sparse backing memory.
+const pageBytes = 1 << 12
+
+// Memory is the flat, sparse physical memory backing the machine. It is the
+// single functional home of all data (see the package comment); the caches
+// above it only model timing.
+type Memory struct {
+	pages map[uint64][]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64][]byte)}
+}
+
+func (m *Memory) page(addr uint64) []byte {
+	pn := addr / pageBytes
+	p, ok := m.pages[pn]
+	if !ok {
+		p = make([]byte, pageBytes)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		p := m.page(addr + uint64(i))
+		off := int((addr + uint64(i)) % pageBytes)
+		c := copy(out[i:], p[off:])
+		i += c
+	}
+	return out
+}
+
+// WriteBytes copies data into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, data []byte) {
+	for i := 0; i < len(data); {
+		p := m.page(addr + uint64(i))
+		off := int((addr + uint64(i)) % pageBytes)
+		c := copy(p[off:], data[i:])
+		i += c
+	}
+}
+
+// Read returns size bytes at addr as a little-endian unsigned value.
+// size must be 1, 2, 4 or 8 and the access must not cross a page boundary
+// in a torn way (callers keep accesses naturally aligned).
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	p := m.page(addr)
+	off := addr % pageBytes
+	if off+uint64(size) <= pageBytes {
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+		panic(fmt.Sprintf("mem: bad read size %d", size))
+	}
+	// Page-crossing access: assemble byte by byte.
+	var v uint64
+	for i := 0; i < size; i++ {
+		b := m.page(addr + uint64(i))[(addr+uint64(i))%pageBytes]
+		v |= uint64(b) << (8 * i)
+	}
+	return v
+}
+
+// Write stores size bytes of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	p := m.page(addr)
+	off := addr % pageBytes
+	if off+uint64(size) <= pageBytes {
+		switch size {
+		case 1:
+			p[off] = byte(v)
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+		default:
+			panic(fmt.Sprintf("mem: bad write size %d", size))
+		}
+		return
+	}
+	for i := 0; i < size; i++ {
+		m.page(addr + uint64(i))[(addr+uint64(i))%pageBytes] = byte(v >> (8 * i))
+	}
+}
+
+// ReadUint64 reads a 64-bit value.
+func (m *Memory) ReadUint64(addr uint64) uint64 { return m.Read(addr, 8) }
+
+// WriteUint64 writes a 64-bit value.
+func (m *Memory) WriteUint64(addr uint64, v uint64) { m.Write(addr, 8, v) }
+
+// ReadFloat64 reads a float64.
+func (m *Memory) ReadFloat64(addr uint64) float64 {
+	return math.Float64frombits(m.Read(addr, 8))
+}
+
+// WriteFloat64 writes a float64.
+func (m *Memory) WriteFloat64(addr uint64, v float64) {
+	m.Write(addr, 8, math.Float64bits(v))
+}

@@ -1,0 +1,97 @@
+// Package mem models the shared memory system of the simulated CMP: private
+// per-core L1 instruction and data caches, a shared banked L2 with a
+// full-map directory (the coherence point), a shared L3, DRAM, and the
+// shared split-transaction bus connecting cores to the L2 banks.
+//
+// # Timing-first design
+//
+// The caches are tag/state arrays only. All functional data lives in the
+// backing Memory; a store updates it at the moment the store performs in an
+// M-state L1 line, and a load reads it when its access completes. Because a
+// remote core can only gain write permission by first invalidating the
+// previous owner (which clears LL/SC locks and changes tag state through the
+// directory), the functional outcome always matches what a real MSI machine
+// would produce, while the timing model charges every transaction, miss,
+// intervention, and bus cycle.
+//
+// # The barrier filter hook
+//
+// Each L2 bank exposes a BankHook. The barrier filter (package filter)
+// implements it: invalidation transactions reaching a bank are shown to the
+// hook (arrival/exit signals), and fill requests can be parked — withheld
+// from service — until the filter releases them. A parked fill keeps the
+// requesting core's MSHR occupied, which is precisely the starvation
+// mechanism of the paper.
+package mem
+
+import "fmt"
+
+// TxnKind enumerates bus transaction types.
+type TxnKind int
+
+const (
+	// Requests (core -> bank).
+	GetS    TxnKind = iota // data read miss: want Shared
+	GetI                   // instruction fetch miss
+	GetM                   // data write miss: want Modified
+	Upgrade                // have Shared, want Modified (no data reply needed)
+	InvalD                 // DCBI broadcast: remove line from all L1Ds
+	InvalI                 // ICBI broadcast: remove line from all L1Is
+	WB                     // writeback of an evicted dirty line
+
+	// Responses (bank -> core).
+	Fill     // data/instruction fill (answers GetS/GetI/GetM)
+	UpgAck   // answers Upgrade
+	InvalAck // answers InvalD/InvalI
+)
+
+func (k TxnKind) String() string {
+	switch k {
+	case GetS:
+		return "GetS"
+	case GetI:
+		return "GetI"
+	case GetM:
+		return "GetM"
+	case Upgrade:
+		return "Upgrade"
+	case InvalD:
+		return "InvalD"
+	case InvalI:
+		return "InvalI"
+	case WB:
+		return "WB"
+	case Fill:
+		return "Fill"
+	case UpgAck:
+		return "UpgAck"
+	case InvalAck:
+		return "InvalAck"
+	}
+	return fmt.Sprintf("TxnKind(%d)", int(k))
+}
+
+// IsFillRequest reports whether the transaction asks for a cache-line fill
+// (the requests a barrier filter can starve).
+func (k TxnKind) IsFillRequest() bool { return k == GetS || k == GetI || k == GetM }
+
+// Txn is one bus transaction. Addr is always line-aligned.
+type Txn struct {
+	Kind TxnKind
+	Addr uint64
+	Core int
+	ID   uint64 // core-local identifier for matching responses
+
+	// Request-side flags.
+	ReqKind  TxnKind // on responses: the request kind being answered
+	Dirty    bool    // InvalD/WB: line was dirty (data already in Memory)
+	Prefetch bool    // fill request issued by a hardware prefetcher
+
+	// Response-side flags.
+	Exclusive bool // Fill grants M (answers GetM)
+	Err       bool // filter signalled an error (timeout / misuse)
+}
+
+func (t Txn) String() string {
+	return fmt.Sprintf("%s@%#x core%d id%d", t.Kind, t.Addr, t.Core, t.ID)
+}

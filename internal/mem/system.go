@@ -1,0 +1,161 @@
+package mem
+
+// InvalToken tracks one outstanding ICBI/DCBI broadcast. The issuing core's
+// store buffer holds the cache-op until Done.
+type InvalToken struct {
+	Addr uint64
+	Done bool
+	Err  bool
+}
+
+// System is the whole memory hierarchy of the simulated CMP.
+type System struct {
+	Cfg   *Config
+	Mem   *Memory
+	Bus   *Bus
+	L1I   []*L1
+	L1D   []*L1
+	Banks []*Bank
+	l3    *L3
+
+	// OnFault is called when a response carries an error code (barrier
+	// filter misuse or timeout). The machine maps it to a core fault.
+	OnFault func(core int, t Txn)
+
+	respInbox   []timedTxn
+	invalTokens []map[uint64]*InvalToken // per core, keyed by txn ID
+	nextInvalID []uint64
+}
+
+// NewSystem builds the memory hierarchy for cfg.
+func NewSystem(cfg Config) *System {
+	s := &System{
+		Cfg:         &cfg,
+		Mem:         NewMemory(),
+		invalTokens: make([]map[uint64]*InvalToken, cfg.Cores),
+		nextInvalID: make([]uint64, cfg.Cores),
+	}
+	s.Bus = NewBus(s.Cfg, s.deliverReq, s.deliverResp)
+	for c := 0; c < cfg.Cores; c++ {
+		s.L1I = append(s.L1I, newL1(s, c, true))
+		s.L1D = append(s.L1D, newL1(s, c, false))
+		s.invalTokens[c] = make(map[uint64]*InvalToken)
+	}
+	for b := 0; b < cfg.L2Banks; b++ {
+		s.Banks = append(s.Banks, newBank(s, b))
+	}
+	s.l3 = newL3(s)
+	return s
+}
+
+// L3Cache exposes the L3 for tests.
+func (s *System) L3Cache() *L3 { return s.l3 }
+
+func (s *System) deliverReq(bank int, t Txn, at uint64) {
+	s.Banks[bank].push(t, at)
+}
+
+func (s *System) deliverResp(t Txn, at uint64) {
+	s.respInbox = append(s.respInbox, timedTxn{t, at})
+}
+
+// IssueCacheInval performs the core-local half of an ICBI/DCBI (drop the
+// line from the issuing core's own L1) and broadcasts the invalidation. The
+// returned token completes when the bank acknowledges.
+func (s *System) IssueCacheInval(now uint64, core int, addr uint64, icache bool) *InvalToken {
+	la := s.Cfg.LineAddr(addr)
+	var dirty bool
+	kind := InvalD
+	if icache {
+		s.L1I[core].localInval(la)
+		kind = InvalI
+	} else {
+		_, dirty = s.L1D[core].localInval(la)
+	}
+	s.nextInvalID[core]++
+	id := s.nextInvalID[core]
+	tok := &InvalToken{Addr: la}
+	s.invalTokens[core][id] = tok
+	s.Bus.PushRequest(Txn{Kind: kind, Addr: la, Core: core, ID: id, Dirty: dirty}, now+1)
+	return tok
+}
+
+// Tick advances the memory system one cycle.
+func (s *System) Tick(now uint64) {
+	// 1. Deliver arrived responses to the L1s / inval tokens.
+	for i := 0; i < len(s.respInbox); {
+		if s.respInbox[i].ready > now {
+			i++
+			continue
+		}
+		t := s.respInbox[i].txn
+		s.respInbox = append(s.respInbox[:i], s.respInbox[i+1:]...)
+		s.dispatchResp(now, t)
+	}
+	// 2. Banks, then L3/DRAM, then the bus grants new transfers.
+	for _, bk := range s.Banks {
+		bk.Tick(now)
+	}
+	s.l3.Tick(now)
+	s.Bus.Tick(now)
+}
+
+func (s *System) dispatchResp(now uint64, t Txn) {
+	switch t.Kind {
+	case InvalAck:
+		tok := s.invalTokens[t.Core][t.ID]
+		if tok != nil {
+			tok.Done = true
+			tok.Err = t.Err
+			delete(s.invalTokens[t.Core], t.ID)
+			if t.Err && s.OnFault != nil {
+				s.OnFault(t.Core, t)
+			}
+		}
+	case Fill, UpgAck:
+		if t.Exclusive || t.Kind == UpgAck {
+			s.Banks[s.Cfg.BankOf(t.Addr)].grantDelivered(t.Addr, t.Core, now)
+		}
+		l1 := s.L1D[t.Core]
+		if t.ReqKind == GetI {
+			l1 = s.L1I[t.Core]
+		}
+		if errFill := l1.onResponse(now, t); errFill && s.OnFault != nil {
+			s.OnFault(t.Core, t)
+		}
+	}
+}
+
+// dirDropSharer records a silent clean eviction with the owning bank.
+func (s *System) dirDropSharer(addr uint64, core int, icache bool) {
+	s.Banks[s.Cfg.BankOf(addr)].dropSharer(addr, core, icache)
+}
+
+// Quiet reports whether nothing is in flight anywhere in the hierarchy
+// (used by tests and by drain checks).
+func (s *System) Quiet() bool {
+	if len(s.respInbox) > 0 || !s.Bus.Quiet() || !s.l3.Quiet() {
+		return false
+	}
+	for _, bk := range s.Banks {
+		if !bk.Quiet() {
+			return false
+		}
+	}
+	for c := 0; c < s.Cfg.Cores; c++ {
+		if !s.L1I[c].Quiet() || !s.L1D[c].Quiet() {
+			return false
+		}
+		if len(s.invalTokens[c]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CoreQuiet reports whether one core has no outstanding misses or
+// invalidations (the FENCE drain condition, together with the core's own
+// LSQ/store-buffer state).
+func (s *System) CoreQuiet(core int) bool {
+	return s.L1I[core].Quiet() && s.L1D[core].Quiet() && len(s.invalTokens[core]) == 0
+}

@@ -1,0 +1,112 @@
+package osmodel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Thread is a schedulable software thread context.
+type Thread struct {
+	TID  int
+	PC   uint64
+	Regs [64]uint64
+
+	core int // -1 when not running
+}
+
+// Core returns the core the thread runs on, or -1.
+func (t *Thread) Core() int { return t.core }
+
+// Scheduler maps software threads onto cores and implements the paper's
+// §3.3.3 context-switch semantics: a thread blocked on a barrier-filter
+// fill can be descheduled (its MSHRs squashed; the filter later services
+// the stale fill harmlessly) and rescheduled on any core, where its
+// re-issued fill request blocks or completes according to the current
+// barrier state. Thread identity is carried entirely by the arrival/exit
+// addresses in its registers, so no core pinning is required.
+type Scheduler struct {
+	m       *core.Machine
+	threads map[int]*Thread
+	onCore  []int // core -> tid or -1
+}
+
+// NewScheduler creates a scheduler over the machine's cores.
+func NewScheduler(m *core.Machine) *Scheduler {
+	s := &Scheduler{m: m, threads: make(map[int]*Thread)}
+	for range m.Cores {
+		s.onCore = append(s.onCore, -1)
+	}
+	return s
+}
+
+// StartThread creates thread tid and schedules it on the given core at
+// entry.
+func (s *Scheduler) StartThread(tid, coreID int, entry uint64, nthreads int) error {
+	if s.onCore[coreID] != -1 {
+		return fmt.Errorf("osmodel: core %d is busy with thread %d", coreID, s.onCore[coreID])
+	}
+	s.m.StartThread(coreID, entry, tid, nthreads)
+	t := &Thread{TID: tid, core: coreID}
+	s.threads[tid] = t
+	s.onCore[coreID] = tid
+	return nil
+}
+
+// Deschedule removes the thread from its core, capturing its context. The
+// core's in-flight work (including a fill blocked at a barrier filter) is
+// squashed; the paper's design makes this safe because the blocked fill's
+// eventual service finds no waiting MSHR and is dropped.
+//
+// The core's store buffer must have drained; callers may need to Step the
+// machine a few cycles first (Drained reports readiness).
+func (s *Scheduler) Deschedule(tid int) error {
+	t, ok := s.threads[tid]
+	if !ok || t.core < 0 {
+		return fmt.Errorf("osmodel: thread %d is not running", tid)
+	}
+	pc, regs, err := s.m.Cores[t.core].Deschedule()
+	if err != nil {
+		return err
+	}
+	t.PC, t.Regs = pc, regs
+	s.onCore[t.core] = -1
+	t.core = -1
+	return nil
+}
+
+// Drained reports whether the thread's core is ready for Deschedule.
+func (s *Scheduler) Drained(tid int) bool {
+	t, ok := s.threads[tid]
+	if !ok || t.core < 0 {
+		return false
+	}
+	return s.m.Cores[t.core].Drained()
+}
+
+// Schedule resumes a descheduled thread on the given core (any core: no
+// pinning).
+func (s *Scheduler) Schedule(tid, coreID int) error {
+	t, ok := s.threads[tid]
+	if !ok {
+		return fmt.Errorf("osmodel: unknown thread %d", tid)
+	}
+	if t.core >= 0 {
+		return fmt.Errorf("osmodel: thread %d already running on core %d", tid, t.core)
+	}
+	if s.onCore[coreID] != -1 {
+		return fmt.Errorf("osmodel: core %d is busy", coreID)
+	}
+	s.m.Cores[coreID].Restore(t.PC, t.Regs)
+	t.core = coreID
+	s.onCore[coreID] = tid
+	return nil
+}
+
+// Migrate moves a running thread to another core in one step.
+func (s *Scheduler) Migrate(tid, toCore int) error {
+	if err := s.Deschedule(tid); err != nil {
+		return err
+	}
+	return s.Schedule(tid, toCore)
+}

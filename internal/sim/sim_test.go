@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Fatal("different seeds collide on first draw")
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestNormRoughlyCentred(t *testing.T) {
+	r := NewRand(99)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Norm()
+	}
+	if mean := sum / n; mean > 0.05 || mean < -0.05 {
+		t.Fatalf("Norm mean %v too far from 0", mean)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStats()
+	c := s.Counter("a.b")
+	*c += 3
+	*s.Counter("a.b") += 2 // same counter
+	*s.Counter("z") = 7
+	if s.Get("a.b") != 5 || s.Get("z") != 7 || s.Get("missing") != 0 {
+		t.Fatalf("counters wrong: %v", s.Snapshot())
+	}
+	snap := s.Snapshot()
+	*c = 100
+	if snap["a.b"] != 5 {
+		t.Fatal("snapshot not a copy")
+	}
+	out := s.String()
+	if !strings.Contains(out, "a.b") || !strings.Contains(out, "100") {
+		t.Fatalf("String output: %q", out)
+	}
+}
