@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# check is the pre-merge gate: vet + build + tests + a race-detector run of
+# the parallel experiment harness.
+check:
+	sh scripts/check.sh

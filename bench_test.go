@@ -187,31 +187,37 @@ func BenchmarkAblationBusWidth(b *testing.B) {
 	}
 }
 
-// BenchmarkSimThroughput reports the simulator's own speed: simulated
-// core-cycles per host second on a 16-core software-barrier run.
+// BenchmarkSimThroughput reports the simulator's own speed on a 16-core
+// Livermore-2 run: simulated machine-cycles, core-cycles, and committed
+// instructions per host second. This is the simulator-performance baseline
+// for future optimisation work.
 func BenchmarkSimThroughput(b *testing.B) {
-	cfg := core.DefaultConfig(16)
+	const nCores = 16
+	cfg := core.DefaultConfig(nCores)
 	alloc := barrier.NewAllocator(cfg.Mem)
-	gen := barrier.MustNew(barrier.KindSWCentral, 16, alloc)
-	mb := &kernels.Microbench{K: 16, M: 4}
-	prog, err := mb.BuildPar(gen, 16)
+	gen := barrier.MustNew(barrier.KindFilterD, nCores, alloc)
+	prog, err := kernels.NewLivermore2(256, 2).BuildPar(gen, nCores)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	var simCycles uint64
+	var simCycles, insts uint64
 	for i := 0; i < b.N; i++ {
 		m := core.NewMachine(cfg)
-		if err := barrier.Launch(m, gen, prog, 16); err != nil {
+		if err := barrier.Launch(m, gen, prog, nCores); err != nil {
 			b.Fatal(err)
 		}
 		c, err := m.Run(500_000_000)
 		if err != nil {
 			b.Fatal(err)
 		}
-		simCycles += c * 16
+		simCycles += c
+		insts += m.TotalCommitted()
 	}
-	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "corecycles/s")
+	sec := b.Elapsed().Seconds()
+	b.ReportMetric(float64(simCycles)/sec, "simcycles/s")
+	b.ReportMetric(float64(simCycles*nCores)/sec, "corecycles/s")
+	b.ReportMetric(float64(insts)/sec, "inst/s")
 }
 
 // BenchmarkOcean regenerates the §4.1 coarse-grained measurement (the

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,6 +25,9 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig10,ocean,extras,all")
 	full := flag.Bool("full", false, "paper-faithful sizes (slow); default is quick sizes with the same shapes")
 	noverify := flag.Bool("noverify", false, "skip cross-checking kernel results against the Go references")
+	workers := flag.Int("workers", 0, "experiment-cell goroutines (0 = one per CPU, 1 = sequential)")
+	nofastpath := flag.Bool("nofastpath", false, "disable the quiescent-core simulator fast path (differential debugging)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
 	opt := harness.QuickOptions()
@@ -31,6 +35,22 @@ func main() {
 		opt = harness.DefaultOptions()
 	}
 	opt.Verify = !*noverify
+	opt.Workers = *workers
+	opt.NoFastPath = *nofastpath
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -38,6 +58,7 @@ func main() {
 	}
 	all := want["all"]
 	ran := 0
+	var total time.Duration
 
 	run := func(name string, fn func() error) {
 		if !all && !want[name] {
@@ -49,7 +70,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		total += elapsed
+		fmt.Printf("(%s took %.1fs)\n\n", name, elapsed.Seconds())
 	}
 
 	run("table1", func() error {
@@ -134,4 +157,6 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	fmt.Printf("(total harness wall time: %.1fs over %d experiment(s), workers=%d)\n",
+		total.Seconds(), ran, opt.Workers)
 }

@@ -56,6 +56,14 @@ type Config struct {
 	// FilterTimeout releases starved fills with an error code after this
 	// many cycles (0 disables the hardware timeout).
 	FilterTimeout uint64
+
+	// NoFastPath disables the quiescent-core fast path (skipping pipeline
+	// ticks for cores provably blocked on memory, and bulk cycle
+	// fast-forwarding when all cores are). The fast path is behaviour-
+	// invariant — cycle counts, statistics and outputs are bit-identical
+	// either way — so this knob exists only for differential testing and
+	// debugging.
+	NoFastPath bool
 }
 
 // DefaultConfig returns the Table 2 machine for the given core count.
@@ -81,6 +89,11 @@ type Machine struct {
 
 	tickers []ticker // one per physical core
 	physOf  []int    // logical core -> physical core
+
+	// fastCores[i] mirrors tickers[i] when that physical core is eligible
+	// for the quiescent fast path (single-threaded, fast path enabled);
+	// nil entries always take the plain Tick path.
+	fastCores []*cpu.Core
 
 	now      uint64
 	faultErr error
@@ -112,10 +125,20 @@ func NewMachine(cfg Config) *Machine {
 			m.Cores = append(m.Cores, c)
 			m.tickers = append(m.tickers, c)
 			m.physOf = append(m.physOf, p)
+			if cfg.NoFastPath {
+				m.fastCores = append(m.fastCores, nil)
+			} else {
+				m.fastCores = append(m.fastCores, c)
+				m.Sys.SetWakeHook(p, c.Wake)
+			}
 			continue
 		}
+		// Multithreaded cores interleave contexts with per-cycle
+		// round-robin bookkeeping that is not worth proving skippable;
+		// they always take the plain path.
 		mt := cpu.NewMT(cfg.CPU, p, p*tpc, tpc, m.Sys, m.Net)
 		m.tickers = append(m.tickers, mt)
+		m.fastCores = append(m.fastCores, nil)
 		for _, c := range mt.Contexts {
 			m.Cores = append(m.Cores, c)
 			m.physOf = append(m.physOf, p)
@@ -185,13 +208,42 @@ func (m *Machine) StartSPMD(entry uint64, nthreads int) {
 func (m *Machine) Now() uint64 { return m.now }
 
 // Step advances the machine one cycle: physical cores first (each advances
-// one of its contexts), then the memory system.
+// one of its contexts), then the memory system. A core that proved itself
+// quiesced after its last real tick only has its per-cycle counters
+// credited; the memory system's response delivery wakes it (before the
+// core's next tick, exactly as on the slow path, where the core ticks ahead
+// of the delivery in the same cycle).
 func (m *Machine) Step() {
-	for _, t := range m.tickers {
+	for i, t := range m.tickers {
+		if c := m.fastCores[i]; c != nil {
+			if c.Quiesced() {
+				c.SkipQuiesced(1)
+			} else {
+				c.Tick(m.now)
+				c.CheckQuiesce(m.now)
+			}
+			continue
+		}
 		t.Tick(m.now)
 	}
 	m.Sys.Tick(m.now)
 	m.now++
+}
+
+// allQuiesced reports whether every running core is on the quiescent fast
+// path, making the machine eligible for bulk cycle fast-forwarding. Any
+// fast-path-ineligible physical core (multithreaded, or NoFastPath) keeps
+// the machine stepping cycle by cycle.
+func (m *Machine) allQuiesced() bool {
+	for _, c := range m.fastCores {
+		if c == nil {
+			return false
+		}
+		if c.Running() && !c.Quiesced() {
+			return false
+		}
+	}
+	return true
 }
 
 // Running reports whether any core still has work.
@@ -213,6 +265,25 @@ func (m *Machine) Run(maxCycles uint64) (uint64, error) {
 	for m.Running() {
 		if m.now-start >= maxCycles {
 			return m.now - start, fmt.Errorf("core: cycle limit %d exceeded (possible deadlock at pc %s)", maxCycles, m.describePCs())
+		}
+		if m.allQuiesced() {
+			// Every running core is provably idle until the memory
+			// system's next event: jump straight to it, crediting the
+			// per-cycle counters the skipped Steps would have bumped.
+			// With no event pending this is a true deadlock — jump to
+			// the cycle limit, reproducing the slow path's error.
+			target, ok := m.Sys.NextEvent(m.now)
+			if limit := start + maxCycles; !ok || target > limit {
+				target = limit
+			}
+			if delta := target - m.now; delta > 0 {
+				for _, c := range m.fastCores {
+					c.SkipQuiesced(delta)
+				}
+				m.Sys.SkipIdle(m.now, delta)
+				m.now += delta
+				continue
+			}
 		}
 		m.Step()
 	}

@@ -155,6 +155,11 @@ type Core struct {
 	missWaiting int // loads waiting on fills
 	entryPool   []*entry
 
+	// Quiescence state (see quiesce.go).
+	quiesced    bool
+	qFetchStall bool // skipped cycles count as FetchMissStalls
+	qFenceStall bool // skipped cycles count as FenceStalls
+
 	// Statistics.
 	Cycles          uint64
 	Committed       uint64
@@ -223,6 +228,7 @@ func (c *Core) flushPipeline() {
 	c.hwbarSent = false
 	c.inFlight = 0
 	c.missWaiting = 0
+	c.quiesced = false
 }
 
 // allocEntry takes an entry from the pool (or allocates one) and resets it.
@@ -273,6 +279,7 @@ func (c *Core) RaiseFault(err error) {
 		c.Fault = err
 	}
 	c.Halted = true
+	c.quiesced = false
 }
 
 // Running reports whether the core has work.

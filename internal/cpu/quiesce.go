@@ -1,0 +1,153 @@
+package cpu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Quiescence fast path.
+//
+// A core is *quiesced* when its next Tick — and every following Tick until
+// the memory system delivers a response addressed to it — would change no
+// architectural or microarchitectural state other than a fixed set of
+// per-cycle counters (Cycles, plus FetchMissStalls or FenceStalls depending
+// on what the core is blocked on). This is exactly the state of a thread
+// starved by a barrier filter (every window entry is a load waiting on a
+// parked fill or an instruction depending on one) or spinning in a stalled
+// instruction fetch.
+//
+// The machine uses the flag to skip quiesced cores' pipeline ticks and, when
+// every core is quiesced, to fast-forward the cycle counter in bulk to the
+// memory system's next event. Both skips are behaviour-invariant: the
+// skipped ticks are provably no-ops, and SkipQuiesced credits the per-cycle
+// counters they would have bumped, so cycle counts, statistics, and kernel
+// outputs are bit-identical to the slow path (core.Config.NoFastPath
+// disables the whole mechanism for differential testing).
+//
+// CheckQuiesce is deliberately conservative: any state it cannot cheaply
+// prove frozen keeps the core on the slow path. It must only use
+// side-effect-free probes (mem.L1.Peek / MissPending, never Present or
+// WriteState, which refresh cache LRU state and hit counters).
+
+// Quiesced reports whether the core is in the quiesced fast-path state
+// (set by CheckQuiesce, cleared by Wake and by any pipeline reset).
+func (c *Core) Quiesced() bool { return c.quiesced }
+
+// Wake drops the core out of the quiesced state. The memory system calls it
+// whenever it delivers a response (fill, upgrade ack, or invalidation ack)
+// addressed to this core.
+func (c *Core) Wake() { c.quiesced = false }
+
+// SkipQuiesced credits n skipped cycles' worth of per-cycle counters to a
+// quiesced core: the skipped Ticks would have bumped Cycles and, depending
+// on the blocked state, FetchMissStalls or FenceStalls, and nothing else.
+func (c *Core) SkipQuiesced(n uint64) {
+	if !c.quiesced || !c.Running() {
+		return
+	}
+	c.Cycles += n
+	if c.qFetchStall {
+		c.FetchMissStalls += n
+	}
+	if c.qFenceStall {
+		c.FenceStalls += n
+	}
+}
+
+// CheckQuiesce decides whether every Tick from cycle now+1 onward would be
+// a no-op until a memory response arrives, and records which per-cycle
+// stall counters those skipped ticks would have bumped. It walks the Tick
+// stages in order and demands, for each, a condition that (a) makes the
+// stage side-effect-free this cycle and (b) can only be falsified by a
+// response delivery (which wakes the core) — never by the passage of time.
+func (c *Core) CheckQuiesce(now uint64) bool {
+	c.quiesced = false
+	c.qFetchStall = false
+	c.qFenceStall = false
+	if !c.Running() {
+		return false
+	}
+	// completeStage: nothing executing toward a future doneAt. (Loads in
+	// missWait are not counted in inFlight; their doneAt is unreachable
+	// until performLoad runs after the fill.)
+	if c.inFlight != 0 {
+		return false
+	}
+	// fetchStage holds until fetchHoldUntil expire by themselves, without
+	// a memory event; quiescing across the expiry would change behaviour.
+	if now+1 < c.fetchHoldUntil {
+		return false
+	}
+	// commitStage: the window head must stay uncommittable.
+	if len(c.window) > 0 {
+		e := c.window[0]
+		if e.done {
+			return false // would commit
+		}
+		if e.isSer {
+			switch e.info.Class {
+			case isa.ClassHWBar:
+				// Talks to the barrier network every cycle; its
+				// release is not a memory-system event.
+				return false
+			case isa.ClassFence, isa.ClassHalt:
+				if len(c.sb) == 0 {
+					return false // trySerializing would mark it done
+				}
+				c.qFenceStall = true
+			case isa.ClassIFlush:
+				if c.sbIssuedOnly() {
+					return false
+				}
+				c.qFenceStall = true
+			}
+		}
+	}
+	// drainStoreBuffer: the head entry must be parked on an outstanding
+	// transaction. A store whose line is present would perform (Modified)
+	// or issue an upgrade and refresh the line's LRU state every cycle
+	// (Shared) — both stay on the slow path.
+	if len(c.sb) > 0 {
+		h := &c.sb[0]
+		if h.cacheOp {
+			if h.token == nil || h.token.Done {
+				return false
+			}
+		} else if c.l1d.Peek(h.addr) != mem.Invalid || !c.l1d.MissPending(h.addr) {
+			return false
+		}
+	}
+	// missWaitStage and issueStage: every blocked load's fill must still
+	// be outstanding, and no unissued entry may have all operands ready
+	// (it would attempt to issue; even attempts that fail ordering checks
+	// are not worth proving frozen).
+	for _, e := range c.window {
+		if e.missWait {
+			if c.l1d.Peek(e.addr) != mem.Invalid || !c.l1d.MissPending(e.addr) {
+				return false
+			}
+			continue
+		}
+		if !e.issued && !e.isSer && e.src[0].ready && e.src[1].ready {
+			return false
+		}
+	}
+	// dispatchStage: the first fetched instruction must be undispatchable.
+	if len(c.fetchBuf) > 0 && !c.fenceBlock && len(c.window) < c.Cfg.RUUSize {
+		cl := isa.Lookup(c.fetchBuf[0].in.Op).Class
+		isMem := cl == isa.ClassLoad || cl == isa.ClassStore || cl == isa.ClassCacheOp
+		if !isMem || c.memOps < c.Cfg.LSQSize {
+			return false
+		}
+	}
+	// fetchStage: stopped, buffer-full, or stalled on an outstanding
+	// instruction fill (the per-cycle FetchMissStalls state).
+	if !c.fetchStopped && len(c.fetchBuf) < 4*c.Cfg.FetchWidth {
+		if c.l1i.Peek(c.fetchPC) != mem.Invalid || !c.l1i.MissPending(c.fetchPC) {
+			return false
+		}
+		c.qFetchStall = true
+	}
+	c.quiesced = true
+	return true
+}

@@ -84,6 +84,19 @@ func (b *BankFilters) PopReleased(now uint64) (mem.Txn, bool, bool) {
 	return mem.Txn{}, false, false
 }
 
+// NextEvent implements the optional next-event query the simulator's bulk
+// fast-forward probes for: the earliest cycle at which any hosted filter
+// could spontaneously produce work (a queued release, or a parked fill
+// hitting its timeout). ok=false when no filter will act without new input.
+func (b *BankFilters) NextEvent(now uint64) (event uint64, ok bool) {
+	for _, f := range b.filters {
+		if t, o := f.nextEvent(now); o && (!ok || t < event) {
+			event, ok = t, true
+		}
+	}
+	return event, ok
+}
+
 // LastError reports the most recent protocol error across the bank's
 // filters.
 func (b *BankFilters) LastError() string {

@@ -277,5 +277,25 @@ func (f *Filter) popReleased(now uint64) (mem.Txn, bool, bool) {
 	return mem.Txn{}, false, false
 }
 
+// nextEvent returns the earliest cycle at which popReleased could yield a
+// fill without any new invalidation arriving: immediately when the release
+// queue is non-empty, or at the earliest parked fill's timeout expiry.
+func (f *Filter) nextEvent(now uint64) (event uint64, ok bool) {
+	if len(f.releaseQ) > 0 {
+		return now, true
+	}
+	if f.Timeout == 0 {
+		return 0, false
+	}
+	for t := range f.pending {
+		for i := range f.pending[t] {
+			if e := f.pending[t][i].parkedAt + f.Timeout; !ok || e < event {
+				event, ok = e, true
+			}
+		}
+	}
+	return event, ok
+}
+
 // PendingFor returns how many fills are parked for thread t (tests).
 func (f *Filter) PendingFor(t int) int { return len(f.pending[t]) }

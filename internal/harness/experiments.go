@@ -28,33 +28,37 @@ func Fig4(opt Options) ([]LatencyPoint, error) {
 	if opt.Quick {
 		k, m = 16, 8
 	}
-	var out []LatencyPoint
-	for _, n := range coreCounts {
-		for _, kind := range barrier.Kinds {
-			cfg := core.DefaultConfig(n)
-			alloc := barrier.NewAllocator(cfg.Mem)
-			gen, err := barrier.New(kind, n, alloc)
-			if err != nil {
-				return nil, err
-			}
-			prog, err := buildLatencyProgram(gen, k, m)
-			if err != nil {
-				return nil, err
-			}
-			mach := core.NewMachine(cfg)
-			if err := barrier.Launch(mach, gen, prog, n); err != nil {
-				return nil, err
-			}
-			cycles, err := mach.Run(opt.MaxCycles)
-			if err != nil {
-				return nil, fmt.Errorf("harness: fig4 %s/%d: %w", kind, n, err)
-			}
-			out = append(out, LatencyPoint{
-				Kind:      kind,
-				Cores:     n,
-				AvgCycles: float64(cycles) / float64(k*m),
-			})
+	out := make([]LatencyPoint, len(coreCounts)*len(barrier.Kinds))
+	err := forEach(opt.workerCount(), len(out), func(i int) error {
+		n := coreCounts[i/len(barrier.Kinds)]
+		kind := barrier.Kinds[i%len(barrier.Kinds)]
+		cfg := machineConfig(n, opt)
+		alloc := barrier.NewAllocator(cfg.Mem)
+		gen, err := barrier.New(kind, n, alloc)
+		if err != nil {
+			return err
 		}
+		prog, err := buildLatencyProgram(gen, k, m)
+		if err != nil {
+			return err
+		}
+		mach := core.NewMachine(cfg)
+		if err := barrier.Launch(mach, gen, prog, n); err != nil {
+			return err
+		}
+		cycles, err := mach.Run(opt.MaxCycles)
+		if err != nil {
+			return fmt.Errorf("harness: fig4 %s/%d: %w", kind, n, err)
+		}
+		out[i] = LatencyPoint{
+			Kind:      kind,
+			Cores:     n,
+			AvgCycles: float64(cycles) / float64(k*m),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -134,6 +138,57 @@ func MeasureParWarm(lk LoopKernel, kind barrier.Kind, nthreads int, opt Options)
 	return t2 - t1, nil
 }
 
+// --- batched warm measurements ---------------------------------------------
+
+// measureWarmBatch measures, for every kernel in lks, the sequential warm
+// time (when withSeq) and the parallel warm time for every mechanism in
+// kinds, fanning the independent cells across the worker pool. Cell order is
+// the legacy sequential order (per kernel: sequential first, then each
+// mechanism), so Workers=1 reproduces the old control flow — including which
+// error surfaces first — exactly.
+func measureWarmBatch(lks []LoopKernel, kinds []barrier.Kind, withSeq bool, opt Options) (seq []uint64, par []map[barrier.Kind]uint64, err error) {
+	type cell struct {
+		k    int
+		kind barrier.Kind
+		par  bool
+	}
+	var cells []cell
+	for i := range lks {
+		if withSeq {
+			cells = append(cells, cell{k: i})
+		}
+		for _, kind := range kinds {
+			cells = append(cells, cell{k: i, kind: kind, par: true})
+		}
+	}
+	out := make([]uint64, len(cells))
+	err = forEach(opt.workerCount(), len(cells), func(i int) error {
+		var e error
+		if cells[i].par {
+			out[i], e = MeasureParWarm(lks[cells[i].k], cells[i].kind, opt.Cores, opt)
+		} else {
+			out[i], e = MeasureSeqWarm(lks[cells[i].k], opt)
+		}
+		return e
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	seq = make([]uint64, len(lks))
+	par = make([]map[barrier.Kind]uint64, len(lks))
+	for i := range lks {
+		par[i] = make(map[barrier.Kind]uint64, len(kinds))
+	}
+	for ci, cl := range cells {
+		if cl.par {
+			par[cl.k][cl.kind] = out[ci]
+		} else {
+			seq[cl.k] = out[ci]
+		}
+	}
+	return seq, par, nil
+}
+
 // --- Table 1 and Figures 5/6: speedups -------------------------------------
 
 // SpeedupRow reports, for one kernel, the speedup of the parallel version
@@ -167,41 +222,47 @@ func (r SpeedupRow) BestFilter() float64 {
 	return best
 }
 
+// speedupRows turns batched warm measurements into one SpeedupRow per
+// kernel.
+func speedupRows(lks []LoopKernel, opt Options) ([]SpeedupRow, error) {
+	seq, par, err := measureWarmBatch(lks, barrier.Kinds, true, opt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SpeedupRow, len(lks))
+	for i, lk := range lks {
+		row := SpeedupRow{
+			Kernel:    lk.Make(lk.Loops).Name(),
+			SeqCycles: seq[i],
+			Speedup:   make(map[barrier.Kind]float64, len(barrier.Kinds)),
+		}
+		for _, kind := range barrier.Kinds {
+			row.Speedup[kind] = float64(seq[i]) / float64(par[i][kind])
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
 // Speedups measures one kernel against every mechanism at opt.Cores, using
 // warm-cache times.
 func Speedups(lk LoopKernel, opt Options) (SpeedupRow, error) {
-	row := SpeedupRow{
-		Kernel:  lk.Make(lk.Loops).Name(),
-		Speedup: make(map[barrier.Kind]float64),
-	}
-	seq, err := MeasureSeqWarm(lk, opt)
+	rows, err := speedupRows([]LoopKernel{lk}, opt)
 	if err != nil {
-		return row, err
+		return SpeedupRow{
+			Kernel:  lk.Make(lk.Loops).Name(),
+			Speedup: make(map[barrier.Kind]float64),
+		}, err
 	}
-	row.SeqCycles = seq
-	for _, kind := range barrier.Kinds {
-		par, err := MeasureParWarm(lk, kind, opt.Cores, opt)
-		if err != nil {
-			return row, err
-		}
-		row.Speedup[kind] = float64(seq) / float64(par)
-	}
-	return row, nil
+	return rows[0], nil
 }
 
 // Table1 reproduces Table 1: best software-barrier speedups for the five
 // kernels at 16 cores (plus the filter numbers that motivate the paper's
-// "our approach always provides a speedup" claim).
+// "our approach always provides a speedup" claim). All cells of the table
+// run as one batch across the worker pool.
 func Table1(opt Options) ([]SpeedupRow, error) {
-	var rows []SpeedupRow
-	for _, k := range Table1Kernels(opt) {
-		row, err := Speedups(k, opt)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return speedupRows(Table1Kernels(opt), opt)
 }
 
 // Fig5 reproduces Figure 5: autocorrelation speedups per mechanism.
@@ -248,20 +309,22 @@ func livermoreFigure(name string, baseLoops int, mk func(n, loops int) kernels.K
 		Lengths: opt.figureLengths(),
 		Par:     make(map[barrier.Kind][]uint64),
 	}
-	for _, n := range ts.Lengths {
-		lk := LoopKernel{name, baseLoops, func(l int) kernels.Kernel { return mk(n, l) }}
-		seq, err := MeasureSeqWarm(lk, opt)
-		if err != nil {
-			return ts, err
+	lks := make([]LoopKernel, len(ts.Lengths))
+	for i, n := range ts.Lengths {
+		n := n
+		lks[i] = LoopKernel{name, baseLoops, func(l int) kernels.Kernel { return mk(n, l) }}
+	}
+	seq, par, err := measureWarmBatch(lks, barrier.Kinds, true, opt)
+	if err != nil {
+		return ts, err
+	}
+	ts.Seq = seq
+	for _, kind := range barrier.Kinds {
+		col := make([]uint64, len(lks))
+		for i := range lks {
+			col[i] = par[i][kind]
 		}
-		ts.Seq = append(ts.Seq, seq)
-		for _, kind := range barrier.Kinds {
-			par, err := MeasureParWarm(lk, kind, opt.Cores, opt)
-			if err != nil {
-				return ts, err
-			}
-			ts.Par[kind] = append(ts.Par[kind], par)
-		}
+		ts.Par[kind] = col
 	}
 	return ts, nil
 }
@@ -309,16 +372,14 @@ func CoarseGrain(opt Options) (CoarseGrainResult, error) {
 	res := CoarseGrainResult{Phases: phases, WorkElems: work}
 	mk := func(l int) kernels.Kernel { return kernels.NewCoarseGrain(phases*l, work) }
 	lk := LoopKernel{"coarse", 1, mk}
-	var err error
-	if res.SWCycles, err = MeasureParWarm(lk, barrier.KindSWCentral, opt.Cores, opt); err != nil {
+	kinds := []barrier.Kind{barrier.KindSWCentral, barrier.KindFilterD, barrier.KindHWNet}
+	_, par, err := measureWarmBatch([]LoopKernel{lk}, kinds, false, opt)
+	if err != nil {
 		return res, err
 	}
-	if res.FilterCycles, err = MeasureParWarm(lk, barrier.KindFilterD, opt.Cores, opt); err != nil {
-		return res, err
-	}
-	if res.NetCycles, err = MeasureParWarm(lk, barrier.KindHWNet, opt.Cores, opt); err != nil {
-		return res, err
-	}
+	res.SWCycles = par[0][barrier.KindSWCentral]
+	res.FilterCycles = par[0][barrier.KindFilterD]
+	res.NetCycles = par[0][barrier.KindHWNet]
 	// Signed arithmetic: at very coarse granularity the difference can be
 	// negative (barrier choice disappears into timing noise).
 	res.Improvement = (float64(res.SWCycles) - float64(res.FilterCycles)) / float64(res.SWCycles)
@@ -349,26 +410,35 @@ func Extras(opt Options) (ExtrasResult, error) {
 		barrier.KindSWTicket, barrier.KindSWArray,
 		barrier.KindHWNet, barrier.KindHWTree,
 	}
-	for _, kind := range kinds {
-		cfg := core.DefaultConfig(opt.Cores)
+	lat := make([]float64, len(kinds))
+	err := forEach(opt.workerCount(), len(kinds), func(i int) error {
+		kind := kinds[i]
+		cfg := machineConfig(opt.Cores, opt)
 		alloc := barrier.NewAllocator(cfg.Mem)
 		gen, err := barrier.NewExtra(kind, opt.Cores, alloc)
 		if err != nil {
-			return res, err
+			return err
 		}
 		prog, err := buildLatencyProgram(gen, k, m)
 		if err != nil {
-			return res, err
+			return err
 		}
 		mach := core.NewMachine(cfg)
 		if err := barrier.Launch(mach, gen, prog, opt.Cores); err != nil {
-			return res, err
+			return err
 		}
 		cycles, err := mach.Run(opt.MaxCycles)
 		if err != nil {
-			return res, err
+			return err
 		}
-		res.Latency[kind] = float64(cycles) / float64(k*m)
+		lat[i] = float64(cycles) / float64(k*m)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, kind := range kinds {
+		res.Latency[kind] = lat[i]
 	}
 	return res, nil
 }

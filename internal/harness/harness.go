@@ -33,6 +33,15 @@ type Options struct {
 	Fig4Cores []int
 	// Lengths overrides the vector lengths of the Figure 7/8/10 sweeps.
 	Lengths []int
+	// Workers is the number of goroutines running experiment cells
+	// concurrently (each cell is one independent machine; machines share
+	// no mutable state). 0 means one per CPU, 1 the legacy sequential
+	// path. Results are keyed by cell index, never completion order, so
+	// every table and figure is bit-identical across worker counts.
+	Workers int
+	// NoFastPath disables the simulator's quiescent-core fast path
+	// (differential testing; see core.Config.NoFastPath).
+	NoFastPath bool
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -48,6 +57,13 @@ func QuickOptions() Options {
 	return o
 }
 
+// machineConfig builds the per-cell machine configuration.
+func machineConfig(cores int, opt Options) core.Config {
+	cfg := core.DefaultConfig(cores)
+	cfg.NoFastPath = opt.NoFastPath
+	return cfg
+}
+
 // RunSeq runs a kernel's sequential build on a single-core machine and
 // returns the cycle count.
 func RunSeq(k kernels.Kernel, opt Options) (uint64, error) {
@@ -55,7 +71,7 @@ func RunSeq(k kernels.Kernel, opt Options) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("harness: %s: %w", k.Name(), err)
 	}
-	m := core.NewMachine(core.DefaultConfig(1))
+	m := core.NewMachine(machineConfig(1, opt))
 	m.Load(prog)
 	m.StartSPMD(prog.Entry, 1)
 	cycles, err := m.Run(opt.MaxCycles)
@@ -73,7 +89,7 @@ func RunSeq(k kernels.Kernel, opt Options) (uint64, error) {
 // RunPar runs a kernel's parallel build with the given barrier mechanism
 // and thread count and returns the cycle count.
 func RunPar(k kernels.Kernel, kind barrier.Kind, nthreads int, opt Options) (uint64, error) {
-	cfg := core.DefaultConfig(nthreads)
+	cfg := machineConfig(nthreads, opt)
 	alloc := barrier.NewAllocator(cfg.Mem)
 	gen, err := barrier.New(kind, nthreads, alloc)
 	if err != nil {
@@ -106,7 +122,7 @@ func runSeqMachine(k kernels.Kernel, opt Options) (*mem.Memory, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := core.NewMachine(core.DefaultConfig(1))
+	m := core.NewMachine(machineConfig(1, opt))
 	m.Load(prog)
 	m.StartSPMD(prog.Entry, 1)
 	if _, err := m.Run(opt.MaxCycles); err != nil {

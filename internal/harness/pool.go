@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount resolves the Workers option: 0 means one worker per CPU,
+// 1 means the legacy sequential path, anything else is taken literally.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// forEach runs fn(0..n-1) across the given number of workers. Results must
+// be written by fn into per-index slots, which keeps every experiment's
+// output identical regardless of completion order.
+//
+// Error semantics match the sequential loop deterministically: indices are
+// handed out in increasing order, a failure stops the handout, and the
+// error returned is the one with the lowest index among those that ran
+// (every lower index has already been dispatched, so the winner cannot
+// depend on goroutine scheduling). With workers <= 1 it is a plain loop
+// with early exit.
+func forEach(workers, n int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		stopped  atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx int
+		firstErr error
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil || i < firstIdx {
+						firstErr, firstIdx = err, i
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -384,6 +384,36 @@ func (bk *Bank) dropSharer(addr uint64, core int, icache bool) {
 	}
 }
 
+// nextEvent returns the earliest cycle at which this bank's Tick could do
+// work: a refill completing, a queued request (including a grant-hold retry,
+// whose ready time was advanced in place) becoming serviceable, or the hook
+// releasing a parked fill. A hook that does not implement the optional
+// NextEvent query reports an event every cycle, which disables bulk
+// fast-forwarding without affecting correctness.
+func (bk *Bank) nextEvent(now uint64) (event uint64, ok bool) {
+	consider := func(t uint64) {
+		if !ok || t < event {
+			event, ok = t, true
+		}
+	}
+	for i := range bk.refillQ {
+		consider(bk.refillQ[i].ready)
+	}
+	for i := range bk.inQ {
+		consider(bk.inQ[i].ready)
+	}
+	if bk.hook != nil {
+		if h, probe := bk.hook.(hookNextEventer); probe {
+			if t, o := h.NextEvent(now); o {
+				consider(t)
+			}
+		} else {
+			consider(now)
+		}
+	}
+	return event, ok
+}
+
 // Quiet reports whether the bank has no queued or pending work.
 func (bk *Bank) Quiet() bool {
 	return len(bk.inQ) == 0 && len(bk.refillQ) == 0 && len(bk.pendMiss) == 0

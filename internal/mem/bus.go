@@ -169,6 +169,59 @@ func (b *Bus) tickResp(now uint64) {
 	}
 }
 
+// nextEvent returns the earliest cycle at which either bus half could grant
+// a transfer: the earliest queued entry's ready time, pushed out to when its
+// half (or channel) is free. ok=false when both halves are empty. Busy-cycle
+// accounting on empty halves is not an event; skipIdle compensates for it.
+func (b *Bus) nextEvent() (event uint64, ok bool) {
+	consider := func(t uint64) {
+		if !ok || t < event {
+			event, ok = t, true
+		}
+	}
+	reqReady, reqAny := uint64(0), false
+	for _, q := range b.reqQ {
+		if len(q) > 0 && (!reqAny || q[0].ready < reqReady) {
+			reqReady, reqAny = q[0].ready, true
+		}
+	}
+	if reqAny {
+		consider(max(reqReady, b.reqFree))
+	}
+	if b.cfg.SharedDataBus {
+		respReady, respAny := uint64(0), false
+		for _, q := range b.respQ {
+			if len(q) > 0 && (!respAny || q[0].ready < respReady) {
+				respReady, respAny = q[0].ready, true
+			}
+		}
+		if respAny {
+			consider(max(respReady, b.respFree[0]))
+		}
+	} else {
+		for k, q := range b.respQ {
+			if len(q) > 0 {
+				consider(max(q[0].ready, b.respFree[k]))
+			}
+		}
+	}
+	return event, ok
+}
+
+// skipIdle credits the per-cycle busy counters that n skipped Ticks starting
+// at cycle now would have bumped: each half (or crossbar channel) counts one
+// busy cycle per skipped cycle it is still occupied by an earlier grant.
+func (b *Bus) skipIdle(now, n uint64) {
+	if b.reqFree > now {
+		b.ReqBusyCyc += min(n, b.reqFree-now)
+	}
+	for k := range b.respFree {
+		if b.respFree[k] > now {
+			b.RespBusyCyc += min(n, b.respFree[k]-now)
+		}
+	}
+}
+
 // Quiet reports whether no transaction is queued on either half.
 func (b *Bus) Quiet() bool {
 	for _, q := range b.reqQ {

@@ -71,6 +71,10 @@ func (l *L1) Present(addr uint64) bool {
 // Invalid means a GetM is needed.
 func (l *L1) WriteState(addr uint64) LineState { return l.cache.Lookup(addr) }
 
+// Peek returns the line's state without touching LRU order or hit counters
+// (a side-effect-free probe for the quiescence check).
+func (l *L1) Peek(addr uint64) LineState { return l.cache.Peek(addr) }
+
 // MissPending reports whether a fill for addr's line is already in flight.
 func (l *L1) MissPending(addr uint64) bool {
 	_, ok := l.mshr[l.cache.LineAddr(addr)]

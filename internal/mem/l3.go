@@ -66,5 +66,22 @@ func (l *L3) refill(r l3req, at uint64) {
 	l.sys.Banks[r.bank].pushRefill(Txn{Addr: r.addr}, at)
 }
 
+// nextEvent returns the earliest ready time of any queued lookup or DRAM
+// completion; ok=false when both queues are empty.
+func (l *L3) nextEvent() (event uint64, ok bool) {
+	consider := func(t uint64) {
+		if !ok || t < event {
+			event, ok = t, true
+		}
+	}
+	for i := range l.inQ {
+		consider(l.inQ[i].ready)
+	}
+	for i := range l.dramQ {
+		consider(l.dramQ[i].ready)
+	}
+	return event, ok
+}
+
 // Quiet reports whether no request is in flight at this level.
 func (l *L3) Quiet() bool { return len(l.inQ) == 0 && len(l.dramQ) == 0 }

@@ -25,6 +25,11 @@ type System struct {
 	respInbox   []timedTxn
 	invalTokens []map[uint64]*InvalToken // per core, keyed by txn ID
 	nextInvalID []uint64
+
+	// wake[core] is invoked whenever a response (fill, upgrade ack, or
+	// invalidation ack) is delivered to that core; the machine uses it to
+	// drop the core out of the quiescent fast path.
+	wake []func()
 }
 
 // NewSystem builds the memory hierarchy for cfg.
@@ -34,6 +39,7 @@ func NewSystem(cfg Config) *System {
 		Mem:         NewMemory(),
 		invalTokens: make([]map[uint64]*InvalToken, cfg.Cores),
 		nextInvalID: make([]uint64, cfg.Cores),
+		wake:        make([]func(), cfg.Cores),
 	}
 	s.Bus = NewBus(s.Cfg, s.deliverReq, s.deliverResp)
 	for c := 0; c < cfg.Cores; c++ {
@@ -100,7 +106,13 @@ func (s *System) Tick(now uint64) {
 	s.Bus.Tick(now)
 }
 
+// SetWakeHook registers fn to run whenever a response is delivered to core.
+func (s *System) SetWakeHook(core int, fn func()) { s.wake[core] = fn }
+
 func (s *System) dispatchResp(now uint64, t Txn) {
+	if fn := s.wake[t.Core]; fn != nil {
+		fn()
+	}
 	switch t.Kind {
 	case InvalAck:
 		tok := s.invalTokens[t.Core][t.ID]
@@ -129,6 +141,52 @@ func (s *System) dispatchResp(now uint64, t Txn) {
 // dirDropSharer records a silent clean eviction with the owning bank.
 func (s *System) dirDropSharer(addr uint64, core int, icache bool) {
 	s.Banks[s.Cfg.BankOf(addr)].dropSharer(addr, core, icache)
+}
+
+// hookNextEventer is the optional BankHook extension the bulk fast-forward
+// relies on: the earliest future cycle at which the hook may spontaneously
+// produce work (a queued or timed-out release). Hooks that do not implement
+// it simply disable bulk skipping (per-core skipping is unaffected).
+type hookNextEventer interface {
+	NextEvent(now uint64) (uint64, bool)
+}
+
+// NextEvent returns the earliest cycle at or after now at which Tick would
+// do anything beyond per-cycle busy accounting: deliver a response, grant a
+// bus transfer, process a bank or L3 queue entry, or release a parked fill.
+// ok=false means the hierarchy is completely idle and, absent new requests,
+// no event will ever occur.
+func (s *System) NextEvent(now uint64) (event uint64, ok bool) {
+	consider := func(t uint64) {
+		if t < now {
+			t = now
+		}
+		if !ok || t < event {
+			event, ok = t, true
+		}
+	}
+	for i := range s.respInbox {
+		consider(s.respInbox[i].ready)
+	}
+	if t, o := s.Bus.nextEvent(); o {
+		consider(t)
+	}
+	for _, bk := range s.Banks {
+		if t, o := bk.nextEvent(now); o {
+			consider(t)
+		}
+	}
+	if t, o := s.l3.nextEvent(); o {
+		consider(t)
+	}
+	return event, ok
+}
+
+// SkipIdle credits n cycles of per-cycle busy accounting that Tick would
+// have performed between now and the next event. The caller must have
+// verified (via NextEvent) that no event falls inside the skipped window.
+func (s *System) SkipIdle(now, n uint64) {
+	s.Bus.skipIdle(now, n)
 }
 
 // Quiet reports whether nothing is in flight anywhere in the hierarchy

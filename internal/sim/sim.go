@@ -81,14 +81,18 @@ func NewStats() *Stats {
 }
 
 // Counter returns a pointer to the named counter, creating it at zero if
-// needed. The returned pointer is stable for the life of the Stats.
+// needed. The returned pointer is stable for the life of the Stats. names
+// stays sorted on insert so that String never re-sorts.
 func (s *Stats) Counter(name string) *uint64 {
 	if p, ok := s.values[name]; ok {
 		return p
 	}
 	p := new(uint64)
 	s.values[name] = p
-	s.names = append(s.names, name)
+	i := sort.SearchStrings(s.names, name)
+	s.names = append(s.names, "")
+	copy(s.names[i+1:], s.names[i:])
+	s.names[i] = name
 	return p
 }
 
@@ -110,12 +114,11 @@ func (s *Stats) Snapshot() map[string]uint64 {
 	return out
 }
 
-// String renders the counters sorted by name, one per line.
+// String renders the counters sorted by name, one per line (names is kept
+// sorted by Counter, so no per-call sort is needed).
 func (s *Stats) String() string {
-	names := append([]string(nil), s.names...)
-	sort.Strings(names)
 	var b strings.Builder
-	for _, n := range names {
+	for _, n := range s.names {
 		fmt.Fprintf(&b, "%-40s %d\n", n, *s.values[n])
 	}
 	return b.String()

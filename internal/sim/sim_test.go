@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sort"
 	"strings"
 	"testing"
 )
@@ -74,5 +75,41 @@ func TestStats(t *testing.T) {
 	out := s.String()
 	if !strings.Contains(out, "a.b") || !strings.Contains(out, "100") {
 		t.Fatalf("String output: %q", out)
+	}
+}
+
+// statsNames extracts the counter names from a String rendering in order.
+func statsNames(out string) []string {
+	var names []string
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		names = append(names, strings.Fields(line)[0])
+	}
+	return names
+}
+
+func TestStatsStringSortedAfterLateInsert(t *testing.T) {
+	s := NewStats()
+	*s.Counter("m.middle") = 1
+	*s.Counter("z.last") = 2
+	first := s.String()
+	if got := statsNames(first); !sort.StringsAreSorted(got) {
+		t.Fatalf("names not sorted: %v", got)
+	}
+	// Counters registered after a String call must still render sorted
+	// (names is kept ordered on insert, not re-sorted per call).
+	*s.Counter("a.first") = 3
+	*s.Counter("q.mid2") = 4
+	got := statsNames(s.String())
+	want := []string{"a.first", "m.middle", "q.mid2", "z.last"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
 	}
 }

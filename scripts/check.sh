@@ -1,0 +1,20 @@
+#!/bin/sh
+# check.sh — the full pre-merge gate: static checks, build, the test suite,
+# and a race-detector pass over the parallel experiment harness.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (parallel harness) =="
+go test -race -run 'TestForEach|TestParallelFig4Deterministic' ./internal/harness
+
+echo "ok"
