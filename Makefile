@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check
+.PHONY: build test bench check chaos
 
 build:
 	$(GO) build ./...
@@ -15,3 +15,9 @@ bench:
 # the parallel experiment harness.
 check:
 	sh scripts/check.sh
+
+# chaos runs the fault-injection differential matrix plus a short fuzz
+# smoke of the assembler (the surface the chaos kernels are built through).
+chaos:
+	$(GO) test -run Chaos -count=1 -v .
+	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s -run '^$$' ./internal/asm

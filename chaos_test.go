@@ -1,0 +1,106 @@
+// Chaos differential harness: every kernel runs under every fault-injector
+// profile, and each cell must end in one of exactly two ways — results
+// bit-identical to the fault-free run (directly or after degrading to the
+// software barrier), or a clean attributed fault report before the cycle
+// budget. A hang past MaxCycles or silent corruption fails the suite. The
+// whole matrix must also replay byte-identically from its seed at any host
+// worker count and with the simulator fast path on or off.
+package cmpfb
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/harness"
+)
+
+func TestChaosDifferential(t *testing.T) {
+	opt := harness.DefaultChaosOptions()
+	cells, err := harness.RunChaos(opt)
+	if err != nil {
+		t.Fatalf("chaos contract violated: %v", err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("empty chaos matrix")
+	}
+	outcomes := map[string]int{}
+	for _, c := range cells {
+		outcomes[c.Outcome]++
+		switch c.Outcome {
+		case "identical":
+			// Completed on the requested mechanism with verified results.
+		case "degraded", "fault":
+			if c.Report == "" {
+				t.Errorf("%s/%s/%s: %s outcome with no attribution", c.Kernel, c.Kind, c.Profile, c.Outcome)
+			}
+		default:
+			t.Errorf("%s/%s/%s: unknown outcome %q", c.Kernel, c.Kind, c.Profile, c.Outcome)
+		}
+		if c.Profile == "none" {
+			if c.Outcome != "identical" || c.Injected != 0 || c.Attempts != 1 {
+				t.Errorf("%s/%s: baseline cell not clean: outcome=%s injected=%d attempts=%d",
+					c.Kernel, c.Kind, c.Outcome, c.Injected, c.Attempts)
+			}
+		}
+	}
+	if outcomes["identical"] == 0 {
+		t.Error("no cell completed identically — injectors too hot to mean anything")
+	}
+	if outcomes["identical"] == len(cells) {
+		t.Error("every cell completed identically — injectors are not injecting")
+	}
+	t.Logf("chaos matrix: %d cells, %d identical, %d degraded, %d fault",
+		len(cells), outcomes["identical"], outcomes["degraded"], outcomes["fault"])
+}
+
+func chaosRender(t *testing.T, opt harness.ChaosOptions) []byte {
+	t.Helper()
+	cells, err := harness.RunChaos(opt)
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	var buf bytes.Buffer
+	harness.WriteChaos(&buf, opt.Seed, cells)
+	return buf.Bytes()
+}
+
+// TestChaosReplayInvariance pins the determinism rule: the matrix output is
+// a pure function of the seed — host parallelism and the quiescent-core
+// fast path must not leak into a single injected cycle.
+func TestChaosReplayInvariance(t *testing.T) {
+	base := harness.DefaultChaosOptions()
+	base.Seed = 7
+	// A slice of the matrix covering every injector mechanism class keeps
+	// the four runs cheap.
+	var profs []faults.Profile
+	for _, name := range []string{"bus-delay", "ack-drop", "preempt", "monsoon"} {
+		p, ok := faults.ProfileByName(name)
+		if !ok {
+			t.Fatalf("unknown profile %q", name)
+		}
+		profs = append(profs, p)
+	}
+	base.Profiles = profs
+
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 4
+	slow := base
+	slow.Workers = 4
+	slow.NoFastPath = true
+
+	ref := chaosRender(t, seq)
+	if got := chaosRender(t, par); !bytes.Equal(ref, got) {
+		t.Error("matrix output differs between workers=1 and workers=4")
+	}
+	if got := chaosRender(t, slow); !bytes.Equal(ref, got) {
+		t.Error("matrix output differs with the fast path disabled")
+	}
+	other := base
+	other.Seed = 8
+	if got := chaosRender(t, other); bytes.Equal(ref, got) {
+		t.Error("different seeds produced an identical matrix")
+	}
+}

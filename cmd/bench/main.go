@@ -22,8 +22,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig10,ocean,extras,all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig10,ocean,extras,chaos,all")
 	full := flag.Bool("full", false, "paper-faithful sizes (slow); default is quick sizes with the same shapes")
+	seed := flag.Uint64("seed", 1, "master seed for the chaos fault-injection matrix (replays byte-identically)")
 	noverify := flag.Bool("noverify", false, "skip cross-checking kernel results against the Go references")
 	workers := flag.Int("workers", 0, "experiment-cell goroutines (0 = one per CPU, 1 = sequential)")
 	nofastpath := flag.Bool("nofastpath", false, "disable the quiescent-core simulator fast path (differential debugging)")
@@ -143,6 +144,26 @@ func main() {
 		harness.WriteCoarseGrain(os.Stdout, r)
 		return nil
 	})
+	// chaos is opt-in (-exp chaos): it is a robustness matrix, not one of
+	// the paper's figures, so "all" does not imply it.
+	if want["chaos"] {
+		ran++
+		start := time.Now()
+		copt := harness.DefaultChaosOptions()
+		copt.Options = opt
+		copt.MaxCycles = 2_000_000
+		copt.Seed = *seed
+		cells, err := harness.RunChaos(copt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(1)
+		}
+		harness.WriteChaos(os.Stdout, copt.Seed, cells)
+		elapsed := time.Since(start)
+		total += elapsed
+		fmt.Printf("(chaos took %.1fs)\n\n", elapsed.Seconds())
+	}
+
 	run("fig10", func() error {
 		ts, err := harness.Fig10(opt)
 		if err != nil {

@@ -1,0 +1,175 @@
+package barrier
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+)
+
+func TestFallbackEngineDegrades(t *testing.T) {
+	pol := FallbackPolicy{Retries: 2, Backoff: 100, MaxCycles: 100_000, Fallback: KindSWCentral}
+	var kinds []Kind
+	res, err := RunWithFallback(KindFilterD, pol, func(kind Kind, try int, budget uint64) (uint64, error) {
+		kinds = append(kinds, kind)
+		if kind == KindFilterD {
+			return 1000, fmt.Errorf("injected filter fault")
+		}
+		return 500, nil
+	})
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if !res.Completed || !res.Degraded || res.Kind != KindSWCentral {
+		t.Fatalf("completed=%v degraded=%v kind=%v", res.Completed, res.Degraded, res.Kind)
+	}
+	want := []Kind{KindFilterD, KindFilterD, KindFilterD, KindSWCentral}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("attempt plan %v, want %v", kinds, want)
+	}
+	// 3 failed filter attempts at 1000 cycles, the 500-cycle fallback, and
+	// doubling backoff 100+200+400 before attempts 1..3.
+	if res.TotalCycles != 3*1000+500+700 {
+		t.Fatalf("total cycles %d, want 4200", res.TotalCycles)
+	}
+	if res.Cycles != 500 || len(res.Attempts) != 4 {
+		t.Fatalf("cycles=%d attempts=%d", res.Cycles, len(res.Attempts))
+	}
+	for i, a := range res.Attempts {
+		if a.Try != i || (i < 3) == (a.Err == "") {
+			t.Fatalf("attempt %d malformed: %+v", i, a)
+		}
+	}
+	if !strings.Contains(res.Report(), "degraded to sw-central") {
+		t.Fatalf("report missing degradation note:\n%s", res.Report())
+	}
+}
+
+func TestFallbackEngineStopsOnUnrecoverable(t *testing.T) {
+	pol := DefaultFallbackPolicy(100_000)
+	calls := 0
+	_, err := RunWithFallback(KindFilterD, pol, func(Kind, int, uint64) (uint64, error) {
+		calls++
+		return 10, fmt.Errorf("%w: result corruption", ErrUnrecoverable)
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("unrecoverable failure retried (calls=%d, err=%v)", calls, err)
+	}
+}
+
+func TestFallbackEngineSoftwareKindsRunOnce(t *testing.T) {
+	pol := DefaultFallbackPolicy(100_000)
+	calls := 0
+	_, err := RunWithFallback(KindSWCentral, pol, func(Kind, int, uint64) (uint64, error) {
+		calls++
+		return 10, fmt.Errorf("software barriers have no degradation path")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("software kind was retried (calls=%d, err=%v)", calls, err)
+	}
+}
+
+func TestFallbackEngineRespectsBudget(t *testing.T) {
+	pol := FallbackPolicy{Retries: 5, Backoff: 0, MaxCycles: 1000, Fallback: KindSWCentral}
+	res, err := RunWithFallback(KindFilterD, pol, func(kind Kind, try int, budget uint64) (uint64, error) {
+		return budget, fmt.Errorf("eats its whole budget and fails")
+	})
+	if err == nil {
+		t.Fatal("exhausted run reported success")
+	}
+	if res.TotalCycles > pol.MaxCycles {
+		t.Fatalf("spent %d cycles over a %d budget", res.TotalCycles, pol.MaxCycles)
+	}
+}
+
+// TestResilientDegradesOnFilterTimeout runs a real barrier workload whose
+// filter hardware is configured to time out instantly: every filter attempt
+// faults (the parked fill comes back as an error fill), and the run must
+// complete on the software fallback with correct results.
+func TestResilientDegradesOnFilterTimeout(t *testing.T) {
+	const nthreads = 4
+	cfg := core.DefaultConfig(nthreads)
+	cfg.FilterTimeout = 1 // every parked fill becomes an error fill
+
+	build := func(gen Generator) (*asm.Program, error) {
+		return BuildProgram(gen, func(b *asm.Builder) {
+			// Stagger arrivals by ~tid*256 loop iterations: in lockstep no
+			// fill ever parks (the last arrival opens the barrier first),
+			// and an unparked filter cannot time out.
+			b.SLLI(7, 10, 8)
+			spin := b.NewLabel("spin")
+			enter := b.NewLabel("enter")
+			b.Label(spin)
+			b.BEQZ(7, enter)
+			b.ADDI(7, 7, -1)
+			b.BNEZ(7, spin)
+			b.Label(enter)
+			gen.EmitBarrier(b)
+			b.LA(4, "done")
+			b.SLLI(6, 10, 3)
+			b.ADD(6, 4, 6)
+			b.LI(5, 1)
+			b.ST(5, 6, 0)
+			b.AlignData(64)
+			b.DataLabel("done")
+			b.Space(64)
+		})
+	}
+	verified := 0
+	hooks := AttemptHooks{
+		Verify: func(m *core.Machine, prog *asm.Program) error {
+			verified++
+			done := prog.MustSymbol("done")
+			for tid := 0; tid < nthreads; tid++ {
+				if got := m.Sys.Mem.ReadUint64(done + uint64(tid*8)); got != 1 {
+					return fmt.Errorf("thread %d done=%d, want 1", tid, got)
+				}
+			}
+			return nil
+		},
+	}
+	res, err := RunResilient(cfg, nthreads, KindFilterD, DefaultFallbackPolicy(2_000_000), build, hooks)
+	if err != nil {
+		t.Fatalf("resilient run failed: %v\n%s", err, res.Report())
+	}
+	if !res.Degraded || res.Kind != KindSWCentral {
+		t.Fatalf("expected degradation to sw-central, got kind=%v degraded=%v", res.Kind, res.Degraded)
+	}
+	if verified != 1 {
+		t.Fatalf("verify ran %d times, want once (on the successful attempt)", verified)
+	}
+	for _, a := range res.Attempts[:len(res.Attempts)-1] {
+		if a.Err == "" {
+			t.Fatalf("filter attempt %d succeeded with a 1-cycle timeout", a.Try)
+		}
+	}
+}
+
+// TestResilientVerifyFailureIsUnrecoverable: corruption detected by the
+// verify hook must abort, not retry — a retry would mask it.
+func TestResilientVerifyFailureIsUnrecoverable(t *testing.T) {
+	const nthreads = 2
+	cfg := core.DefaultConfig(nthreads)
+	build := func(gen Generator) (*asm.Program, error) {
+		return BuildProgram(gen, func(b *asm.Builder) { gen.EmitBarrier(b) })
+	}
+	calls := 0
+	hooks := AttemptHooks{
+		Verify: func(*core.Machine, *asm.Program) error {
+			calls++
+			return fmt.Errorf("checksum mismatch")
+		},
+	}
+	res, err := RunResilient(cfg, nthreads, KindFilterD, DefaultFallbackPolicy(2_000_000), build, hooks)
+	if err == nil || calls != 1 {
+		t.Fatalf("verify failure retried (calls=%d err=%v)", calls, err)
+	}
+	if len(res.Attempts) != 1 {
+		t.Fatalf("attempts = %d, want 1", len(res.Attempts))
+	}
+	if !strings.Contains(res.Attempts[0].Err, "result corruption") {
+		t.Fatalf("attempt error %q not marked as corruption", res.Attempts[0].Err)
+	}
+}

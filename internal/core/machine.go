@@ -298,14 +298,62 @@ func (m *Machine) Run(maxCycles uint64) (uint64, error) {
 	return m.now - start, nil
 }
 
+// describePCs reports, for every still-running core, its resume PC and —
+// when the core is starved on a fill parked inside a barrier filter — which
+// filter slot is holding it, so a cycle-limit report attributes the barrier
+// a deadlocked machine is actually stuck on.
 func (m *Machine) describePCs() string {
 	s := ""
 	for i, c := range m.Cores {
-		if c.Running() {
-			s += fmt.Sprintf("[core%d %#x]", i, c.ResumePC())
+		if !c.Running() {
+			continue
 		}
+		blocked := ""
+		phys := m.physOf[i]
+		for b, h := range m.Hooks {
+			if slot, f, thread, ok := h.BlockedOn(phys); ok {
+				blocked = fmt.Sprintf(" blocked on barrier %q (bank %d slot %d, thread entry %d)",
+					f.Name, b, slot, thread)
+				break
+			}
+		}
+		s += fmt.Sprintf("[core%d %#x%s]", i, c.ResumePC(), blocked)
 	}
 	return s
+}
+
+// RunUntil steps the machine (with the same quiescent-core fast-forwarding
+// as Run) until cycle target is reached or every core halts or faults.
+// Unlike Run, reaching the target is not an error — it is how external
+// drivers (the OS model, the fault-injection harness) interleave scheduling
+// actions with execution. It returns the first fault, if any.
+func (m *Machine) RunUntil(target uint64) error {
+	for m.Running() && m.now < target {
+		if m.allQuiesced() {
+			t, ok := m.Sys.NextEvent(m.now)
+			if !ok || t > target {
+				t = target
+			}
+			if delta := t - m.now; delta > 0 {
+				for _, c := range m.fastCores {
+					c.SkipQuiesced(delta)
+				}
+				m.Sys.SkipIdle(m.now, delta)
+				m.now += delta
+				continue
+			}
+		}
+		m.Step()
+	}
+	if m.faultErr != nil {
+		return m.faultErr
+	}
+	for _, c := range m.Cores {
+		if c.Fault != nil {
+			return c.Fault
+		}
+	}
+	return nil
 }
 
 // FaultErr returns the first recorded memory-system fault.

@@ -67,6 +67,14 @@ func (m *Machine) StatsReport() *sim.Stats {
 	set("filter.fills_released", released)
 	set("filter.error_responses", faults)
 
+	var timeouts, misuse uint64
+	for _, h := range m.Hooks {
+		timeouts += h.TimeoutReleases()
+		misuse += h.MisuseFaults()
+	}
+	set("filter.timeout_releases", timeouts)
+	set("filter.misuse_faults", misuse)
+
 	set("l3.hits", m.Sys.L3Cache().Hits)
 	set("l3.misses_to_dram", m.Sys.L3Cache().Misses)
 

@@ -107,3 +107,37 @@ func (b *BankFilters) LastError() string {
 	}
 	return ""
 }
+
+// Filters returns the currently installed filters (diagnostics and fault
+// injection).
+func (b *BankFilters) Filters() []*Filter { return b.filters }
+
+// TimeoutReleases sums the hosted filters' timeout-release counters.
+func (b *BankFilters) TimeoutReleases() uint64 {
+	var n uint64
+	for _, f := range b.filters {
+		n += f.Timeouts
+	}
+	return n
+}
+
+// MisuseFaults sums the hosted filters' protocol-error counters.
+func (b *BankFilters) MisuseFaults() uint64 {
+	var n uint64
+	for _, f := range b.filters {
+		n += f.Errors
+	}
+	return n
+}
+
+// BlockedOn reports which filter slot holds a parked fill from the given
+// physical core: the slot index, the filter, and the thread entry the fill
+// belongs to. ok=false when the core is not parked at this bank.
+func (b *BankFilters) BlockedOn(core int) (slot int, f *Filter, thread int, ok bool) {
+	for i, x := range b.filters {
+		if t, o := x.ParkedThreadOf(core); o {
+			return i, x, t, true
+		}
+	}
+	return 0, nil, 0, false
+}

@@ -299,3 +299,20 @@ func (f *Filter) nextEvent(now uint64) (event uint64, ok bool) {
 
 // PendingFor returns how many fills are parked for thread t (tests).
 func (f *Filter) PendingFor(t int) int { return len(f.pending[t]) }
+
+// ParkedThreadOf returns the thread entry holding a parked fill issued by
+// the given physical core, for blocked-core attribution in deadlock
+// reports. ok=false when the core has nothing parked here.
+func (f *Filter) ParkedThreadOf(core int) (thread int, ok bool) {
+	for t := range f.pending {
+		for _, p := range f.pending[t] {
+			if p.txn.Core == core {
+				return t, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Registered reports whether thread entry t is valid (diagnostics).
+func (f *Filter) Registered(t int) bool { return t >= 0 && t < f.NumThreads && f.valid[t] }

@@ -1,0 +1,279 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/kernels"
+	"repro/internal/osmodel"
+)
+
+// ChaosOptions configures the chaos differential matrix.
+type ChaosOptions struct {
+	Options
+	// Seed is the master seed; every cell and attempt derives its own
+	// injector seed from it, so one number replays the whole matrix
+	// byte-identically at any worker count.
+	Seed uint64
+	// Threads is the SPMD thread count per cell (default 8). Preemption
+	// profiles get one spare core to migrate preempted threads onto.
+	Threads int
+	// Kinds are the barrier mechanisms swept (default: the two D-cache
+	// filter variants, the mechanisms with a degradation path).
+	Kinds []barrier.Kind
+	// Profiles are the injector profiles swept (default faults.Profiles).
+	Profiles []faults.Profile
+}
+
+// DefaultChaosOptions returns the standard matrix: small kernels, every
+// standard injector profile, a 2M-cycle budget per cell.
+func DefaultChaosOptions() ChaosOptions {
+	o := ChaosOptions{Options: QuickOptions(), Seed: 1, Threads: 8}
+	o.MaxCycles = 2_000_000
+	o.Kinds = []barrier.Kind{barrier.KindFilterD, barrier.KindFilterDPP}
+	o.Profiles = faults.Profiles()
+	return o
+}
+
+// ChaosCell is one (kernel x mechanism x profile) result. The contract has
+// exactly two acceptable outcomes: results bit-identical to the fault-free
+// run ("identical", or "degraded" when the software fallback produced
+// them), or a clean attributed fault report ("fault") before the cycle
+// budget. Anything else — silent corruption, an unexplained failure — makes
+// RunChaos itself return an error.
+type ChaosCell struct {
+	Kernel   string
+	Kind     barrier.Kind
+	Profile  string
+	Outcome  string // "identical" | "degraded" | "fault"
+	Attempts int
+	Injected uint64 // faults injected (preemptions included)
+	Cycles   uint64 // total simulated cycles across attempts
+	Report   string // attribution ("" when identical and nothing injected)
+}
+
+// chaosKernels returns the kernel set of the matrix: the pure barrier
+// stressor plus two data kernels whose Verify makes "bit-identical to the
+// fault-free run" checkable against the Go reference.
+func chaosKernels() []kernels.Kernel {
+	return []kernels.Kernel{
+		&kernels.Microbench{K: 4, M: 2},
+		kernels.NewLivermore3(96, 2),
+		kernels.NewViterbi(24, 2),
+	}
+}
+
+// RunChaos sweeps the matrix. Cells are independent machines, keyed by
+// index, so output is identical at any worker count.
+func RunChaos(opt ChaosOptions) ([]ChaosCell, error) {
+	if opt.Threads == 0 {
+		opt.Threads = 8
+	}
+	if len(opt.Kinds) == 0 {
+		opt.Kinds = []barrier.Kind{barrier.KindFilterD, barrier.KindFilterDPP}
+	}
+	if len(opt.Profiles) == 0 {
+		opt.Profiles = faults.Profiles()
+	}
+	type cellSpec struct {
+		k    kernels.Kernel
+		kind barrier.Kind
+		p    faults.Profile
+	}
+	var specs []cellSpec
+	for _, k := range chaosKernels() {
+		for _, kind := range opt.Kinds {
+			for _, p := range opt.Profiles {
+				specs = append(specs, cellSpec{k, kind, p})
+			}
+		}
+	}
+	cells := make([]ChaosCell, len(specs))
+	err := forEach(opt.workerCount(), len(specs), func(i int) error {
+		c, err := runChaosCell(specs[i].k, specs[i].kind, specs[i].p,
+			faults.MixSeed(opt.Seed, uint64(i)+0x9000), opt)
+		cells[i] = c
+		return err
+	})
+	return cells, err
+}
+
+// runChaosCell runs one cell through the resilient runner.
+func runChaosCell(k kernels.Kernel, kind barrier.Kind, p faults.Profile,
+	seed uint64, opt ChaosOptions) (ChaosCell, error) {
+	nthreads := opt.Threads
+	cores := nthreads
+	if p.WantsPreemption() {
+		cores++ // a spare core to migrate preempted threads onto
+	}
+	cfg := machineConfig(cores, opt.Options)
+	cfg.FilterStrict = true
+	// The paper's hardware timeout stays armed under chaos: it is the
+	// last line of defense turning starvation into an attributable fault.
+	cfg.FilterTimeout = 100_000
+
+	cell := ChaosCell{Kernel: k.Name(), Kind: kind, Profile: p.Name}
+	var lastInj *faults.Injector
+	var injected uint64
+	var history []string // per-attempt injector attribution
+	var sched *osmodel.Scheduler
+	retire := func() {
+		if lastInj == nil {
+			return
+		}
+		injected += lastInj.TotalInjected()
+		history = append(history, fmt.Sprintf("attempt %d %s", len(history), attribution(lastInj)))
+		lastInj = nil
+	}
+
+	hooks := barrier.AttemptHooks{
+		OnMachine: func(try int, _ barrier.Kind, m *core.Machine, gen barrier.Generator) {
+			retire()
+			if !p.Active() {
+				return
+			}
+			inj := faults.New(p, faults.MixSeed(seed, uint64(try)+1), m.Sys, cores)
+			if hw, ok := gen.(barrier.HardwareBarrier); ok {
+				fs := hw.Filters()
+				inj.SetFilters(fs)
+				var addrs []uint64
+				for _, f := range fs {
+					for t := 0; t < f.NumThreads; t++ {
+						addrs = append(addrs, f.ArrivalAddr(t))
+					}
+				}
+				inj.SetFillTargets(addrs)
+			} else {
+				inj.SetFillTargets([]uint64{core.DataBase, core.BarrierRegion})
+			}
+			lastInj = inj
+		},
+		Verify: func(m *core.Machine, prog *asm.Program) error {
+			return k.Verify(m.Sys.Mem, prog, nthreads)
+		},
+	}
+	if p.WantsPreemption() {
+		hooks.Start = func(m *core.Machine, prog *asm.Program) error {
+			sched = osmodel.NewScheduler(m)
+			for t := 0; t < nthreads; t++ {
+				if err := sched.StartThread(t, t, prog.Entry, nthreads); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		hooks.Drive = func(try int, m *core.Machine, budget uint64) (uint64, error) {
+			plan := p.PreemptPlan(faults.MixSeed(seed, 0x100+uint64(try)), nthreads, budget)
+			cycles, applied, err := runPreemptPlan(m, sched, plan, budget)
+			injected += applied
+			return cycles, err
+		}
+	}
+
+	pol := barrier.DefaultFallbackPolicy(opt.MaxCycles)
+	res, err := barrier.RunResilient(cfg, nthreads, kind, pol, func(gen barrier.Generator) (*asm.Program, error) {
+		return k.BuildPar(gen, nthreads)
+	}, hooks)
+	retire()
+	attr := strings.Join(history, "\n  ")
+	cell.Attempts = len(res.Attempts)
+	cell.Cycles = res.TotalCycles
+	cell.Injected = injected
+
+	// Contract checks: corruption is never an acceptable outcome, and a
+	// cell with nothing injected must simply complete.
+	for _, a := range res.Attempts {
+		if strings.Contains(a.Err, "result corruption") {
+			return cell, fmt.Errorf("chaos: %s/%s/%s: silent data corruption: %s",
+				cell.Kernel, kind, p.Name, a.Err)
+		}
+	}
+	switch {
+	case err == nil && !res.Degraded:
+		cell.Outcome = "identical"
+		if injected > 0 {
+			cell.Report = attr
+		}
+	case err == nil && res.Degraded:
+		cell.Outcome = "degraded"
+		cell.Report = res.Report() + "  " + attr
+	default:
+		if !p.Active() {
+			return cell, fmt.Errorf("chaos: %s/%s/%s: fault-free cell failed: %v",
+				cell.Kernel, kind, p.Name, err)
+		}
+		cell.Outcome = "fault"
+		cell.Report = err.Error() + "\n  " + attr
+	}
+	return cell, nil
+}
+
+// attribution renders the injector's summary plus its last few records.
+func attribution(inj *faults.Injector) string {
+	if inj == nil {
+		return "(injector state not retained)"
+	}
+	s := inj.Summary()
+	recs := inj.Records()
+	if n := len(recs); n > 5 {
+		recs = recs[n-5:]
+	}
+	for _, r := range recs {
+		s += "\n    " + r.String()
+	}
+	return s
+}
+
+// runPreemptPlan drives a machine while executing a preemption plan: at
+// each event it drains and deschedules the victim, holds it off-core for
+// the event's gap, and reschedules it on a free core (usually a different
+// one — migration mid-barrier, §3.3.3). Returns the cycles consumed and
+// the number of preemptions actually applied.
+func runPreemptPlan(m *core.Machine, sched *osmodel.Scheduler,
+	plan []faults.PreemptEvent, budget uint64) (uint64, uint64, error) {
+	start := m.Now()
+	limit := start + budget
+	var applied uint64
+	for _, ev := range plan {
+		target := start + ev.At
+		if target >= limit {
+			break
+		}
+		if err := m.RunUntil(target); err != nil {
+			return m.Now() - start, applied, err
+		}
+		if !m.Running() {
+			break
+		}
+		if sched.CoreOf(ev.TID) < 0 {
+			continue
+		}
+		if err := sched.PreemptWhenDrained(ev.TID, 20_000); err != nil {
+			continue // victim halted or could not drain: skip this event
+		}
+		applied++
+		resumeAt := m.Now() + ev.Gap
+		if resumeAt > limit {
+			resumeAt = limit
+		}
+		if err := m.RunUntil(resumeAt); err != nil {
+			return m.Now() - start, applied, err
+		}
+		c := sched.FreeCore()
+		if c < 0 {
+			return m.Now() - start, applied, fmt.Errorf("chaos: no free core to resume thread %d", ev.TID)
+		}
+		if err := sched.Schedule(ev.TID, c); err != nil {
+			return m.Now() - start, applied, err
+		}
+	}
+	if m.Now() >= limit {
+		return m.Now() - start, applied, fmt.Errorf("core: cycle limit %d exceeded during preemption plan", budget)
+	}
+	_, err := m.Run(limit - m.Now())
+	return m.Now() - start, applied, err
+}

@@ -85,6 +85,25 @@ func WriteCoarseGrain(w io.Writer, r CoarseGrainResult) {
 	fmt.Fprintf(w, "  filter improvement %11.1f%%   (paper: 3.5%% for Ocean)\n", r.Improvement*100)
 }
 
+// WriteChaos renders the chaos differential matrix. Cell order, and
+// therefore output, depends only on the seed — never on worker count.
+func WriteChaos(w io.Writer, seed uint64, cells []ChaosCell) {
+	fmt.Fprintf(w, "Chaos differential matrix (seed %d): every cell must either match the\n", seed)
+	fmt.Fprintln(w, "fault-free result bit-identically or fail with an attributed report.")
+	fmt.Fprintf(w, "%-12s %-12s %-14s %-10s %9s %9s %12s\n",
+		"kernel", "barrier", "profile", "outcome", "attempts", "injected", "cycles")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-12s %-12s %-14s %-10s %9d %9d %12d\n",
+			c.Kernel, c.Kind, c.Profile, c.Outcome, c.Attempts, c.Injected, c.Cycles)
+	}
+	for _, c := range cells {
+		if c.Outcome == "identical" || c.Report == "" {
+			continue
+		}
+		fmt.Fprintf(w, "%s/%s/%s:\n  %s\n", c.Kernel, c.Kind, c.Profile, c.Report)
+	}
+}
+
 // WriteExtras renders the extra software-barrier comparison.
 func WriteExtras(w io.Writer, r ExtrasResult) {
 	fmt.Fprintf(w, "Software barrier comparison at %d cores (cycles/barrier):\n", r.Cores)

@@ -243,6 +243,13 @@ func (bk *Bank) processInval(now uint64, t Txn) {
 		e.iSharers = 0
 	}
 	resp := Txn{Kind: InvalAck, Addr: t.Addr, Core: t.Core, ID: t.ID, ReqKind: t.Kind, Err: fault}
+	// A dropped acknowledgement models a lost coherence message: the
+	// invalidation above was applied, but the issuing core's token never
+	// completes and its store buffer wedges — the cycle-limit watchdog
+	// (and the chaos harness) must attribute that hang, not mask it.
+	if bk.sys.chaos != nil && bk.sys.chaos.OnInvalAckDrop(now, resp) {
+		return
+	}
 	bk.sys.Bus.PushResponse(bk.idx, resp, now+uint64(bk.sys.Cfg.L2Lat))
 }
 

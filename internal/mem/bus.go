@@ -29,6 +29,9 @@ type Bus struct {
 	deliverReq  func(bank int, t Txn, at uint64)
 	deliverResp func(t Txn, at uint64)
 
+	// chaos mirrors System.chaos (set through SetChaosHook); nil = off.
+	chaos ChaosHook
+
 	// statistics
 	ReqGrants    uint64
 	ReqBusyCyc   uint64
@@ -61,9 +64,24 @@ func NewBus(cfg *Config, deliverReq func(bank int, t Txn, at uint64), deliverRes
 }
 
 // PushRequest enqueues a request transaction from a core, available for
-// arbitration at cycle ready.
+// arbitration at cycle ready. An attached chaos hook may delay the entry
+// (its ready time moves out, so nextEvent stays exact) or reorder it ahead
+// of the youngest entry the same core already has queued.
 func (b *Bus) PushRequest(t Txn, ready uint64) {
-	b.reqQ[t.Core] = append(b.reqQ[t.Core], timedTxn{t, ready})
+	q := b.reqQ[t.Core]
+	if b.chaos != nil {
+		delay, reorder := b.chaos.OnRequest(t, ready)
+		ready += delay
+		if reorder && len(q) > 0 {
+			last := q[len(q)-1]
+			b.reqQ[t.Core] = append(q[:len(q)-1], timedTxn{t, ready}, last)
+			if n := len(b.reqQ[t.Core]); n > b.MaxReqQueue {
+				b.MaxReqQueue = n
+			}
+			return
+		}
+	}
+	b.reqQ[t.Core] = append(q, timedTxn{t, ready})
 	if n := len(b.reqQ[t.Core]); n > b.MaxReqQueue {
 		b.MaxReqQueue = n
 	}
@@ -71,6 +89,9 @@ func (b *Bus) PushRequest(t Txn, ready uint64) {
 
 // PushResponse enqueues a response from a bank, available at cycle ready.
 func (b *Bus) PushResponse(bank int, t Txn, ready uint64) {
+	if b.chaos != nil {
+		ready += b.chaos.OnResponse(bank, t, ready)
+	}
 	b.respQ[bank] = append(b.respQ[bank], timedTxn{t, ready})
 	if n := len(b.respQ[bank]); n > b.MaxRespQueue {
 		b.MaxRespQueue = n

@@ -1,0 +1,67 @@
+package mem
+
+// ChaosHook is the deterministic fault-injection seam of the memory system.
+// A nil hook (the default) disables injection with zero overhead; when one
+// is attached via SetChaosHook, the hierarchy consults it at every point a
+// real machine could misbehave:
+//
+//   - OnRequest, at the moment a request transaction is enqueued on the
+//     address bus (delay and adjacent reordering);
+//   - OnResponse, at the moment a response is enqueued on the data path
+//     (late fills and late acks);
+//   - OnInvalAckDrop, when a bank is about to acknowledge an ICBI/DCBI
+//     (a dropped ack: the invalidation was applied but the issuing core is
+//     never told);
+//   - Tick/NextEvent, for spontaneous injections the hook schedules itself
+//     (spurious fill responses, filter-table misuse transactions).
+//
+// Two rules keep injection compatible with the quiescent-core bulk
+// fast-forward (DESIGN.md §6): delays must be applied by adjusting an
+// entry's ready time at enqueue, so the existing next-event queries remain
+// exact; and Tick must act (and consume randomness) only at cycles the hook
+// previously announced through NextEvent. Under those rules a chaos run is
+// bit-identical with the fast path on and off.
+type ChaosHook interface {
+	// OnRequest may delay a request (extra cycles added to its bus-ready
+	// time) and/or reorder it ahead of the youngest entry already queued
+	// by the same core, breaking the FIFO same-address ordering the
+	// barrier sequences rely on.
+	OnRequest(t Txn, ready uint64) (delay uint64, reorder bool)
+
+	// OnResponse may delay a response (fill, upgrade ack, or inval ack)
+	// on the data path.
+	OnResponse(bank int, t Txn, ready uint64) (delay uint64)
+
+	// OnInvalAckDrop reports whether the bank should silently drop the
+	// acknowledgement for an applied invalidation.
+	OnInvalAckDrop(now uint64, t Txn) (drop bool)
+
+	// Tick runs once per memory-system cycle and may inject synthetic
+	// transactions via InjectResponse/InjectRequest. It must only act at
+	// cycles announced by NextEvent.
+	Tick(now uint64)
+
+	// NextEvent returns the next cycle at which Tick will act
+	// spontaneously (ok=false: never, absent new traffic).
+	NextEvent(now uint64) (uint64, bool)
+}
+
+// SetChaosHook attaches (or, with nil, detaches) a fault injector.
+func (s *System) SetChaosHook(h ChaosHook) {
+	s.chaos = h
+	s.Bus.chaos = h
+}
+
+// InjectResponse delivers a synthetic response transaction to its core at
+// cycle at, as if it had crossed the data path. Responses whose ID matches
+// no outstanding MSHR or invalidation token are dropped by the receivers,
+// which is exactly the robustness property spurious-fill injection probes.
+func (s *System) InjectResponse(t Txn, at uint64) {
+	s.deliverResp(t, at)
+}
+
+// InjectRequest places a synthetic request transaction on the address bus
+// (subject to normal arbitration, and to the chaos hook's own OnRequest).
+func (s *System) InjectRequest(t Txn, at uint64) {
+	s.Bus.PushRequest(t, at)
+}

@@ -26,6 +26,9 @@ type System struct {
 	invalTokens []map[uint64]*InvalToken // per core, keyed by txn ID
 	nextInvalID []uint64
 
+	// chaos is the optional fault injector (see chaos.go). nil = off.
+	chaos ChaosHook
+
 	// wake[core] is invoked whenever a response (fill, upgrade ack, or
 	// invalidation ack) is delivered to that core; the machine uses it to
 	// drop the core out of the quiescent fast path.
@@ -88,6 +91,11 @@ func (s *System) IssueCacheInval(now uint64, core int, addr uint64, icache bool)
 
 // Tick advances the memory system one cycle.
 func (s *System) Tick(now uint64) {
+	// 0. Let the fault injector act (it may append to respInbox or the
+	// bus queues before this cycle's delivery and arbitration).
+	if s.chaos != nil {
+		s.chaos.Tick(now)
+	}
 	// 1. Deliver arrived responses to the L1s / inval tokens.
 	for i := 0; i < len(s.respInbox); {
 		if s.respInbox[i].ready > now {
@@ -178,6 +186,11 @@ func (s *System) NextEvent(now uint64) (event uint64, ok bool) {
 	}
 	if t, o := s.l3.nextEvent(); o {
 		consider(t)
+	}
+	if s.chaos != nil {
+		if t, o := s.chaos.NextEvent(now); o {
+			consider(t)
+		}
 	}
 	return event, ok
 }

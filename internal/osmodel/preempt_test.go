@@ -1,0 +1,136 @@
+package osmodel
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/filter"
+)
+
+// TestPreemptBetweenArrivalAndStallFill pins down the narrowest §3.3.3
+// window: a thread whose arrival invalidation has already reached the filter
+// (state Blocking) but whose stall-fill request is still in flight — here
+// held on the bus by a targeted fault injector — is descheduled before the
+// fill ever parks. The late fill then parks on behalf of a thread that is no
+// longer on any core; when the barrier opens, its service goes to the old
+// core and must be dropped as stale, while the rescheduled thread blocks and
+// completes normally on its new core.
+func TestPreemptBetweenArrivalAndStallFill(t *testing.T) {
+	const nthreads = 2
+	cfg := core.DefaultConfig(3) // 2 threads + a spare core to migrate to
+	m := core.NewMachine(cfg)
+	mgr := NewManager(m)
+	h, err := mgr.Register(barrier.KindFilterD, nthreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Thread 0 waits on a flag, guaranteeing thread 1 reaches the barrier
+	// first and alone. Done markers live at flag+64+8*tid.
+	prog, err := barrier.BuildProgram(h.Gen, func(b *asm.Builder) {
+		b.LA(4, "flag")
+		wait := b.NewLabel("wait")
+		go1 := b.NewLabel("go1")
+		b.BNEZ(10, go1)
+		b.Label(wait)
+		b.LD(5, 4, 0)
+		b.BEQZ(5, wait)
+		b.Label(go1)
+		h.Gen.EmitBarrier(b)
+		b.SLLI(6, 10, 3)
+		b.ADD(6, 4, 6)
+		b.LI(5, 1)
+		b.ST(5, 6, 64)
+		b.AlignData(64)
+		b.DataLabel("flag")
+		b.Space(192)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(prog)
+	if err := h.Gen.Install(m, prog); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < nthreads; tid++ {
+		if err := h.RegisterThread(tid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := h.Filters()[0]
+
+	// Hold thread 1's stall fill on the bus for 2000 cycles. The arrival
+	// store is an upgrade/invalidate, untouched by the fill-delay site, so
+	// it proceeds at full speed — opening the arrival-done/fill-parked gap
+	// wide enough to preempt inside it.
+	faults.New(faults.Profile{
+		FillDelayP: 1, FillDelayMin: 2000, FillDelayMax: 2000,
+		OnlyAddrs: []uint64{f.ArrivalAddr(1)},
+	}, 1, m.Sys, cfg.Cores)
+
+	sched := NewScheduler(m)
+	for tid := 0; tid < nthreads; tid++ {
+		if err := sched.StartThread(tid, tid, prog.Entry, nthreads); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Step into the window: arrival registered, store buffer drained, but
+	// the delayed fill has not parked.
+	inWindow := func() bool {
+		return f.State(1) == filter.Blocking && f.PendingFor(1) == 0 && sched.Drained(1)
+	}
+	for i := 0; i < 200_000 && !inWindow(); i++ {
+		m.Step()
+	}
+	if !inWindow() {
+		t.Fatalf("never reached the arrival/stall-fill window: state=%v pending=%d drained=%v",
+			f.State(1), f.PendingFor(1), sched.Drained(1))
+	}
+	if err := sched.Deschedule(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the delayed fill arrive while its thread is off-core: it must
+	// park against thread 1's (still Blocking) entry.
+	for i := 0; i < 5_000 && f.PendingFor(1) == 0; i++ {
+		m.Step()
+	}
+	if f.PendingFor(1) == 0 {
+		t.Fatal("delayed fill never parked at the filter")
+	}
+
+	// Resume thread 1 on the spare core; it re-issues its stall fill (also
+	// delayed by the injector) and must end up with a second parked fill.
+	if err := sched.Schedule(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200_000 && f.PendingFor(1) < 2; i++ {
+		m.Step()
+	}
+	if f.PendingFor(1) < 2 {
+		t.Fatalf("rescheduled thread did not re-block (pending=%d)", f.PendingFor(1))
+	}
+
+	// Release thread 0: the barrier opens, the stale fill is dropped by the
+	// departed core, and both threads run to completion.
+	flag := prog.MustSymbol("flag")
+	m.Sys.Mem.WriteUint64(flag, 1)
+	if _, err := m.Run(5_000_000); err != nil {
+		t.Fatalf("run to completion: %v", err)
+	}
+	for tid := 0; tid < nthreads; tid++ {
+		if got := m.Sys.Mem.ReadUint64(flag + 64 + uint64(tid*8)); got != 1 {
+			t.Fatalf("thread %d did not pass the barrier (done=%d)", tid, got)
+		}
+	}
+	if f.Openings != 1 {
+		t.Fatalf("filter openings = %d, want 1", f.Openings)
+	}
+	if f.Errors != 0 {
+		t.Fatalf("filter errors = %d (%s)", f.Errors, f.LastError())
+	}
+}

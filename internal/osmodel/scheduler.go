@@ -110,3 +110,47 @@ func (s *Scheduler) Migrate(tid, toCore int) error {
 	}
 	return s.Schedule(tid, toCore)
 }
+
+// CoreOf returns the core thread tid runs on, or -1.
+func (s *Scheduler) CoreOf(tid int) int {
+	if t, ok := s.threads[tid]; ok {
+		return t.core
+	}
+	return -1
+}
+
+// FreeCore returns a core with no thread scheduled on it, or -1. The
+// fault-injection harness uses it to migrate preempted threads rather than
+// always resuming them in place.
+func (s *Scheduler) FreeCore() int {
+	for c, tid := range s.onCore {
+		if tid == -1 {
+			return c
+		}
+	}
+	return -1
+}
+
+// PreemptWhenDrained steps the machine until thread tid's core has drained
+// its store buffer (the Deschedule precondition), then deschedules it. A
+// thread that cannot drain within maxWait cycles — its cache-op
+// acknowledgement may have been lost — is left running and reported, so a
+// fault-injection driver skips the preemption instead of wedging on it. A
+// thread that halts while draining is likewise left alone.
+func (s *Scheduler) PreemptWhenDrained(tid int, maxWait uint64) error {
+	t, ok := s.threads[tid]
+	if !ok || t.core < 0 {
+		return fmt.Errorf("osmodel: thread %d is not running", tid)
+	}
+	c := s.m.Cores[t.core]
+	for i := uint64(0); i < maxWait && c.Running() && !c.Drained(); i++ {
+		s.m.Step()
+	}
+	if !c.Running() {
+		return fmt.Errorf("osmodel: thread %d halted before it could be preempted", tid)
+	}
+	if !c.Drained() {
+		return fmt.Errorf("osmodel: thread %d did not drain within %d cycles", tid, maxWait)
+	}
+	return s.Deschedule(tid)
+}

@@ -17,4 +17,7 @@ go test ./...
 echo "== go test -race (parallel harness) =="
 go test -race -run 'TestForEach|TestParallelFig4Deterministic' ./internal/harness
 
+echo "== go test (chaos differential) =="
+go test -run Chaos -count=1 .
+
 echo "ok"
