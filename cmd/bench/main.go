@@ -28,6 +28,10 @@ func main() {
 	noverify := flag.Bool("noverify", false, "skip cross-checking kernel results against the Go references")
 	workers := flag.Int("workers", 0, "experiment-cell goroutines (0 = one per CPU, 1 = sequential)")
 	nofastpath := flag.Bool("nofastpath", false, "disable the quiescent-core simulator fast path (differential debugging)")
+	sanitize := flag.Bool("sanitize", false, "run the online invariant sanitizer on every machine (behaviour-invariant; violations abort the cell with an attributed report)")
+	journal := flag.String("journal", "", "append per-cell JSONL records for the journaling sweeps (fig4, chaos) to this file")
+	resume := flag.Bool("resume", false, "skip cells already recorded in -journal (crash recovery for interrupted sweeps)")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget per experiment cell (0 = none); cells over budget are journaled as timed out and the sweep continues")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
@@ -38,6 +42,14 @@ func main() {
 	opt.Verify = !*noverify
 	opt.Workers = *workers
 	opt.NoFastPath = *nofastpath
+	opt.Sanitize = *sanitize
+	opt.JournalPath = *journal
+	opt.Resume = *resume
+	opt.CellDeadline = *deadline
+	if *resume && *journal == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -journal")
+		os.Exit(2)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

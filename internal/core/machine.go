@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/asm"
@@ -13,7 +14,12 @@ import (
 	"repro/internal/filter"
 	"repro/internal/hwnet"
 	"repro/internal/mem"
+	"repro/internal/sanitize"
 )
+
+// ErrStopped is wrapped by the error Run/RunUntil return when an external
+// StopCheck aborts the simulation (wall-clock deadlines in the harness).
+var ErrStopped = errors.New("core: run stopped by external stop check")
 
 // Memory-map conventions used by the loader and the code generators.
 const (
@@ -64,6 +70,18 @@ type Config struct {
 	// either way — so this knob exists only for differential testing and
 	// debugging.
 	NoFastPath bool
+
+	// Sanitize attaches the online invariant sanitizer (nil = off). The
+	// checkers are read-only, so a clean run is bit-identical with the
+	// sanitizer on or off; on a violation Run/RunUntil stop with the
+	// sanitize.Violation as their error (unless Sanitize.KeepGoing).
+	Sanitize *sanitize.Config
+
+	// StopCheck, when non-nil, is polled periodically inside Run/RunUntil;
+	// returning true aborts the simulation with an error wrapping
+	// ErrStopped that carries the last-progress cycle. The harness uses it
+	// for per-cell wall-clock deadlines.
+	StopCheck func() bool
 }
 
 // DefaultConfig returns the Table 2 machine for the given core count.
@@ -97,11 +115,43 @@ type Machine struct {
 
 	now      uint64
 	faultErr error
+
+	// Sanitizer state (nil when Cfg.Sanitize is nil).
+	san      *sanitize.Sanitizer
+	sanNext  uint64 // next full-pass check cycle
+	sanErr   error  // first violation, when not KeepGoing
+	stopTick uint64 // StopCheck polling divider
 }
 
 // ticker is one physical core's per-cycle unit.
 type ticker interface {
 	Tick(now uint64)
+}
+
+// Validate checks the configuration, returning an error wrapping
+// mem.ErrConfig describing the first problem.
+func (cfg Config) Validate() error {
+	if cfg.Cores <= 0 {
+		return fmt.Errorf("core: core count %d is not positive: %w", cfg.Cores, mem.ErrConfig)
+	}
+	if cfg.ThreadsPerCore < 0 {
+		return fmt.Errorf("core: threads per core %d is negative: %w", cfg.ThreadsPerCore, mem.ErrConfig)
+	}
+	mc := cfg.Mem
+	mc.Cores = cfg.Cores
+	return mc.Validate()
+}
+
+// NewMachineChecked validates cfg and builds the machine, turning a
+// malformed configuration into an error instead of a panic deep inside a
+// cache constructor. Harness cells go through this so a bad experiment
+// configuration is reported as a config fault without killing the pool
+// worker.
+func NewMachineChecked(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return NewMachine(cfg), nil
 }
 
 // NewMachine builds the machine.
@@ -142,6 +192,13 @@ func NewMachine(cfg Config) *Machine {
 		for _, c := range mt.Contexts {
 			m.Cores = append(m.Cores, c)
 			m.physOf = append(m.physOf, p)
+		}
+	}
+	if cfg.Sanitize != nil {
+		m.san = sanitize.New(cfg.Sanitize, m.Sys, m.Cores, m.physOf, m.Hooks)
+		m.sanNext = m.san.Every()
+		if m.san.EventChecksEnabled() {
+			m.Sys.SetObserver(m.san)
 		}
 	}
 	m.Sys.OnFault = func(phys int, t mem.Txn) {
@@ -246,6 +303,51 @@ func (m *Machine) allQuiesced() bool {
 	return true
 }
 
+// sanLatch promotes the sanitizer's first violation into the machine's
+// stop-the-run error (no-op under KeepGoing).
+func (m *Machine) sanLatch() {
+	if m.san != nil && m.sanErr == nil && !m.san.KeepGoing() {
+		if err := m.san.Err(); err != nil {
+			m.sanErr = err
+		}
+	}
+}
+
+// sanPoll runs a due sanitizer full pass and reports whether the run must
+// stop. Both execution paths call it at the top of every simulated cycle
+// they visit, and the fast path caps its jumps at sanNext, so check cycles
+// are identical with the fast path on or off.
+func (m *Machine) sanPoll() bool {
+	if m.san == nil {
+		return false
+	}
+	if m.now >= m.sanNext {
+		m.san.Check(m.now)
+		m.sanNext = m.now + m.san.Every()
+	}
+	m.sanLatch()
+	return m.sanErr != nil
+}
+
+// stopPoll rate-limits the external StopCheck to one call per 1024 loop
+// iterations.
+func (m *Machine) stopPoll() bool {
+	if m.Cfg.StopCheck == nil {
+		return false
+	}
+	m.stopTick++
+	return m.stopTick&1023 == 0 && m.Cfg.StopCheck()
+}
+
+// Violations returns the sanitizer's recorded violations (nil when the
+// sanitizer is off).
+func (m *Machine) Violations() []sanitize.Violation {
+	if m.san == nil {
+		return nil
+	}
+	return m.san.Violations()
+}
+
 // Running reports whether any core still has work.
 func (m *Machine) Running() bool {
 	for _, c := range m.Cores {
@@ -263,6 +365,12 @@ func (m *Machine) Running() bool {
 func (m *Machine) Run(maxCycles uint64) (uint64, error) {
 	start := m.now
 	for m.Running() {
+		if m.sanPoll() {
+			break
+		}
+		if m.stopPoll() {
+			return m.now - start, fmt.Errorf("%w (last progress at cycle %d)", ErrStopped, m.now)
+		}
 		if m.now-start >= maxCycles {
 			return m.now - start, fmt.Errorf("core: cycle limit %d exceeded (possible deadlock at pc %s)", maxCycles, m.describePCs())
 		}
@@ -271,10 +379,15 @@ func (m *Machine) Run(maxCycles uint64) (uint64, error) {
 			// system's next event: jump straight to it, crediting the
 			// per-cycle counters the skipped Steps would have bumped.
 			// With no event pending this is a true deadlock — jump to
-			// the cycle limit, reproducing the slow path's error.
+			// the cycle limit, reproducing the slow path's error. Jumps
+			// are capped at the sanitizer's next check cycle so checks
+			// observe the same machine states on both paths.
 			target, ok := m.Sys.NextEvent(m.now)
 			if limit := start + maxCycles; !ok || target > limit {
 				target = limit
+			}
+			if m.san != nil && m.sanNext < target {
+				target = m.sanNext
 			}
 			if delta := target - m.now; delta > 0 {
 				for _, c := range m.fastCores {
@@ -287,8 +400,12 @@ func (m *Machine) Run(maxCycles uint64) (uint64, error) {
 		}
 		m.Step()
 	}
+	m.sanLatch()
 	if m.faultErr != nil {
 		return m.now - start, m.faultErr
+	}
+	if m.sanErr != nil {
+		return m.now - start, m.sanErr
 	}
 	for _, c := range m.Cores {
 		if c.Fault != nil {
@@ -329,10 +446,19 @@ func (m *Machine) describePCs() string {
 // actions with execution. It returns the first fault, if any.
 func (m *Machine) RunUntil(target uint64) error {
 	for m.Running() && m.now < target {
+		if m.sanPoll() {
+			break
+		}
+		if m.stopPoll() {
+			return fmt.Errorf("%w (last progress at cycle %d)", ErrStopped, m.now)
+		}
 		if m.allQuiesced() {
 			t, ok := m.Sys.NextEvent(m.now)
 			if !ok || t > target {
 				t = target
+			}
+			if m.san != nil && m.sanNext < t {
+				t = m.sanNext
 			}
 			if delta := t - m.now; delta > 0 {
 				for _, c := range m.fastCores {
@@ -345,8 +471,12 @@ func (m *Machine) RunUntil(target uint64) error {
 		}
 		m.Step()
 	}
+	m.sanLatch()
 	if m.faultErr != nil {
 		return m.faultErr
+	}
+	if m.sanErr != nil {
+		return m.sanErr
 	}
 	for _, c := range m.Cores {
 		if c.Fault != nil {

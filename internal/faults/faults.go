@@ -29,12 +29,12 @@ type Profile struct {
 	Name string
 
 	// Request (address bus) path.
-	FillDelayP   float64 // P(delay a GetS/GetI/GetM request)
-	FillDelayMin uint64
-	FillDelayMax uint64
-	InvalDelayP  float64 // P(delay an InvalD/InvalI request)
+	FillDelayP    float64 // P(delay a GetS/GetI/GetM request)
+	FillDelayMin  uint64
+	FillDelayMax  uint64
+	InvalDelayP   float64 // P(delay an InvalD/InvalI request)
 	InvalDelayMax uint64
-	ReorderP     float64 // P(new request jumps its core's youngest queued entry)
+	ReorderP      float64 // P(new request jumps its core's youngest queued entry)
 
 	// Response (data) path.
 	RespDelayP   float64
@@ -46,6 +46,13 @@ type Profile struct {
 	// Scheduled injections: mean gap in cycles between events.
 	SpuriousFillEvery uint64
 	MisuseEvery       uint64
+
+	// StateFlipEvery injects soft errors into L1D tag/state arrays: a
+	// random valid Shared line is silently promoted to Modified. The
+	// caches hold no data, so the flip cannot corrupt results — it creates
+	// exactly the kind of silent coherence-state disagreement only the
+	// sanitizer's MSI checker can observe.
+	StateFlipEvery uint64
 
 	// OS preemption, executed by the harness (not the memory hook).
 	PreemptEvery uint64 // mean gap between preemptions
@@ -60,7 +67,8 @@ type Profile struct {
 func (p Profile) Active() bool {
 	return p.FillDelayP > 0 || p.InvalDelayP > 0 || p.ReorderP > 0 ||
 		p.RespDelayP > 0 || p.AckDropP > 0 ||
-		p.SpuriousFillEvery > 0 || p.MisuseEvery > 0 || p.PreemptEvery > 0
+		p.SpuriousFillEvery > 0 || p.MisuseEvery > 0 || p.PreemptEvery > 0 ||
+		p.StateFlipEvery > 0
 }
 
 // WantsPreemption reports whether the harness must drive a preemption plan.
@@ -78,6 +86,7 @@ func Profiles() []Profile {
 		{Name: "spurious-fill", SpuriousFillEvery: 500},
 		{Name: "filter-misuse", MisuseEvery: 800},
 		{Name: "preempt", PreemptEvery: 10_000, PreemptGap: 2_000},
+		{Name: "state-flip", StateFlipEvery: 2_000},
 		{Name: "monsoon", FillDelayP: 0.02, FillDelayMin: 1, FillDelayMax: 200,
 			ReorderP: 0.02, RespDelayP: 0.02, RespDelayMax: 200, AckDropP: 0.004,
 			SpuriousFillEvery: 1500, MisuseEvery: 2500},
@@ -142,15 +151,15 @@ type Injector struct {
 
 	rngReq, rngResp, rngAck, rngSched *sim.Rand
 
-	nextSpurious, nextMisuse uint64
-	nextID                   uint64
+	nextSpurious, nextMisuse, nextFlip uint64
+	nextID                             uint64
 
 	records []Record
 	total   uint64
 
 	// Per-site counters.
-	FillDelays, InvalDelays, RespDelays, Reorders uint64
-	AckDrops, SpuriousFills, MisuseInvals         uint64
+	FillDelays, InvalDelays, RespDelays, Reorders     uint64
+	AckDrops, SpuriousFills, MisuseInvals, StateFlips uint64
 }
 
 var _ mem.ChaosHook = (*Injector)(nil)
@@ -168,6 +177,7 @@ func New(p Profile, seed uint64, sys *mem.System, cores int) *Injector {
 		rngSched:     sim.NewRand(MixSeed(seed, 4)),
 		nextSpurious: ^uint64(0),
 		nextMisuse:   ^uint64(0),
+		nextFlip:     ^uint64(0),
 		nextID:       spuriousIDBase,
 	}
 	if p.SpuriousFillEvery > 0 {
@@ -175,6 +185,9 @@ func New(p Profile, seed uint64, sys *mem.System, cores int) *Injector {
 	}
 	if p.MisuseEvery > 0 {
 		in.nextMisuse = 1 + in.gap(p.MisuseEvery)
+	}
+	if p.StateFlipEvery > 0 {
+		in.nextFlip = 1 + in.gap(p.StateFlipEvery)
 	}
 	sys.SetChaosHook(in)
 	return in
@@ -241,6 +254,7 @@ func (in *Injector) Summary() string {
 	add(in.AckDrops, "dropped inval acks")
 	add(in.SpuriousFills, "spurious fills")
 	add(in.MisuseInvals, "misuse invals")
+	add(in.StateFlips, "state flips")
 	if len(parts) == 0 {
 		return fmt.Sprintf("injector %q: nothing injected", in.P.Name)
 	}
@@ -299,6 +313,10 @@ func (in *Injector) Tick(now uint64) {
 		in.injectMisuse(now)
 		in.nextMisuse = now + in.gap(in.P.MisuseEvery)
 	}
+	if now >= in.nextFlip {
+		in.injectFlip(now)
+		in.nextFlip = now + in.gap(in.P.StateFlipEvery)
+	}
 }
 
 // NextEvent implements mem.ChaosHook.
@@ -308,6 +326,9 @@ func (in *Injector) NextEvent(now uint64) (event uint64, ok bool) {
 	}
 	if in.P.MisuseEvery > 0 && (!ok || in.nextMisuse < event) {
 		event, ok = in.nextMisuse, true
+	}
+	if in.P.StateFlipEvery > 0 && (!ok || in.nextFlip < event) {
+		event, ok = in.nextFlip, true
 	}
 	if ok && event < now {
 		event = now
@@ -355,6 +376,30 @@ func (in *Injector) injectMisuse(now uint64) {
 	in.MisuseInvals++
 	in.record(now, "filter.misuse", core, f.ArrivalAddr(t),
 		fmt.Sprintf("duplicate arrival for thread %d in state %s", t, st))
+}
+
+// injectFlip promotes one random valid Shared line in one core's L1D to
+// Modified — a soft error in the tag/state array. Since the caches are
+// timing-only (data lives in the backing Memory), the flip cannot corrupt
+// functional results; it silently breaks the single-writer invariant, which
+// only the sanitizer's MSI checker observes. The target set is the machine
+// state at the scheduled cycle, which the fast-path invariance guarantees is
+// identical on both execution paths, so replay determinism is preserved.
+func (in *Injector) injectFlip(now uint64) {
+	core := in.rngSched.Intn(in.cores)
+	var shared []uint64
+	for _, ln := range in.sys.L1D[core].Snapshot() {
+		if ln.State == mem.Shared {
+			shared = append(shared, ln.Addr)
+		}
+	}
+	if len(shared) == 0 {
+		return
+	}
+	addr := shared[in.rngSched.Intn(len(shared))]
+	in.sys.L1D[core].InjectState(addr, mem.Modified)
+	in.StateFlips++
+	in.record(now, "l1.state-flip", core, addr, "S->M soft error in the tag/state array")
 }
 
 // PreemptEvent is one entry of a preemption plan: at machine cycle At, pull

@@ -316,3 +316,39 @@ func (f *Filter) ParkedThreadOf(core int) (thread int, ok bool) {
 
 // Registered reports whether thread entry t is valid (diagnostics).
 func (f *Filter) Registered(t int) bool { return t >= 0 && t < f.NumThreads && f.valid[t] }
+
+// ParkedFill is a read-only view of one withheld fill (sanitizer and
+// diagnostic use).
+type ParkedFill struct {
+	Thread   int
+	ParkedAt uint64
+	Txn      mem.Txn
+}
+
+// ParkedDump enumerates every withheld fill in thread order.
+func (f *Filter) ParkedDump() []ParkedFill {
+	var out []ParkedFill
+	for t := range f.pending {
+		for _, p := range f.pending[t] {
+			out = append(out, ParkedFill{Thread: t, ParkedAt: p.parkedAt, Txn: p.txn})
+		}
+	}
+	return out
+}
+
+// UnarrivedThreads lists the registered thread entries still in the Waiting
+// state (watchdog attribution: who a stalled barrier is waiting for).
+func (f *Filter) UnarrivedThreads() []int {
+	var out []int
+	for t := range f.states {
+		if f.valid[t] && f.states[t] == Waiting {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// InjectThreadState forcibly overwrites a thread entry's automaton state.
+// It is a fault-injection seam only (soft error in the filter's state bits),
+// used to prove the sanitizer catches filter-table corruption.
+func (f *Filter) InjectThreadState(t int, st ThreadState) { f.states[t] = st }

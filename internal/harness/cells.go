@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// errCellPanic marks an error recovered from a panicking cell body, so
+// runCells can journal it with the "panic" status.
+var errCellPanic = errors.New("harness: cell panicked")
+
+// cellCtx is handed to each cell body. Machine configurations built through
+// it honor the per-cell wall-clock deadline.
+type cellCtx struct {
+	opt  Options
+	stop atomic.Bool
+}
+
+// Config builds the cell's machine configuration, wiring the deadline's
+// stop flag in as the machine's stop check.
+func (c *cellCtx) Config(cores int) core.Config {
+	cfg := machineConfig(cores, c.opt)
+	if c.opt.CellDeadline > 0 {
+		cfg.StopCheck = c.stop.Load
+	}
+	return cfg
+}
+
+// runCell runs one cell body with the deadline timer armed and panics
+// converted to errors, so one bad cell cannot take down a whole sweep. A
+// panic carrying a configuration error (mem.ErrConfig) keeps its identity
+// so callers can tell a bad machine geometry from a simulator bug.
+func runCell(opt Options, fn func(ctx *cellCtx) (any, error)) (data any, err error) {
+	ctx := &cellCtx{opt: opt}
+	if opt.CellDeadline > 0 {
+		t := time.AfterFunc(opt.CellDeadline, func() { ctx.stop.Store(true) })
+		defer t.Stop()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("%w: %w", errCellPanic, e)
+			} else {
+				err = fmt.Errorf("%w: %v", errCellPanic, r)
+			}
+		}
+	}()
+	return fn(ctx)
+}
+
+// cellStatus classifies a cell error for the journal.
+func cellStatus(err error) string {
+	switch {
+	case err == nil:
+		return statusOK
+	case errors.Is(err, core.ErrStopped):
+		return statusTimeout
+	case errors.Is(err, errCellPanic):
+		if errors.Is(err, mem.ErrConfig) {
+			return statusError // a bad configuration, not a crash
+		}
+		return statusPanic
+	default:
+		return statusError
+	}
+}
+
+// runCells fans n independent cells across the worker pool with per-cell
+// panic recovery and the optional wall-clock deadline.
+//
+// Without a journal (keys nil or Options.JournalPath empty) it preserves
+// forEach semantics exactly: stop handing out cells at the first error and
+// return the lowest-index one.
+//
+// With a journal, every cell runs (errors don't stop the sweep), each
+// outcome is appended to the journal in cell index order, cells already
+// journaled are skipped — their results replayed through replay(i, data) —
+// and the lowest-index failure (fresh or journaled) is returned at the end.
+func runCells(opt Options, n int, keys []string, fn func(i int, ctx *cellCtx) (any, error), replay func(i int, data json.RawMessage) error) error {
+	var j *journal
+	if opt.JournalPath != "" && keys != nil {
+		var err error
+		j, err = openJournal(opt.JournalPath, opt.Resume)
+		if err != nil {
+			return fmt.Errorf("harness: journal %s: %w", opt.JournalPath, err)
+		}
+		defer j.Close()
+	}
+	if j == nil {
+		return forEach(opt.workerCount(), n, func(i int) error {
+			_, err := runCell(opt, func(ctx *cellCtx) (any, error) { return fn(i, ctx) })
+			return err
+		})
+	}
+	errs := make([]error, n)
+	ferr := forEach(opt.workerCount(), n, func(i int) error {
+		if e, ok := j.done[keys[i]]; ok {
+			if e.Status == statusOK && replay != nil {
+				if err := replay(i, e.Data); err != nil {
+					return fmt.Errorf("harness: journal %s: replaying %q: %w", opt.JournalPath, keys[i], err)
+				}
+			}
+			if e.Status != statusOK {
+				errs[i] = fmt.Errorf("harness: %s: journaled %s: %s", keys[i], e.Status, e.Error)
+			}
+			return j.skip(i)
+		}
+		data, err := runCell(opt, func(ctx *cellCtx) (any, error) { return fn(i, ctx) })
+		entry := cellEntry{Key: keys[i], Status: cellStatus(err)}
+		if err != nil {
+			entry.Error = err.Error()
+			errs[i] = fmt.Errorf("harness: %s: %w", keys[i], err)
+		} else {
+			raw, merr := json.Marshal(data)
+			if merr != nil {
+				return fmt.Errorf("harness: journal %s: encoding %q: %w", opt.JournalPath, keys[i], merr)
+			}
+			entry.Data = raw
+		}
+		return j.write(i, entry)
+	})
+	if ferr != nil {
+		return ferr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

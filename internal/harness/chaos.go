@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -93,24 +95,33 @@ func RunChaos(opt ChaosOptions) ([]ChaosCell, error) {
 		}
 	}
 	cells := make([]ChaosCell, len(specs))
-	err := forEach(opt.workerCount(), len(specs), func(i int) error {
-		c, err := runChaosCell(specs[i].k, specs[i].kind, specs[i].p,
+	keys := make([]string, len(specs))
+	for i, sp := range specs {
+		keys[i] = fmt.Sprintf("chaos/%s/%s/%s", sp.k.Name(), sp.kind, sp.p.Name)
+	}
+	err := runCells(opt.Options, len(specs), keys, func(i int, ctx *cellCtx) (any, error) {
+		c, err := runChaosCell(ctx, specs[i].k, specs[i].kind, specs[i].p,
 			faults.MixSeed(opt.Seed, uint64(i)+0x9000), opt)
 		cells[i] = c
-		return err
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	}, func(i int, data json.RawMessage) error {
+		return json.Unmarshal(data, &cells[i])
 	})
 	return cells, err
 }
 
 // runChaosCell runs one cell through the resilient runner.
-func runChaosCell(k kernels.Kernel, kind barrier.Kind, p faults.Profile,
+func runChaosCell(ctx *cellCtx, k kernels.Kernel, kind barrier.Kind, p faults.Profile,
 	seed uint64, opt ChaosOptions) (ChaosCell, error) {
 	nthreads := opt.Threads
 	cores := nthreads
 	if p.WantsPreemption() {
 		cores++ // a spare core to migrate preempted threads onto
 	}
-	cfg := machineConfig(cores, opt.Options)
+	cfg := ctx.Config(cores)
 	cfg.FilterStrict = true
 	// The paper's hardware timeout stays armed under chaos: it is the
 	// last line of defense turning starvation into an attributable fault.
@@ -202,6 +213,11 @@ func runChaosCell(k kernels.Kernel, kind barrier.Kind, p faults.Profile,
 		cell.Outcome = "degraded"
 		cell.Report = res.Report() + "  " + attr
 	default:
+		if errors.Is(err, core.ErrStopped) {
+			// A wall-clock deadline, not a simulated fault: surface it so
+			// the sweep journals the cell as timed out.
+			return cell, fmt.Errorf("chaos: %s/%s/%s: %w", cell.Kernel, kind, p.Name, err)
+		}
 		if !p.Active() {
 			return cell, fmt.Errorf("chaos: %s/%s/%s: fault-free cell failed: %v",
 				cell.Kernel, kind, p.Name, err)

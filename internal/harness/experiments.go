@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/barrier"
@@ -18,7 +19,8 @@ type LatencyPoint struct {
 }
 
 // Fig4 measures average cycles per barrier over the paper's loop of
-// consecutive barriers for every mechanism and core count.
+// consecutive barriers for every mechanism and core count. Cells are
+// journaled under "fig4/<kind>/<cores>" when Options.JournalPath is set.
 func Fig4(opt Options) ([]LatencyPoint, error) {
 	coreCounts := []int{4, 8, 16, 32, 64}
 	if len(opt.Fig4Cores) > 0 {
@@ -29,33 +31,43 @@ func Fig4(opt Options) ([]LatencyPoint, error) {
 		k, m = 16, 8
 	}
 	out := make([]LatencyPoint, len(coreCounts)*len(barrier.Kinds))
-	err := forEach(opt.workerCount(), len(out), func(i int) error {
+	keys := make([]string, len(out))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fig4/%s/%d",
+			barrier.Kinds[i%len(barrier.Kinds)], coreCounts[i/len(barrier.Kinds)])
+	}
+	err := runCells(opt, len(out), keys, func(i int, ctx *cellCtx) (any, error) {
 		n := coreCounts[i/len(barrier.Kinds)]
 		kind := barrier.Kinds[i%len(barrier.Kinds)]
-		cfg := machineConfig(n, opt)
+		cfg := ctx.Config(n)
 		alloc := barrier.NewAllocator(cfg.Mem)
 		gen, err := barrier.New(kind, n, alloc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		prog, err := buildLatencyProgram(gen, k, m)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		mach := core.NewMachine(cfg)
+		mach, err := core.NewMachineChecked(cfg)
+		if err != nil {
+			return nil, err
+		}
 		if err := barrier.Launch(mach, gen, prog, n); err != nil {
-			return err
+			return nil, err
 		}
 		cycles, err := mach.Run(opt.MaxCycles)
 		if err != nil {
-			return fmt.Errorf("harness: fig4 %s/%d: %w", kind, n, err)
+			return nil, fmt.Errorf("harness: fig4 %s/%d: %w", kind, n, err)
 		}
 		out[i] = LatencyPoint{
 			Kind:      kind,
 			Cores:     n,
 			AvgCycles: float64(cycles) / float64(k*m),
 		}
-		return nil
+		return out[i], nil
+	}, func(i int, data json.RawMessage) error {
+		return json.Unmarshal(data, &out[i])
 	})
 	if err != nil {
 		return nil, err
@@ -162,15 +174,15 @@ func measureWarmBatch(lks []LoopKernel, kinds []barrier.Kind, withSeq bool, opt 
 		}
 	}
 	out := make([]uint64, len(cells))
-	err = forEach(opt.workerCount(), len(cells), func(i int) error {
+	err = runCells(opt, len(cells), nil, func(i int, _ *cellCtx) (any, error) {
 		var e error
 		if cells[i].par {
 			out[i], e = MeasureParWarm(lks[cells[i].k], cells[i].kind, opt.Cores, opt)
 		} else {
 			out[i], e = MeasureSeqWarm(lks[cells[i].k], opt)
 		}
-		return e
-	})
+		return nil, e
+	}, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -411,29 +423,32 @@ func Extras(opt Options) (ExtrasResult, error) {
 		barrier.KindHWNet, barrier.KindHWTree,
 	}
 	lat := make([]float64, len(kinds))
-	err := forEach(opt.workerCount(), len(kinds), func(i int) error {
+	err := runCells(opt, len(kinds), nil, func(i int, ctx *cellCtx) (any, error) {
 		kind := kinds[i]
-		cfg := machineConfig(opt.Cores, opt)
+		cfg := ctx.Config(opt.Cores)
 		alloc := barrier.NewAllocator(cfg.Mem)
 		gen, err := barrier.NewExtra(kind, opt.Cores, alloc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		prog, err := buildLatencyProgram(gen, k, m)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		mach := core.NewMachine(cfg)
+		mach, err := core.NewMachineChecked(cfg)
+		if err != nil {
+			return nil, err
+		}
 		if err := barrier.Launch(mach, gen, prog, opt.Cores); err != nil {
-			return err
+			return nil, err
 		}
 		cycles, err := mach.Run(opt.MaxCycles)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		lat[i] = float64(cycles) / float64(k*m)
-		return nil
-	})
+		return nil, nil
+	}, nil)
 	if err != nil {
 		return res, err
 	}

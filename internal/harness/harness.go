@@ -9,12 +9,14 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/barrier"
 	"repro/internal/core"
 	"repro/internal/kernels"
 	"repro/internal/mem"
+	"repro/internal/sanitize"
 )
 
 // Options tunes experiment cost.
@@ -42,6 +44,26 @@ type Options struct {
 	// NoFastPath disables the simulator's quiescent-core fast path
 	// (differential testing; see core.Config.NoFastPath).
 	NoFastPath bool
+	// Sanitize enables the online invariant sanitizer (package sanitize)
+	// on every machine the harness builds. Enabling it is
+	// behaviour-invariant: all cycle counts and statistics stay
+	// bit-identical; the only new outcome is a structured violation
+	// report when an invariant is actually broken.
+	Sanitize bool
+	// JournalPath, when non-empty, makes the journaling sweeps (Fig4,
+	// RunChaos) append one JSONL record per finished cell, synced line by
+	// line so a killed process leaves at most a torn final line.
+	JournalPath string
+	// Resume loads JournalPath first and skips (replays) every cell it
+	// already records, so an interrupted sweep picks up where it left
+	// off and the finished journal is byte-identical to an
+	// uninterrupted run's.
+	Resume bool
+	// CellDeadline is a wall-clock budget per experiment cell; 0 means
+	// none. A cell over budget stops at its next stop-check poll and is
+	// journaled as timed out with its last-progress cycle; the sweep
+	// continues with the remaining cells.
+	CellDeadline time.Duration
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -61,6 +83,9 @@ func QuickOptions() Options {
 func machineConfig(cores int, opt Options) core.Config {
 	cfg := core.DefaultConfig(cores)
 	cfg.NoFastPath = opt.NoFastPath
+	if opt.Sanitize {
+		cfg.Sanitize = sanitize.Default()
+	}
 	return cfg
 }
 
@@ -71,7 +96,10 @@ func RunSeq(k kernels.Kernel, opt Options) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("harness: %s: %w", k.Name(), err)
 	}
-	m := core.NewMachine(machineConfig(1, opt))
+	m, err := core.NewMachineChecked(machineConfig(1, opt))
+	if err != nil {
+		return 0, fmt.Errorf("harness: %s seq: %w", k.Name(), err)
+	}
 	m.Load(prog)
 	m.StartSPMD(prog.Entry, 1)
 	cycles, err := m.Run(opt.MaxCycles)
@@ -99,7 +127,10 @@ func RunPar(k kernels.Kernel, kind barrier.Kind, nthreads int, opt Options) (uin
 	if err != nil {
 		return 0, fmt.Errorf("harness: %s/%s: %w", k.Name(), kind, err)
 	}
-	m := core.NewMachine(cfg)
+	m, err := core.NewMachineChecked(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("harness: %s/%s: %w", k.Name(), kind, err)
+	}
 	if err := barrier.Launch(m, gen, prog, nthreads); err != nil {
 		return 0, err
 	}

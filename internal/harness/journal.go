@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// Cell journal statuses.
+const (
+	statusOK      = "ok"
+	statusError   = "error"
+	statusTimeout = "timeout"
+	statusPanic   = "panic"
+)
+
+// cellEntry is one journal record: a cell's stable key, how it ended, and
+// (for completed cells) its result, so a resumed sweep can replay it
+// without re-simulating.
+type cellEntry struct {
+	Key    string          `json:"key"`
+	Status string          `json:"status"` // ok | error | timeout | panic
+	Error  string          `json:"error,omitempty"`
+	Data   json.RawMessage `json:"data,omitempty"`
+}
+
+// journal is a crash-resilient JSONL record of a sweep. Records are written
+// strictly in cell-index order (out-of-order completions park until their
+// predecessors land) and synced line by line, so killing the process at any
+// point leaves a clean prefix of the full journal plus at most one torn
+// final line — which openJournal truncates away on resume. A resumed sweep
+// therefore appends exactly the missing suffix and the finished file is
+// byte-identical to an uninterrupted run's.
+type journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	done    map[string]cellEntry // entries loaded on resume, by key
+	next    int                  // next cell index to flush
+	pending map[int][]byte       // parked out-of-order lines (nil = skip)
+}
+
+// openJournal creates (or, when resume is set, reopens) the journal at
+// path. On resume it loads every intact record and truncates a torn tail.
+func openJournal(path string, resume bool) (*journal, error) {
+	j := &journal{done: make(map[string]cellEntry), pending: make(map[int][]byte)}
+	if !resume {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		j.f = f
+		return j, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, err
+	}
+	valid := 0
+	for valid < len(data) {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break // torn tail: the final line was cut mid-write
+		}
+		var e cellEntry
+		if json.Unmarshal(data[valid:valid+nl], &e) != nil || e.Key == "" {
+			break // torn or corrupt from here on
+		}
+		j.done[e.Key] = e
+		valid += nl + 1
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.f = f
+	return j, nil
+}
+
+// write appends one record at its cell index.
+func (j *journal) write(idx int, e cellEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	return j.append(idx, append(line, '\n'))
+}
+
+// skip advances past a cell whose record is already on disk (a resumed
+// cell), unblocking the writes parked behind it.
+func (j *journal) skip(idx int) error { return j.append(idx, nil) }
+
+// append parks the line until every lower-index cell has flushed, then
+// flushes it and everything it unblocks, syncing after each line.
+func (j *journal) append(idx int, line []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.pending[idx] = line
+	for {
+		l, ok := j.pending[j.next]
+		if !ok {
+			return nil
+		}
+		delete(j.pending, j.next)
+		j.next++
+		if len(l) == 0 {
+			continue
+		}
+		if _, err := j.f.Write(l); err != nil {
+			return err
+		}
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+	}
+}
+
+func (j *journal) Close() error { return j.f.Close() }

@@ -114,6 +114,26 @@ func (bk *Bank) grantDelivered(addr uint64, core int, now uint64) {
 // SetHook attaches a barrier filter hook.
 func (bk *Bank) SetHook(h BankHook) { bk.hook = h }
 
+// DirEntry is a read-only copy of one directory entry (sanitizer/test use).
+type DirEntry struct {
+	DSharers uint64
+	ISharers uint64
+	Owner    int // -1 when no L1D holds the line Modified
+}
+
+// DirLookup returns the directory entry for a line, if one has ever been
+// created. It performs no allocation and no state change.
+func (bk *Bank) DirLookup(addr uint64) (DirEntry, bool) {
+	e, ok := bk.dir[addr]
+	if !ok {
+		return DirEntry{Owner: -1}, false
+	}
+	return DirEntry{DSharers: e.dSharers, ISharers: e.iSharers, Owner: int(e.owner)}, true
+}
+
+// L2Peek returns the L2 array state of a line without touching LRU order.
+func (bk *Bank) L2Peek(addr uint64) LineState { return bk.cache.Peek(addr) }
+
 func (bk *Bank) entry(addr uint64) *dirEntry {
 	e, ok := bk.dir[addr]
 	if !ok {
@@ -164,9 +184,10 @@ func (bk *Bank) Tick(now uint64) {
 			bk.Released++
 			if errFill {
 				bk.respond(now, t, true)
-				continue
+			} else {
+				bk.serviceFill(now, t, true)
 			}
-			bk.serviceFill(now, t, true)
+			bk.sys.observe(now, t)
 		}
 	}
 	if released > 0 {
@@ -243,6 +264,7 @@ func (bk *Bank) processInval(now uint64, t Txn) {
 		e.iSharers = 0
 	}
 	resp := Txn{Kind: InvalAck, Addr: t.Addr, Core: t.Core, ID: t.ID, ReqKind: t.Kind, Err: fault}
+	bk.sys.observe(now, t)
 	// A dropped acknowledgement models a lost coherence message: the
 	// invalidation above was applied, but the issuing core's token never
 	// completes and its store buffer wedges — the cycle-limit watchdog

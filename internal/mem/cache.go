@@ -1,7 +1,5 @@
 package mem
 
-import "fmt"
-
 // LineState is the MSI coherence state of one cache line copy.
 type LineState int8
 
@@ -44,15 +42,15 @@ type Cache struct {
 }
 
 // NewCache builds a cache of totalBytes capacity with the given
-// associativity and line size. totalBytes must divide evenly.
+// associativity and line size. totalBytes must divide evenly. Geometry is
+// normally rejected earlier by Config.Validate; a direct misuse panics with
+// an error wrapping ErrConfig so pool workers can recover it as a config
+// fault.
 func NewCache(name string, totalBytes, ways, lineBytes int) *Cache {
-	if totalBytes%(ways*lineBytes) != 0 {
-		panic(fmt.Sprintf("mem: %s: %dB not divisible into %d ways of %dB lines", name, totalBytes, ways, lineBytes))
+	if err := checkGeometry(name, totalBytes, ways, lineBytes); err != nil {
+		panic(err)
 	}
 	sets := totalBytes / (ways * lineBytes)
-	if sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("mem: %s: set count %d is not a power of two", name, sets))
-	}
 	shift := uint(0)
 	for 1<<shift < lineBytes {
 		shift++
@@ -175,6 +173,27 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 		}
 	}
 	return false, false
+}
+
+// CacheLine describes one valid line in a snapshot.
+type CacheLine struct {
+	Addr  uint64
+	State LineState
+}
+
+// Snapshot enumerates every valid line in set-then-way order. It is
+// side-effect-free (no LRU or counter updates) so the sanitizer can walk
+// the array without perturbing replacement behaviour.
+func (c *Cache) Snapshot() []CacheLine {
+	var out []CacheLine
+	for si := range c.arr {
+		for wi := range c.arr[si] {
+			if l := c.arr[si][wi]; l.state != Invalid {
+				out = append(out, CacheLine{Addr: l.tag, State: l.state})
+			}
+		}
+	}
+	return out
 }
 
 // Flush invalidates every line (used when a thread context is torn down in

@@ -1,0 +1,180 @@
+package mem
+
+import "testing"
+
+// fillShared brings addr into core's L1D in Shared state.
+func fillShared(t *testing.T, s *System, core int, addr uint64) {
+	t.Helper()
+	if !s.L1D[core].StartMiss(0, addr, GetS, false) {
+		t.Fatalf("core %d: StartMiss(%#x) failed", core, addr)
+	}
+	if !runSystem(s, 2000, func() bool { return s.L1D[core].Present(addr) }) {
+		t.Fatalf("core %d: fill of %#x never arrived", core, addr)
+	}
+}
+
+func dirOf(s *System, addr uint64) (DirEntry, bool) {
+	return s.Banks[s.Cfg.BankOf(addr)].DirLookup(s.Cfg.LineAddr(addr))
+}
+
+func TestDirDropSharerLastSharer(t *testing.T) {
+	s := NewSystem(DefaultConfig(2))
+	const addr = 0x4000
+	fillShared(t, s, 0, addr)
+	e, ok := dirOf(s, addr)
+	if !ok || e.DSharers != 1 {
+		t.Fatalf("directory after fill: ok=%v dSharers=%#x, want bit 0", ok, e.DSharers)
+	}
+	// Silent clean eviction of the only sharer: the bit clears, and the
+	// line simply has no cached copies left.
+	s.L1D[0].localInval(addr)
+	s.dirDropSharer(addr, 0, false)
+	if e, _ := dirOf(s, addr); e.DSharers != 0 {
+		t.Fatalf("dSharers=%#x after dropping the last sharer, want 0", e.DSharers)
+	}
+	// The line is still fetchable afterwards.
+	fillShared(t, s, 1, addr)
+	if e, _ := dirOf(s, addr); e.DSharers != 2 {
+		t.Fatalf("dSharers=%#x after refetch by core 1, want bit 1", e.DSharers)
+	}
+}
+
+func TestDirDropSharerUnknownLine(t *testing.T) {
+	s := NewSystem(DefaultConfig(2))
+	// A drop for a line the directory has never seen must be a no-op, not
+	// a panic (silent evictions can race an L2 replacement that already
+	// discarded the entry).
+	s.dirDropSharer(0x123440, 1, false)
+	s.dirDropSharer(0x123440, 1, true)
+	if _, ok := dirOf(s, 0x123440); ok {
+		t.Fatal("drop on an unknown line materialized a directory entry")
+	}
+}
+
+func TestDirDropSharerClearsOwner(t *testing.T) {
+	s := NewSystem(DefaultConfig(2))
+	const addr = 0x8000
+	if !s.L1D[0].StartMiss(0, addr, GetM, false) {
+		t.Fatal("StartMiss GetM failed")
+	}
+	if !runSystem(s, 2000, func() bool { return s.L1D[0].WriteState(addr) == Modified }) {
+		t.Fatal("core 0 never got M")
+	}
+	if e, _ := dirOf(s, addr); e.Owner != 0 {
+		t.Fatalf("owner=%d after GetM, want 0", e.Owner)
+	}
+	s.L1D[0].localInval(addr)
+	s.dirDropSharer(addr, 0, false)
+	e, _ := dirOf(s, addr)
+	if e.Owner != -1 || e.DSharers != 0 {
+		t.Fatalf("owner=%d dSharers=%#x after dropping the owner, want -1/0", e.Owner, e.DSharers)
+	}
+}
+
+func TestDirDropSharerICacheOnlyTouchesISharers(t *testing.T) {
+	s := NewSystem(DefaultConfig(2))
+	const addr = 0xC000
+	if !s.L1I[0].StartMiss(0, addr, GetI, false) {
+		t.Fatal("StartMiss GetI failed")
+	}
+	fillShared(t, s, 0, addr)
+	if !runSystem(s, 2000, func() bool { return s.L1I[0].Present(addr) }) {
+		t.Fatal("I-fill never arrived")
+	}
+	e, _ := dirOf(s, addr)
+	if e.ISharers != 1 || e.DSharers != 1 {
+		t.Fatalf("iSharers=%#x dSharers=%#x after dual fill, want 1/1", e.ISharers, e.DSharers)
+	}
+	// An I-side drop must leave the D bit, and vice versa.
+	s.dirDropSharer(addr, 0, true)
+	if e, _ := dirOf(s, addr); e.ISharers != 0 || e.DSharers != 1 {
+		t.Fatalf("iSharers=%#x dSharers=%#x after I-drop, want 0/1", e.ISharers, e.DSharers)
+	}
+	s.dirDropSharer(addr, 0, false)
+	if e, _ := dirOf(s, addr); e.DSharers != 0 {
+		t.Fatalf("dSharers=%#x after D-drop, want 0", e.DSharers)
+	}
+}
+
+func TestDirDropSharerNonSharerIsNoOp(t *testing.T) {
+	s := NewSystem(DefaultConfig(2))
+	const addr = 0x10000
+	fillShared(t, s, 0, addr)
+	// Dropping a core that never held the line must not disturb the bit of
+	// the one that does.
+	s.dirDropSharer(addr, 1, false)
+	if e, _ := dirOf(s, addr); e.DSharers != 1 {
+		t.Fatalf("dSharers=%#x after dropping a non-sharer, want bit 0 intact", e.DSharers)
+	}
+}
+
+func TestIssueCacheInvalUnsharedLine(t *testing.T) {
+	s := NewSystem(DefaultConfig(2))
+	// DCBI of a line nobody caches: nothing to invalidate, but the token
+	// must still be acknowledged cleanly (software relies on DCBI being
+	// unconditional).
+	tok := s.IssueCacheInval(0, 0, 0x14000, false)
+	if !runSystem(s, 3000, func() bool { return tok.Done }) {
+		t.Fatal("inval of an unshared line never acknowledged")
+	}
+	if tok.Err {
+		t.Fatal("unexpected error ack for an unshared line")
+	}
+}
+
+func TestIssueCacheInvalIssuerIsOnlySharer(t *testing.T) {
+	s := NewSystem(DefaultConfig(2))
+	const addr = 0x18000
+	fillShared(t, s, 0, addr)
+	tok := s.IssueCacheInval(100, 0, addr, false)
+	// The issuer's own copy goes synchronously.
+	if s.L1D[0].Present(addr) {
+		t.Fatal("issuer's local copy survived its own DCBI")
+	}
+	if !runSystem(s, 3000, func() bool { return tok.Done }) {
+		t.Fatal("inval never acknowledged")
+	}
+	if tok.Err {
+		t.Fatal("unexpected error ack")
+	}
+	if e, _ := dirOf(s, addr); e.DSharers != 0 {
+		t.Fatalf("dSharers=%#x after the only sharer's DCBI, want 0", e.DSharers)
+	}
+}
+
+func TestIssueCacheInvalDirtyLocalCopy(t *testing.T) {
+	s := NewSystem(DefaultConfig(2))
+	const addr = 0x1C000
+	s.Mem.WriteUint64(addr, 42)
+	if !s.L1D[0].StartMiss(0, addr, GetM, false) {
+		t.Fatal("StartMiss GetM failed")
+	}
+	if !runSystem(s, 2000, func() bool { return s.L1D[0].WriteState(addr) == Modified }) {
+		t.Fatal("core 0 never got M")
+	}
+	tok := s.IssueCacheInval(500, 0, addr, false)
+	if !runSystem(s, 3000, func() bool { return tok.Done }) {
+		t.Fatal("dirty-line inval never acknowledged")
+	}
+	if tok.Err {
+		t.Fatal("unexpected error ack for a dirty local copy")
+	}
+	if e, _ := dirOf(s, addr); e.DSharers != 0 || e.Owner != -1 {
+		t.Fatalf("directory owner=%d dSharers=%#x after dirty DCBI, want -1/0", e.Owner, e.DSharers)
+	}
+	// The line is refetchable and coherent afterwards.
+	fillShared(t, s, 1, addr)
+}
+
+func TestIssueCacheInvalICacheOnDOnlyLine(t *testing.T) {
+	s := NewSystem(DefaultConfig(2))
+	const addr = 0x20000
+	fillShared(t, s, 1, addr) // D-cache only
+	tok := s.IssueCacheInval(200, 0, addr, true)
+	if !runSystem(s, 3000, func() bool { return tok.Done }) {
+		t.Fatal("ICBI never acknowledged")
+	}
+	if !s.L1D[1].Present(addr) {
+		t.Fatal("ICBI of a D-only line invalidated the D copy")
+	}
+}

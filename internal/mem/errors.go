@@ -1,0 +1,66 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConfig marks an invalid memory-system configuration. Constructors
+// validate geometry up front (Config.Validate); the few remaining internal
+// panics wrap this sentinel so a harness worker can recover a malformed
+// experiment cell into an attributed config fault instead of dying.
+var ErrConfig = errors.New("invalid memory configuration")
+
+// ErrAccess marks a malformed functional memory access (unsupported size).
+var ErrAccess = errors.New("invalid memory access")
+
+// checkGeometry validates one cache's shape: positive line/way counts, total
+// capacity divisible into ways of lines, and a power-of-two set count.
+func checkGeometry(name string, totalBytes, ways, lineBytes int) error {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		return fmt.Errorf("mem: %s: line size %dB is not a positive power of two: %w", name, lineBytes, ErrConfig)
+	}
+	if ways <= 0 {
+		return fmt.Errorf("mem: %s: associativity %d is not positive: %w", name, ways, ErrConfig)
+	}
+	if totalBytes <= 0 || totalBytes%(ways*lineBytes) != 0 {
+		return fmt.Errorf("mem: %s: %dB not divisible into %d ways of %dB lines: %w", name, totalBytes, ways, lineBytes, ErrConfig)
+	}
+	sets := totalBytes / (ways * lineBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: %s: set count %d is not a power of two: %w", name, sets, ErrConfig)
+	}
+	return nil
+}
+
+// Validate checks the whole configuration and returns an error wrapping
+// ErrConfig describing the first problem found. NewSystem assumes a valid
+// configuration; harness code paths go through core.NewMachineChecked, which
+// calls this before construction.
+func (c *Config) Validate() error {
+	if c.Cores <= 0 || c.Cores > 64 {
+		return fmt.Errorf("mem: core count %d outside 1..64 (directory sharer sets are 64-bit): %w", c.Cores, ErrConfig)
+	}
+	if c.L2Banks <= 0 {
+		return fmt.Errorf("mem: L2 bank count %d is not positive: %w", c.L2Banks, ErrConfig)
+	}
+	if c.L2Size%c.L2Banks != 0 {
+		return fmt.Errorf("mem: L2 size %dB not divisible into %d banks: %w", c.L2Size, c.L2Banks, ErrConfig)
+	}
+	if c.MSHRs <= 0 || c.IMSHRs <= 0 {
+		return fmt.Errorf("mem: MSHR counts (%d data, %d inst) must be positive: %w", c.MSHRs, c.IMSHRs, ErrConfig)
+	}
+	if c.DataBusBytesPerCycle <= 0 {
+		return fmt.Errorf("mem: data bus width %dB/cycle is not positive: %w", c.DataBusBytesPerCycle, ErrConfig)
+	}
+	if err := checkGeometry("L1", c.L1Size, c.L1Assoc, c.LineBytes); err != nil {
+		return err
+	}
+	if err := checkGeometry("L2 bank", c.L2Size/c.L2Banks, c.L2Assoc, c.LineBytes); err != nil {
+		return err
+	}
+	if err := checkGeometry("L3", c.L3Size, c.L3Assoc, c.LineBytes); err != nil {
+		return err
+	}
+	return nil
+}

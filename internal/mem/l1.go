@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // L1 is one private first-level cache (instruction or data). The owning
 // core drives it with direct method calls during its pipeline tick; misses
@@ -30,6 +33,7 @@ type mshrEntry struct {
 	id       uint64
 	kind     TxnKind
 	prefetch bool
+	born     uint64 // cycle the miss was issued (liveness watchdog)
 
 	// A directory action can target a line whose fill is still in
 	// flight (the grant happened at the bank before this request was
@@ -95,7 +99,7 @@ func (l *L1) StartMiss(now uint64, addr uint64, kind TxnKind, prefetch bool) boo
 		return false
 	}
 	l.nextID++
-	e := &mshrEntry{id: l.nextID, kind: kind, prefetch: prefetch}
+	e := &mshrEntry{id: l.nextID, kind: kind, prefetch: prefetch, born: now}
 	l.mshr[la] = e
 	l.Misses++
 	l.sys.Bus.PushRequest(Txn{
@@ -209,6 +213,35 @@ func (l *L1) extDowngrade(addr uint64) {
 func (l *L1) localInval(addr uint64) (present, dirty bool) {
 	return l.cache.Invalidate(addr)
 }
+
+// Snapshot enumerates the valid lines of this cache in set order without
+// side effects (sanitizer use).
+func (l *L1) Snapshot() []CacheLine { return l.cache.Snapshot() }
+
+// MissInfo describes one outstanding MSHR (sanitizer/watchdog use).
+type MissInfo struct {
+	Addr     uint64
+	Kind     TxnKind
+	Born     uint64
+	Prefetch bool
+}
+
+// MissSnapshot enumerates the outstanding MSHRs sorted by line address, so
+// the watchdog's choice of which wedged miss to report is deterministic.
+func (l *L1) MissSnapshot() []MissInfo {
+	out := make([]MissInfo, 0, len(l.mshr))
+	for la, e := range l.mshr {
+		out = append(out, MissInfo{Addr: la, Kind: e.kind, Born: e.born, Prefetch: e.prefetch})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// InjectState forcibly rewrites the coherence state of a present line. It is
+// a fault-injection seam only: it models a soft error in the tag/state array
+// (the paper's caches hold no data, so the corruption is invisible to the
+// functional results and detectable only by the coherence sanitizer).
+func (l *L1) InjectState(addr uint64, st LineState) { l.cache.SetState(addr, st) }
 
 // Quiet reports whether this cache has no outstanding misses.
 func (l *L1) Quiet() bool { return len(l.mshr) == 0 }

@@ -70,7 +70,7 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 		case 8:
 			return binary.LittleEndian.Uint64(p[off:])
 		}
-		panic(fmt.Sprintf("mem: bad read size %d", size))
+		panic(fmt.Errorf("mem: bad read size %d: %w", size, ErrAccess))
 	}
 	// Page-crossing access: assemble byte by byte.
 	var v uint64
@@ -96,7 +96,7 @@ func (m *Memory) Write(addr uint64, size int, v uint64) {
 		case 8:
 			binary.LittleEndian.PutUint64(p[off:], v)
 		default:
-			panic(fmt.Sprintf("mem: bad write size %d", size))
+			panic(fmt.Errorf("mem: bad write size %d: %w", size, ErrAccess))
 		}
 		return
 	}

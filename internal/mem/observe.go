@@ -1,0 +1,38 @@
+package mem
+
+// EventObserver receives passive notifications of memory-system events: a
+// response delivered to a core (fill, upgrade ack, invalidation ack), an
+// invalidation processed at a bank, or a parked fill released by a filter
+// hook. The sanitizer uses it for event-triggered invariant checks.
+//
+// Observers must be strictly read-only. The observer is deliberately never
+// consulted by NextEvent, so one that mutated timing state would desync the
+// quiescent-core fast path from the cycle-by-cycle path.
+type EventObserver interface {
+	OnMemEvent(now uint64, t Txn)
+}
+
+// SetObserver attaches the passive event observer (nil detaches).
+func (s *System) SetObserver(o EventObserver) { s.obs = o }
+
+func (s *System) observe(now uint64, t Txn) {
+	if s.obs != nil {
+		s.obs.OnMemEvent(now, t)
+	}
+}
+
+// OldestInvalToken returns a copy of the core's longest-outstanding
+// invalidation token. Ties and iteration order are resolved by (Born, Addr)
+// so the watchdog's report is deterministic.
+func (s *System) OldestInvalToken(core int) (tok InvalToken, ok bool) {
+	for _, t := range s.invalTokens[core] {
+		if !ok || t.Born < tok.Born || (t.Born == tok.Born && t.Addr < tok.Addr) {
+			tok, ok = *t, true
+		}
+	}
+	return tok, ok
+}
+
+// InvalTokenCount returns the number of outstanding invalidation tokens for
+// one core.
+func (s *System) InvalTokenCount(core int) int { return len(s.invalTokens[core]) }

@@ -1,9 +1,12 @@
 package mem
 
 // InvalToken tracks one outstanding ICBI/DCBI broadcast. The issuing core's
-// store buffer holds the cache-op until Done.
+// store buffer holds the cache-op until Done. Born is the cycle the
+// broadcast was issued; the liveness watchdog uses it to spot tokens whose
+// acknowledgement has been lost.
 type InvalToken struct {
 	Addr uint64
+	Born uint64
 	Done bool
 	Err  bool
 }
@@ -28,6 +31,12 @@ type System struct {
 
 	// chaos is the optional fault injector (see chaos.go). nil = off.
 	chaos ChaosHook
+
+	// obs is the optional passive event observer (the sanitizer's
+	// event-triggered checks). It must be read-only: it is consulted
+	// nowhere in NextEvent, so an observer that mutated timing state
+	// would break the fast path's behaviour invariance.
+	obs EventObserver
 
 	// wake[core] is invoked whenever a response (fill, upgrade ack, or
 	// invalidation ack) is delivered to that core; the machine uses it to
@@ -83,7 +92,7 @@ func (s *System) IssueCacheInval(now uint64, core int, addr uint64, icache bool)
 	}
 	s.nextInvalID[core]++
 	id := s.nextInvalID[core]
-	tok := &InvalToken{Addr: la}
+	tok := &InvalToken{Addr: la, Born: now}
 	s.invalTokens[core][id] = tok
 	s.Bus.PushRequest(Txn{Kind: kind, Addr: la, Core: core, ID: id, Dirty: dirty}, now+1)
 	return tok
@@ -121,6 +130,7 @@ func (s *System) dispatchResp(now uint64, t Txn) {
 	if fn := s.wake[t.Core]; fn != nil {
 		fn()
 	}
+	defer s.observe(now, t)
 	switch t.Kind {
 	case InvalAck:
 		tok := s.invalTokens[t.Core][t.ID]

@@ -1,0 +1,174 @@
+package sanitize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/filter"
+	"repro/internal/mem"
+)
+
+// checkCoherence walks every line currently valid in any L1 and applies the
+// per-line MSI and directory-inclusion checks. Lines are visited in address
+// order so reports are deterministic.
+func (s *Sanitizer) checkCoherence(now uint64) {
+	seen := make(map[uint64]bool)
+	var addrs []uint64
+	note := func(lines []mem.CacheLine) {
+		for _, ln := range lines {
+			if !seen[ln.Addr] {
+				seen[ln.Addr] = true
+				addrs = append(addrs, ln.Addr)
+			}
+		}
+	}
+	for c := 0; c < s.sys.Cfg.Cores; c++ {
+		note(s.sys.L1D[c].Snapshot())
+		note(s.sys.L1I[c].Snapshot())
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, la := range addrs {
+		if s.full() {
+			return
+		}
+		s.checkLine(now, la)
+	}
+}
+
+// checkLine applies the MSI and inclusion invariants to one line:
+//
+//   - at most one L1D holds the line Modified, and a Modified copy excludes
+//     every other valid D copy;
+//   - a Modified copy's core is the directory's recorded owner;
+//   - every valid L1 copy is covered by its bank's directory sharer set
+//     (the inclusion property the non-inclusive L2 maintains: the directory,
+//     not the L2 array, must cover the L1s — see DESIGN.md §8).
+func (s *Sanitizer) checkLine(now uint64, la uint64) {
+	bank := s.sys.Cfg.BankOf(la)
+	dir, _ := s.sys.Banks[bank].DirLookup(la)
+
+	owners := []int{}
+	valid := []int{}
+	for c := 0; c < s.sys.Cfg.Cores; c++ {
+		switch s.sys.L1D[c].Peek(la) {
+		case mem.Modified:
+			owners = append(owners, c)
+			valid = append(valid, c)
+		case mem.Shared:
+			valid = append(valid, c)
+		}
+	}
+
+	if len(owners) >= 2 {
+		s.record(Violation{
+			Cycle: now, Checker: "msi", Invariant: "msi.double-modified",
+			Addr: la, Core: owners[0], Bank: bank, Slot: -1, Thread: -1,
+			Detail: fmt.Sprintf("line Modified in L1Ds of cores %v; dir owner=%d dSharers=%#x", owners, dir.Owner, dir.DSharers),
+		})
+	}
+	if len(owners) == 1 && len(valid) > 1 {
+		s.record(Violation{
+			Cycle: now, Checker: "msi", Invariant: "msi.modified-shared",
+			Addr: la, Core: owners[0], Bank: bank, Slot: -1, Thread: -1,
+			Detail: fmt.Sprintf("core %d holds line Modified while cores %v hold valid copies; dir owner=%d dSharers=%#x", owners[0], valid, dir.Owner, dir.DSharers),
+		})
+	}
+	if len(owners) == 1 && dir.Owner != owners[0] {
+		s.record(Violation{
+			Cycle: now, Checker: "msi", Invariant: "msi.phantom-modified",
+			Addr: la, Core: owners[0], Bank: bank, Slot: -1, Thread: -1,
+			Detail: fmt.Sprintf("core %d holds line Modified but dir owner=%d dSharers=%#x (soft error or lost invalidation)", owners[0], dir.Owner, dir.DSharers),
+		})
+	}
+
+	for c := 0; c < s.sys.Cfg.Cores; c++ {
+		cbit := uint64(1) << uint(c)
+		if s.sys.L1D[c].Peek(la) != mem.Invalid && dir.DSharers&cbit == 0 {
+			s.record(Violation{
+				Cycle: now, Checker: "inclusion", Invariant: "inclusion.uncovered-dline",
+				Addr: la, Core: c, Bank: bank, Slot: -1, Thread: -1,
+				Detail: fmt.Sprintf("valid L1D line not covered by directory (owner=%d dSharers=%#x iSharers=%#x l2=%s)", dir.Owner, dir.DSharers, dir.ISharers, s.sys.Banks[bank].L2Peek(la)),
+			})
+		}
+		if s.sys.L1I[c].Peek(la) != mem.Invalid && dir.ISharers&cbit == 0 {
+			s.record(Violation{
+				Cycle: now, Checker: "inclusion", Invariant: "inclusion.uncovered-iline",
+				Addr: la, Core: c, Bank: bank, Slot: -1, Thread: -1,
+				Detail: fmt.Sprintf("valid L1I line not covered by directory (dSharers=%#x iSharers=%#x l2=%s)", dir.DSharers, dir.ISharers, s.sys.Banks[bank].L2Peek(la)),
+			})
+		}
+	}
+}
+
+// checkFilters applies the filter-table invariants to every installed
+// filter.
+func (s *Sanitizer) checkFilters(now uint64) {
+	for b := range s.hooks {
+		if s.full() {
+			return
+		}
+		s.checkBankFilters(now, b)
+	}
+}
+
+// checkBankFilters checks the filters hosted by one bank:
+//
+//   - the arrived-counter equals the number of registered threads in the
+//     Blocking state and never reaches the participant count (the opening
+//     resets it);
+//   - a withheld demand fill's requester thread is marked arrived
+//     (Blocking) — only speculative fills (prefetch, wrong-path ifetch) may
+//     park in Waiting;
+//   - an open (Servicing) thread entry holds no parked fill: a released
+//     slot must not still be blocking a core.
+func (s *Sanitizer) checkBankFilters(now uint64, b int) {
+	if b < 0 || b >= len(s.hooks) || s.hooks[b] == nil {
+		return
+	}
+	for slot, f := range s.hooks[b].Filters() {
+		blocking, registered := 0, 0
+		for t := 0; t < f.NumThreads; t++ {
+			if !f.Registered(t) {
+				continue
+			}
+			registered++
+			if f.State(t) == filter.Blocking {
+				blocking++
+			}
+		}
+		arrived := f.ArrivedCount()
+		if arrived != blocking {
+			s.record(Violation{
+				Cycle: now, Checker: "filter", Invariant: "filter.arrived-count-mismatch",
+				Addr: f.ArrivalBase, Core: -1, Bank: b, Slot: slot, Thread: -1,
+				Detail: fmt.Sprintf("barrier %q arrived-counter=%d but %d of %d registered threads are Blocking", f.Name, arrived, blocking, registered),
+			})
+		}
+		if arrived >= f.NumThreads {
+			s.record(Violation{
+				Cycle: now, Checker: "filter", Invariant: "filter.arrived-overflow",
+				Addr: f.ArrivalBase, Core: -1, Bank: b, Slot: slot, Thread: -1,
+				Detail: fmt.Sprintf("barrier %q arrived-counter=%d >= %d participants (opening must have reset it)", f.Name, arrived, f.NumThreads),
+			})
+		}
+		for _, p := range f.ParkedDump() {
+			speculative := p.Txn.Prefetch || p.Txn.Kind == mem.GetI
+			switch f.State(p.Thread) {
+			case filter.Servicing:
+				s.record(Violation{
+					Cycle: now, Checker: "filter", Invariant: "filter.parked-after-release",
+					Addr: p.Txn.Addr, Core: p.Txn.Core, Bank: b, Slot: slot, Thread: p.Thread,
+					Detail: fmt.Sprintf("barrier %q thread entry is Servicing (released) but still withholds a fill parked at cycle %d", f.Name, p.ParkedAt),
+				})
+			case filter.Waiting:
+				if !speculative {
+					s.record(Violation{
+						Cycle: now, Checker: "filter", Invariant: "filter.parked-unarrived",
+						Addr: p.Txn.Addr, Core: p.Txn.Core, Bank: b, Slot: slot, Thread: p.Thread,
+						Detail: fmt.Sprintf("barrier %q withholds a demand fill (%s) for a thread that has not arrived", f.Name, p.Txn.Kind),
+					})
+				}
+			}
+		}
+	}
+}

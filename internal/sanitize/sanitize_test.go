@@ -1,0 +1,212 @@
+package sanitize_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/sanitize"
+)
+
+// buildMachine launches the microbenchmark on a filter barrier and returns
+// the machine plus a sanitizer constructed over its live parts (so the tests
+// can drive checks by hand and corrupt state between them).
+func buildMachine(t *testing.T, cores int) (*core.Machine, *sanitize.Sanitizer) {
+	t.Helper()
+	cfg := core.DefaultConfig(cores)
+	alloc := barrier.NewAllocator(cfg.Mem)
+	gen, err := barrier.New(barrier.KindFilterD, cores, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := &kernels.Microbench{K: 8, M: 4}
+	prog, err := mb.BuildPar(gen, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMachine(cfg)
+	if err := barrier.Launch(m, gen, prog, cores); err != nil {
+		t.Fatal(err)
+	}
+	physOf := make([]int, len(m.Cores))
+	for i := range physOf {
+		physOf[i] = m.PhysicalOf(i)
+	}
+	return m, sanitize.New(nil, m.Sys, m.Cores, physOf, m.Hooks)
+}
+
+// findShared scans the L1Ds for a line held Shared anywhere and returns the
+// core and line address.
+func findShared(m *core.Machine) (core int, addr uint64, ok bool) {
+	for c := 0; c < m.Cfg.Cores; c++ {
+		for _, ln := range m.Sys.L1D[c].Snapshot() {
+			if ln.State == mem.Shared {
+				return c, ln.Addr, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func TestCleanMachineHasNoViolations(t *testing.T) {
+	m, s := buildMachine(t, 4)
+	for _, at := range []uint64{5_000, 20_000, 50_000} {
+		if err := m.RunUntil(at); err != nil {
+			t.Fatal(err)
+		}
+		s.Check(m.Now())
+	}
+	if s.Tripped() {
+		t.Fatalf("clean machine tripped the sanitizer: %v", s.Violations()[0].Error())
+	}
+	if s.FullChecks != 3 {
+		t.Fatalf("FullChecks=%d, want 3", s.FullChecks)
+	}
+	if s.Err() != nil {
+		t.Fatalf("Err()=%v on a clean machine", s.Err())
+	}
+}
+
+func TestStateFlipTripsMSIChecker(t *testing.T) {
+	m, s := buildMachine(t, 4)
+	if err := m.RunUntil(20_000); err != nil {
+		t.Fatal(err)
+	}
+	c, addr, ok := findShared(m)
+	if !ok {
+		t.Fatal("no Shared L1D line to corrupt after 20k cycles")
+	}
+	// The soft error of the faults package: a tag/state array bit flips
+	// S->M. Data is unaffected (the caches are timing-only), so only the
+	// sanitizer can see this.
+	m.Sys.L1D[c].InjectState(addr, mem.Modified)
+	s.Check(m.Now())
+	if !s.Tripped() {
+		t.Fatal("S->M state flip not detected")
+	}
+	v := s.Violations()[0]
+	if v.Checker != "msi" || !strings.HasPrefix(v.Invariant, "msi.") {
+		t.Fatalf("violation %q from checker %q, want an msi.* invariant", v.Invariant, v.Checker)
+	}
+	if v.Addr != addr || v.Core != c {
+		t.Fatalf("violation names addr=%#x core=%d, want %#x/%d", v.Addr, v.Core, addr, c)
+	}
+	if v.Bank != m.Cfg.Mem.BankOf(addr) {
+		t.Fatalf("violation names bank %d, want %d", v.Bank, m.Cfg.Mem.BankOf(addr))
+	}
+}
+
+func TestViolationsDeduplicate(t *testing.T) {
+	m, s := buildMachine(t, 4)
+	if err := m.RunUntil(20_000); err != nil {
+		t.Fatal(err)
+	}
+	c, addr, ok := findShared(m)
+	if !ok {
+		t.Fatal("no Shared L1D line to corrupt")
+	}
+	m.Sys.L1D[c].InjectState(addr, mem.Modified)
+	s.Check(m.Now())
+	n := len(s.Violations())
+	if n == 0 {
+		t.Fatal("corruption not detected")
+	}
+	// A persistent breach must be reported once, not once per pass.
+	s.Check(m.Now() + 1)
+	s.Check(m.Now() + 2)
+	if len(s.Violations()) != n {
+		t.Fatalf("re-checking a persistent breach grew the report %d -> %d", n, len(s.Violations()))
+	}
+}
+
+func TestFilterCounterMismatchTripsFilterChecker(t *testing.T) {
+	m, s := buildMachine(t, 4)
+	if err := m.RunUntil(20_000); err != nil {
+		t.Fatal(err)
+	}
+	// Find an installed filter and corrupt one registered thread entry:
+	// a thread forced into Blocking without the arrived-counter moving is
+	// exactly the desync a flipped SRAM bit in the filter table causes.
+	var f *filter.Filter
+	for _, h := range m.Hooks {
+		if fs := h.Filters(); len(fs) > 0 {
+			f = fs[0]
+			break
+		}
+	}
+	if f == nil {
+		t.Fatal("no filter installed")
+	}
+	tid := -1
+	for i := 0; i < f.NumThreads; i++ {
+		if f.Registered(i) && f.State(i) != filter.Blocking {
+			tid = i
+			break
+		}
+	}
+	if tid < 0 {
+		t.Skip("every registered thread is Blocking at the probe cycle")
+	}
+	f.InjectThreadState(tid, filter.Blocking)
+	s.Check(m.Now())
+	found := false
+	for _, v := range s.Violations() {
+		if v.Invariant == "filter.arrived-count-mismatch" {
+			found = true
+			if v.Checker != "filter" || v.Slot < 0 || v.Bank < 0 {
+				t.Fatalf("mismatch violation poorly attributed: %+v", v)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("filter-table desync not detected; got %v", s.Violations())
+	}
+}
+
+func TestViolationErrorFormatting(t *testing.T) {
+	v := sanitize.Violation{
+		Cycle: 42, Checker: "msi", Invariant: "msi.double-modified",
+		Addr: 0x4000, Core: 3, Bank: 1, Slot: -1, Thread: -1,
+		Detail: "two owners",
+	}
+	got := v.Error()
+	for _, want := range []string{"cycle 42", "msi.double-modified", "two owners", "addr=0x4000", "core=3", "bank=1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("Error() = %q, missing %q", got, want)
+		}
+	}
+	for _, not := range []string{"slot=", "thread="} {
+		if strings.Contains(got, not) {
+			t.Fatalf("Error() = %q renders the n/a field %q", got, not)
+		}
+	}
+}
+
+func TestMaxViolationsBound(t *testing.T) {
+	m, _ := buildMachine(t, 4)
+	if err := m.RunUntil(20_000); err != nil {
+		t.Fatal(err)
+	}
+	physOf := make([]int, len(m.Cores))
+	for i := range physOf {
+		physOf[i] = m.PhysicalOf(i)
+	}
+	s := sanitize.New(&sanitize.Config{MaxViolations: 2}, m.Sys, m.Cores, physOf, m.Hooks)
+	// Corrupt every Shared line in sight; the report must stay bounded.
+	for c := 0; c < m.Cfg.Cores; c++ {
+		for _, ln := range m.Sys.L1D[c].Snapshot() {
+			if ln.State == mem.Shared {
+				m.Sys.L1D[c].InjectState(ln.Addr, mem.Modified)
+			}
+		}
+	}
+	s.Check(m.Now())
+	s.Check(m.Now() + 1)
+	if got := len(s.Violations()); got > 2 {
+		t.Fatalf("recorded %d violations, bound is 2", got)
+	}
+}

@@ -1,0 +1,167 @@
+package sanitize
+
+import (
+	"fmt"
+	"strings"
+)
+
+// checkLiveness is the transaction/core liveness watchdog. It flags:
+//
+//   - an invalidation token outstanding longer than TxnBudget (a lost
+//     acknowledgement — the issuing core's store buffer is wedged);
+//   - an L1 miss outstanding longer than TxnBudget that is *not* parked at
+//     a barrier filter (a parked fill may legitimately wait forever; a
+//     non-parked one means a response was lost);
+//   - the whole machine making no forward progress for StallBudget cycles.
+//     The report classifies every running core as either legitimately
+//     blocked on a barrier (its fill is withheld by a named filter slot)
+//     or lost, and names the threads each stalled barrier is waiting for —
+//     the stalled-vs-blocked distinction of DESIGN.md §8.
+func (s *Sanitizer) checkLiveness(now uint64) {
+	// Forward-progress bookkeeping, per logical core.
+	for i, c := range s.cores {
+		if c.Committed != s.lastCommitted[i] {
+			s.lastCommitted[i] = c.Committed
+			s.lastChange[i] = now
+		}
+	}
+
+	parked := s.parkedSet()
+
+	for p := 0; p < s.sys.Cfg.Cores; p++ {
+		if tok, ok := s.sys.OldestInvalToken(p); ok && now-tok.Born > s.cfg.TxnBudget {
+			s.record(Violation{
+				Cycle: now, Checker: "liveness", Invariant: "liveness.lost-inval-ack",
+				Addr: tok.Addr, Core: p, Bank: s.sys.Cfg.BankOf(tok.Addr), Slot: -1, Thread: -1,
+				Detail: fmt.Sprintf("invalidation issued at cycle %d still unacknowledged after %d cycles (store buffer wedged)", tok.Born, now-tok.Born),
+			})
+		}
+		s.checkMissAges(now, p, parked)
+	}
+
+	s.checkGlobalStall(now)
+}
+
+// parkedSet collects (core, line) pairs currently withheld by any filter, so
+// the miss-age check can exempt them.
+func (s *Sanitizer) parkedSet() map[[2]uint64]bool {
+	set := make(map[[2]uint64]bool)
+	for _, h := range s.hooks {
+		if h == nil {
+			continue
+		}
+		for _, f := range h.Filters() {
+			for _, p := range f.ParkedDump() {
+				set[[2]uint64{uint64(p.Txn.Core), p.Txn.Addr}] = true
+			}
+		}
+	}
+	return set
+}
+
+// checkMissAges flags non-parked misses older than TxnBudget on one
+// physical core's L1s.
+func (s *Sanitizer) checkMissAges(now uint64, p int, parked map[[2]uint64]bool) {
+	for _, m := range s.sys.L1D[p].MissSnapshot() {
+		if parked[[2]uint64{uint64(p), m.Addr}] || now-m.Born <= s.cfg.TxnBudget {
+			continue
+		}
+		s.record(Violation{
+			Cycle: now, Checker: "liveness", Invariant: "liveness.lost-fill",
+			Addr: m.Addr, Core: p, Bank: s.sys.Cfg.BankOf(m.Addr), Slot: -1, Thread: -1,
+			Detail: fmt.Sprintf("L1D %s miss issued at cycle %d still outstanding after %d cycles and not parked at a filter", m.Kind, m.Born, now-m.Born),
+		})
+	}
+	for _, m := range s.sys.L1I[p].MissSnapshot() {
+		if parked[[2]uint64{uint64(p), m.Addr}] || now-m.Born <= s.cfg.TxnBudget {
+			continue
+		}
+		s.record(Violation{
+			Cycle: now, Checker: "liveness", Invariant: "liveness.lost-ifill",
+			Addr: m.Addr, Core: p, Bank: s.sys.Cfg.BankOf(m.Addr), Slot: -1, Thread: -1,
+			Detail: fmt.Sprintf("L1I %s miss issued at cycle %d still outstanding after %d cycles and not parked at a filter", m.Kind, m.Born, now-m.Born),
+		})
+	}
+}
+
+// checkGlobalStall fires when every running core has gone StallBudget
+// cycles without committing an instruction, and classifies each one.
+func (s *Sanitizer) checkGlobalStall(now uint64) {
+	running := 0
+	for i, c := range s.cores {
+		if !c.Running() {
+			continue
+		}
+		running++
+		if now-s.lastChange[i] < s.cfg.StallBudget {
+			return
+		}
+	}
+	if running == 0 {
+		return
+	}
+
+	var b strings.Builder
+	allBlocked := true
+	for i, c := range s.cores {
+		if !c.Running() {
+			continue
+		}
+		phys := s.physOf[i]
+		// Note: no fast-path state (e.g. Quiesced) in the dump — the report
+		// must be bit-identical with the fast path on or off.
+		fmt.Fprintf(&b, "core%d pc=%#x: ", i, c.ResumePC())
+		switch {
+		case s.describeBlocked(&b, phys):
+			// Legitimately parked at a barrier filter.
+		default:
+			allBlocked = false
+			if tok, ok := s.sys.OldestInvalToken(phys); ok {
+				fmt.Fprintf(&b, "lost — inval token addr=%#x age=%d; ", tok.Addr, now-tok.Born)
+			} else if ms := s.sys.L1D[phys].MissSnapshot(); len(ms) > 0 {
+				fmt.Fprintf(&b, "lost — waiting on fill addr=%#x age=%d; ", ms[0].Addr, now-ms[0].Born)
+			} else if ms := s.sys.L1I[phys].MissSnapshot(); len(ms) > 0 {
+				fmt.Fprintf(&b, "lost — waiting on ifill addr=%#x age=%d; ", ms[0].Addr, now-ms[0].Born)
+			} else {
+				fmt.Fprintf(&b, "lost — no outstanding work; ")
+			}
+		}
+	}
+	for bank, h := range s.hooks {
+		if h == nil {
+			continue
+		}
+		for slot, f := range h.Filters() {
+			if f.ArrivedCount() == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "barrier %q (bank %d slot %d) arrived=%d/%d waiting on threads %v; ",
+				f.Name, bank, slot, f.ArrivedCount(), f.NumThreads, f.UnarrivedThreads())
+		}
+	}
+
+	inv := "liveness.global-stall"
+	if allBlocked {
+		inv = "liveness.barrier-stall"
+	}
+	s.record(Violation{
+		Cycle: now, Checker: "liveness", Invariant: inv,
+		Addr: 0, Core: -1, Bank: -1, Slot: -1, Thread: -1,
+		Detail: fmt.Sprintf("no core committed an instruction for %d cycles: %s", s.cfg.StallBudget, strings.TrimSuffix(b.String(), "; ")),
+	})
+}
+
+// describeBlocked writes the barrier-blocked attribution for a physical
+// core, reporting whether it is parked at any filter.
+func (s *Sanitizer) describeBlocked(b *strings.Builder, phys int) bool {
+	for bank, h := range s.hooks {
+		if h == nil {
+			continue
+		}
+		if slot, f, thread, ok := h.BlockedOn(phys); ok {
+			fmt.Fprintf(b, "blocked on barrier %q (bank %d slot %d entry %d) — legitimate wait; ", f.Name, bank, slot, thread)
+			return true
+		}
+	}
+	return false
+}

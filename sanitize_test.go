@@ -1,0 +1,224 @@
+// Differential and attribution tests for the online invariant sanitizer.
+// The sanitizer's contract has two halves: on a clean machine it is
+// perfectly invisible (bit-identical cycle counts and statistics, checkers
+// on or off, fast path on or off), and on a corrupted or wedged machine it
+// converts a formerly unattributed cycle-limit deadlock or silently absorbed
+// soft error into a structured violation naming the invariant, line, core
+// and filter slot involved.
+package cmpfb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/harness"
+	"repro/internal/kernels"
+	"repro/internal/sanitize"
+)
+
+// TestSanitizerBehaviorInvariant runs representative workloads in all four
+// (sanitize x fast path) configurations and demands bit-identical results.
+func TestSanitizerBehaviorInvariant(t *testing.T) {
+	cases := []struct {
+		name  string
+		cores int
+		kind  barrier.Kind
+		build func(gen barrier.Generator) (*asm.Program, error)
+		tweak func(cfg *core.Config)
+	}{
+		{
+			// The sanitizer's hardest case: event checks observing every
+			// fill, inval and filter release of a barrier-heavy run while
+			// the fast path bulk-skips the quiesced waits between them.
+			name: "microbench-filterD-16", cores: 16, kind: barrier.KindFilterD,
+			build: func(gen barrier.Generator) (*asm.Program, error) {
+				mb := &kernels.Microbench{K: 8, M: 4}
+				return mb.BuildPar(gen, 16)
+			},
+		},
+		{
+			// Software spin barrier: constant invalidation traffic.
+			name: "livermore2-swcentral-8", cores: 8, kind: barrier.KindSWCentral,
+			build: func(gen barrier.Generator) (*asm.Program, error) {
+				return kernels.NewLivermore2(64, 2).BuildPar(gen, 8)
+			},
+		},
+		{
+			// Real kernel with the hardware timeout armed.
+			name: "viterbi-filterDPP-timeout-4", cores: 4, kind: barrier.KindFilterDPP,
+			build: func(gen barrier.Generator) (*asm.Program, error) {
+				return kernels.NewViterbi(32, 2).BuildPar(gen, 4)
+			},
+			tweak: func(cfg *core.Config) { cfg.FilterTimeout = 50_000 },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := runVariant(t, tc.cores, tc.kind, tc.build, tc.tweak, false)
+			for _, nofp := range []bool{false, true} {
+				san := func(cfg *core.Config) {
+					if tc.tweak != nil {
+						tc.tweak(cfg)
+					}
+					cfg.Sanitize = sanitize.Default()
+				}
+				got := runVariant(t, tc.cores, tc.kind, tc.build, san, nofp)
+				compareFastSlow(t, got, base)
+			}
+		})
+	}
+}
+
+// TestSanitizerWatchdogNamesStalledBarrier reruns the fast-path deadlock
+// scenario (a barrier waiting on a descheduled thread) with the watchdog
+// armed: instead of crawling to the cycle limit and reporting an anonymous
+// deadlock, the run must stop early with a violation that classifies every
+// waiting core as legitimately blocked and names the barrier slot and the
+// missing thread — identically with the fast path on and off.
+func TestSanitizerWatchdogNamesStalledBarrier(t *testing.T) {
+	run := func(noFastPath bool) (fastSlowResult, []sanitize.Violation) {
+		cfg := core.DefaultConfig(4)
+		cfg.NoFastPath = noFastPath
+		cfg.Sanitize = &sanitize.Config{StallBudget: 50_000}
+		alloc := barrier.NewAllocator(cfg.Mem)
+		gen, err := barrier.New(barrier.KindFilterD, 4, alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb := &kernels.Microbench{K: 4, M: 2}
+		prog, err := mb.BuildPar(gen, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := core.NewMachine(cfg)
+		if err := barrier.Launch(m, gen, prog, 4); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := m.Cores[3].Deschedule(); err != nil {
+			t.Fatal(err)
+		}
+		cycles, err := m.Run(2_000_000)
+		res := fastSlowResult{cycles: cycles, stats: m.StatsReport().String()}
+		if err != nil {
+			res.errText = err.Error()
+		}
+		return res, m.Violations()
+	}
+	fast, vs := run(false)
+	slow, _ := run(true)
+	compareFastSlow(t, fast, slow)
+	if len(vs) == 0 {
+		t.Fatal("watchdog never fired on a deadlocked barrier")
+	}
+	v := vs[0]
+	if v.Invariant != "liveness.barrier-stall" {
+		t.Fatalf("invariant %q, want liveness.barrier-stall (every waiter is legitimately blocked)", v.Invariant)
+	}
+	for _, want := range []string{"blocked on barrier", "legitimate wait", "waiting on threads [3]"} {
+		if !strings.Contains(v.Detail, want) {
+			t.Fatalf("stall report missing %q:\n%s", want, v.Detail)
+		}
+	}
+	if fast.cycles >= 2_000_000 {
+		t.Fatalf("watchdog stopped only at the cycle limit (%d cycles)", fast.cycles)
+	}
+	if !strings.Contains(fast.errText, "liveness.barrier-stall") {
+		t.Fatalf("run error does not carry the violation: %q", fast.errText)
+	}
+}
+
+// TestSanitizerChaosStateFlip contrasts the sanitizer's view of the
+// state-flip injector with the naive one. The caches are timing-only, so an
+// S->M tag flip can never corrupt results: without the sanitizer the cell
+// completes "identical" and the latent coherence breach goes unremarked.
+// With the sanitizer the same seed yields an attributed fault naming the
+// breached MSI invariant (phantom-modified when the flipped line was the
+// sole copy, modified-shared when other caches still hold it) and the exact
+// line, core and bank.
+func TestSanitizerChaosStateFlip(t *testing.T) {
+	mk := func(san bool) harness.ChaosOptions {
+		o := harness.DefaultChaosOptions()
+		o.Seed = 7
+		o.Kinds = []barrier.Kind{barrier.KindFilterD}
+		o.Profiles = []faults.Profile{{Name: "state-flip", StateFlipEvery: 2_000}}
+		o.Sanitize = san
+		return o
+	}
+	off, err := harness.RunChaos(mk(false))
+	if err != nil {
+		t.Fatalf("without sanitizer: %v", err)
+	}
+	flipped := false
+	for _, c := range off {
+		if c.Outcome != "identical" {
+			t.Fatalf("%s/%s: outcome %q without sanitizer, want identical (flips are timing-only)", c.Kernel, c.Profile, c.Outcome)
+		}
+		if c.Injected > 0 {
+			flipped = true
+		}
+	}
+	if !flipped {
+		t.Fatal("state-flip profile injected nothing; the contrast below is vacuous")
+	}
+	on, err := harness.RunChaos(mk(true))
+	if err != nil {
+		t.Fatalf("with sanitizer: %v", err)
+	}
+	caught := false
+	for _, c := range on {
+		if c.Outcome == "fault" && strings.Contains(c.Report, "sanitize:") &&
+			strings.Contains(c.Report, "msi.") && strings.Contains(c.Report, "state-flip") {
+			caught = true
+		}
+	}
+	if !caught {
+		for _, c := range on {
+			t.Logf("%s/%s: %s\n%s", c.Kernel, c.Profile, c.Outcome, c.Report)
+		}
+		t.Fatal("no cell attributed the S->M flip to an msi.* invariant")
+	}
+}
+
+// TestSanitizerChaosAttributesDeadlocks runs the profiles whose failure mode
+// is starvation (dropped acks/fills) with the sanitizer on: the two-outcome
+// contract must still hold, and any cell that fails must carry a real
+// attribution — never the bare "cycle limit exceeded" of a lost transaction
+// burning the whole budget.
+func TestSanitizerChaosAttributesDeadlocks(t *testing.T) {
+	o := harness.DefaultChaosOptions()
+	o.Seed = 3
+	o.Kinds = []barrier.Kind{barrier.KindFilterD}
+	profiles := faults.Profiles()
+	o.Profiles = nil
+	for _, p := range profiles {
+		if p.Name == "ack-drop" || p.Name == "monsoon" {
+			o.Profiles = append(o.Profiles, p)
+		}
+	}
+	if len(o.Profiles) == 0 {
+		t.Fatal("no starvation profiles found")
+	}
+	o.Sanitize = true
+	cells, err := harness.RunChaos(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		switch c.Outcome {
+		case "identical", "degraded":
+		case "fault":
+			if !strings.Contains(c.Report, "sanitize:") && !strings.Contains(c.Report, "filter") {
+				t.Errorf("%s/%s: fault without attribution:\n%s", c.Kernel, c.Profile, c.Report)
+			}
+			if strings.Contains(c.Report, "cycle limit") && !strings.Contains(c.Report, "sanitize:") {
+				t.Errorf("%s/%s: unattributed cycle-limit deadlock survived the watchdog:\n%s", c.Kernel, c.Profile, c.Report)
+			}
+		default:
+			t.Errorf("%s/%s: unknown outcome %q", c.Kernel, c.Profile, c.Outcome)
+		}
+	}
+}

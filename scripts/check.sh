@@ -1,9 +1,18 @@
 #!/bin/sh
-# check.sh — the full pre-merge gate: static checks, build, the test suite,
-# and a race-detector pass over the parallel experiment harness.
+# check.sh — the full pre-merge gate: formatting, static checks, build, the
+# test suite, a race-detector pass over the parallel experiment harness, and
+# the differential suites (fast path, chaos, sanitizer).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -19,5 +28,11 @@ go test -race -run 'TestForEach|TestParallelFig4Deterministic' ./internal/harnes
 
 echo "== go test (chaos differential) =="
 go test -run Chaos -count=1 .
+
+echo "== go test (sanitizer: invariance, watchdog, chaos attribution) =="
+go test -run Sanitizer -count=1 .
+
+echo "== go test (journal kill-resume and deadlines) =="
+go test -run 'TestJournal|TestRunCells|TestCellDeadline' -count=1 ./internal/harness
 
 echo "ok"
