@@ -16,8 +16,10 @@ bench:
 check:
 	sh scripts/check.sh
 
-# chaos runs the fault-injection differential matrix plus a short fuzz
-# smoke of the assembler (the surface the chaos kernels are built through).
+# chaos runs the fault-injection differential matrix plus short fuzz
+# smokes of the assembler (the surface the chaos kernels are built through)
+# and the static verifier (which must never panic on arbitrary programs).
 chaos:
 	$(GO) test -run Chaos -count=1 -v .
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s -run '^$$' ./internal/asm
+	$(GO) test -fuzz=FuzzVet -fuzztime=10s -run '^$$' ./internal/vet

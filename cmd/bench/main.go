@@ -32,6 +32,7 @@ func main() {
 	journal := flag.String("journal", "", "append per-cell JSONL records for the journaling sweeps (fig4, chaos) to this file")
 	resume := flag.Bool("resume", false, "skip cells already recorded in -journal (crash recovery for interrupted sweeps)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget per experiment cell (0 = none); cells over budget are journaled as timed out and the sweep continues")
+	novet := flag.Bool("novet", false, "skip the static program verifier (srvet) on harness-built programs (differential debugging)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	opt.JournalPath = *journal
 	opt.Resume = *resume
 	opt.CellDeadline = *deadline
+	opt.NoVet = *novet
 	if *resume && *journal == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -journal")
 		os.Exit(2)

@@ -1,0 +1,275 @@
+// Command srvet statically verifies SRISC kernel programs: it builds the
+// requested kernel(s) through the barrier generators exactly as the harness
+// would, then runs the package vet analyses — control flow, use-before-def,
+// dead code, the filter-barrier arrival protocol, and the data-partition
+// store discipline — and prints every diagnostic with its label-level
+// position. It exits non-zero if any program fails.
+//
+// Usage:
+//
+//	srvet -all                           # every kernel × every mechanism
+//	srvet -kernel livermore3 -threads 8  # one kernel, every mechanism
+//	srvet -kernel autcor -barrier filter-d-pp -threads 16
+//	srvet -corpus                        # self-check: seeded misuse programs
+//	srvet prog.s                         # assemble and vet a source file
+//	srvet -barrier filter-d -threads 8 prog.s  # expand `barrier` as cmpsim would
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/vet"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "kernel to vet (see -list); empty with -all vets every kernel")
+	all := flag.Bool("all", false, "vet every registered kernel (the CI gate)")
+	list := flag.Bool("list", false, "list registered kernels and exit")
+	barriers := flag.String("barrier", "", "comma-separated barrier mechanisms (default: all, plus the sequential build)")
+	threads := flag.Int("threads", 8, "thread count the parallel builds are analyzed for")
+	n := flag.Int("n", 0, "kernel problem size (0 = kernel default)")
+	loops := flag.Int("loops", 0, "kernel loop/repeat count (0 = kernel default)")
+	corpus := flag.Bool("corpus", false, "run the seeded misuse corpus and require every diagnostic to fire")
+	verbose := flag.Bool("v", false, "print every program checked, not just failures")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, name := range kernels.Names() {
+			fmt.Println(name)
+		}
+		return
+	case *corpus:
+		os.Exit(runCorpus())
+	case flag.NArg() == 1:
+		os.Exit(vetFile(flag.Arg(0), *barriers, *threads))
+	case flag.NArg() > 1:
+		fmt.Fprintln(os.Stderr, "usage: srvet [flags] [prog.s]")
+		os.Exit(2)
+	}
+
+	names := kernels.Names()
+	if !*all {
+		if *kernel == "" {
+			fmt.Fprintln(os.Stderr, "srvet: need -kernel, -all, -corpus, or a source file (see -help)")
+			os.Exit(2)
+		}
+		names = []string{*kernel}
+	}
+
+	kinds, err := parseKinds(*barriers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srvet:", err)
+		os.Exit(2)
+	}
+
+	bad := 0
+	for _, name := range names {
+		bad += vetKernel(name, kinds, *threads, *n, *loops, *barriers == "", *verbose)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "srvet: %d program(s) failed\n", bad)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Println("srvet: all programs clean")
+	}
+}
+
+// parseKinds resolves the -barrier list; empty means every mechanism.
+func parseKinds(s string) ([]barrier.Kind, error) {
+	if s == "" {
+		kinds := append([]barrier.Kind{}, barrier.Kinds...)
+		return append(kinds, barrier.ExtraKinds...), nil
+	}
+	var kinds []barrier.Kind
+	for _, f := range strings.Split(s, ",") {
+		k, err := barrier.ParseKind(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
+
+// vetKernel checks one kernel's sequential build (when seq is set) and its
+// parallel build under each mechanism, returning the number of failing
+// programs.
+func vetKernel(name string, kinds []barrier.Kind, threads, n, loops int, seq, verbose bool) int {
+	bad := 0
+	report := func(what string, ds []vet.Diagnostic) {
+		if len(ds) == 0 {
+			if verbose {
+				fmt.Printf("ok   %s\n", what)
+			}
+			return
+		}
+		bad++
+		fmt.Printf("FAIL %s: %d diagnostic(s)\n", what, len(ds))
+		for _, d := range ds {
+			fmt.Printf("  %s\n", d)
+		}
+	}
+	fail := func(what string, err error) {
+		bad++
+		fmt.Printf("FAIL %s: %v\n", what, err)
+	}
+
+	if seq {
+		what := name + "/seq"
+		k, err := kernels.New(name, n, loops)
+		if err != nil {
+			fail(what, err)
+			return bad
+		}
+		p, err := k.BuildSeq()
+		if err != nil {
+			fail(what, err)
+		} else {
+			report(what, vet.Check(p, vet.Options{Threads: 1}))
+		}
+	}
+	for _, kind := range kinds {
+		what := fmt.Sprintf("%s/%s/t%d", name, kind, threads)
+		k, err := kernels.New(name, n, loops)
+		if err != nil {
+			fail(what, err)
+			return bad
+		}
+		alloc := barrier.NewAllocator(core.DefaultConfig(threads).Mem)
+		gen, err := barrier.NewExtra(kind, threads, alloc)
+		if err != nil {
+			// Mechanism constraints (e.g. sw-tree needs a power of two)
+			// are not program bugs.
+			if verbose {
+				fmt.Printf("skip %s: %v\n", what, err)
+			}
+			continue
+		}
+		p, err := k.BuildPar(gen, threads)
+		if err != nil {
+			fail(what, err)
+			continue
+		}
+		report(what, vet.Check(p, vet.Options{Threads: threads}))
+	}
+	return bad
+}
+
+// vetFile assembles a source file and vets it. With -barrier, the
+// `barrier` pseudo-instruction is expanded exactly as cmd/cmpsim does, so
+// the program cmpsim would run is the program that gets vetted.
+func vetFile(path, barriers string, threads int) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srvet:", err)
+		return 1
+	}
+	src := string(raw)
+	var p *asm.Program
+	if barriers != "" {
+		kind, err := barrier.ParseKind(barriers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "srvet:", err)
+			return 1
+		}
+		alloc := barrier.NewAllocator(core.DefaultConfig(threads).Mem)
+		gen, err := barrier.NewExtra(kind, threads, alloc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "srvet:", err)
+			return 1
+		}
+		var aerr error
+		p, err = barrier.BuildProgram(gen, func(b *asm.Builder) {
+			aerr = assembleWithBarrier(b, src, gen)
+		})
+		if aerr != nil {
+			err = aerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "srvet:", err)
+			return 1
+		}
+	} else {
+		p, err = asm.Assemble(src, core.TextBase, core.DataBase)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "srvet:", err)
+			return 1
+		}
+	}
+	ds := vet.Check(p, vet.Options{Threads: threads})
+	for _, d := range ds {
+		fmt.Println(d)
+	}
+	if len(ds) > 0 {
+		return 1
+	}
+	fmt.Printf("ok   %s\n", path)
+	return 0
+}
+
+// assembleWithBarrier expands the `barrier` pseudo-instruction by emitting
+// the generator's sequence in its place (same contract as cmd/cmpsim).
+func assembleWithBarrier(b *asm.Builder, src string, gen barrier.Generator) error {
+	la := asm.NewLineAssembler(b)
+	for i, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(stripCmt(line)) == "barrier" {
+			gen.EmitBarrier(b)
+			continue
+		}
+		if err := la.Line(line); err != nil {
+			return fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// stripCmt removes trailing comments for the barrier pseudo-op check.
+func stripCmt(s string) string {
+	if i := strings.Index(s, "#"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// runCorpus is the self-check: every seeded misuse program must raise
+// exactly its intended diagnostic at the intended label.
+func runCorpus() int {
+	bad := 0
+	for _, e := range vet.Corpus() {
+		p, err := e.Build()
+		if err != nil {
+			fmt.Printf("FAIL corpus/%s: build: %v\n", e.Name, err)
+			bad++
+			continue
+		}
+		ds := vet.Check(p, vet.Options{Threads: e.Threads})
+		hit := false
+		for _, d := range ds {
+			if d.Code == e.Want && strings.HasPrefix(d.Pos, e.WantPos) {
+				hit = true
+			}
+		}
+		if !hit {
+			fmt.Printf("FAIL corpus/%s: wanted %s at %s, got %v\n", e.Name, e.Want, e.WantPos, ds)
+			bad++
+			continue
+		}
+		fmt.Printf("ok   corpus/%s: %s\n", e.Name, ds[0])
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}

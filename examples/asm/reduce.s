@@ -26,7 +26,7 @@ sum:
 	bnez t2, sum
 	out  t1
 done:
-	halt
+	# falls through to the HALT barrier.BuildProgram appends
 
 	.data
 	.align 64

@@ -2,11 +2,16 @@ package asm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/isa"
 )
+
+// ErrUndefinedLabel is wrapped by Build errors for branches, LA references
+// and entry symbols that name a label never defined.
+var ErrUndefinedLabel = errors.New("asm: undefined label")
 
 // Builder assembles a program incrementally. Code generators call the
 // mnemonic helpers; labels may be referenced before they are defined and are
@@ -23,6 +28,7 @@ type Builder struct {
 
 	symbols map[string]uint64
 	defined map[string]bool
+	marks   []LabelMark
 	nextLbl int
 	entry   string
 	err     error
@@ -67,7 +73,27 @@ func (b *Builder) setErr(err error) {
 
 // Label defines name at the current PC.
 func (b *Builder) Label(name string) {
+	b.marks = append(b.marks, LabelMark{Addr: b.PC(), Name: name})
 	b.define(name, b.PC())
+}
+
+// locate renders the build-site position of instruction index i (for error
+// messages), as the innermost label at or before it plus an instruction
+// offset.
+func (b *Builder) locate(i int) string {
+	addr := b.textBase + uint64(i)*isa.WordBytes
+	pos := fmt.Sprintf("%#x", addr)
+	for _, m := range b.marks {
+		if m.Addr > addr {
+			break
+		}
+		if off := (addr - m.Addr) / isa.WordBytes; off != 0 {
+			pos = fmt.Sprintf("%s+%d", m.Name, off)
+		} else {
+			pos = m.Name
+		}
+	}
+	return pos
 }
 
 // NewLabel returns a fresh unique label name (not yet defined).
@@ -310,7 +336,7 @@ func (b *Builder) Build() (*Program, error) {
 	for _, f := range b.fixups {
 		addr, ok := b.symbols[f.label]
 		if !ok {
-			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+			return nil, fmt.Errorf("%w %q (referenced at %s)", ErrUndefinedLabel, f.label, b.locate(f.index))
 		}
 		instAddr := b.textBase + uint64(f.index)*isa.WordBytes
 		switch f.kind {
@@ -343,10 +369,11 @@ func (b *Builder) Build() (*Program, error) {
 	if b.entry != "" {
 		e, ok := b.symbols[b.entry]
 		if !ok {
-			return nil, fmt.Errorf("asm: undefined entry symbol %q", b.entry)
+			return nil, fmt.Errorf("%w %q (entry symbol)", ErrUndefinedLabel, b.entry)
 		}
 		p.Entry = e
 	}
+	p.Marks = append(p.Marks, b.marks...)
 	if len(text) > 0 {
 		p.Segments = append(p.Segments, Segment{Addr: b.textBase, Data: text})
 	}

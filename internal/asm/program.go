@@ -24,11 +24,38 @@ type Segment struct {
 	Data []byte
 }
 
+// LabelMark records one text-segment label definition, attributing encoded
+// instructions back to the build site that emitted them. Diagnostics (vet,
+// runtime faults) use the marks to print "label+offset" instead of a bare
+// PC.
+type LabelMark struct {
+	Addr uint64
+	Name string
+}
+
 // Program is a fully linked SRISC program image.
 type Program struct {
 	Entry    uint64
 	Segments []Segment
 	Symbols  map[string]uint64
+	// Marks lists text label definitions sorted by address (several labels
+	// may share an address; the innermost — latest defined — sorts last).
+	Marks []LabelMark
+}
+
+// Locate renders addr as "label+offset" using the innermost text label at
+// or before addr, with the offset counted in instructions. Addresses before
+// the first label render as bare hex.
+func (p *Program) Locate(addr uint64) string {
+	i := sort.Search(len(p.Marks), func(i int) bool { return p.Marks[i].Addr > addr })
+	if i == 0 {
+		return fmt.Sprintf("%#x", addr)
+	}
+	m := p.Marks[i-1]
+	if off := (addr - m.Addr) / isa.WordBytes; off != 0 {
+		return fmt.Sprintf("%s+%d", m.Name, off)
+	}
+	return m.Name
 }
 
 // Symbol returns the address of a defined symbol.

@@ -134,14 +134,18 @@ func TestStrictFSMFaultsRepeatArrival(t *testing.T) {
 }
 
 // TestMachineCycleLimit: a deadlocked program reports the limit error
-// rather than hanging.
+// rather than hanging, and attributes the stuck PC to its assembler label.
 func TestMachineCycleLimit(t *testing.T) {
-	p := asm.MustAssemble("loop:\tj loop\n", core.TextBase, core.DataBase)
+	p := asm.MustAssemble("start:\tnop\nloop:\tj loop\n", core.TextBase, core.DataBase)
 	m := core.NewMachine(core.DefaultConfig(1))
 	m.Load(p)
 	m.StartSPMD(p.Entry, 1)
-	if _, err := m.Run(10_000); err == nil || !strings.Contains(err.Error(), "cycle limit") {
+	_, err := m.Run(10_000)
+	if err == nil || !strings.Contains(err.Error(), "cycle limit") {
 		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "(loop)") {
+		t.Fatalf("deadlock report lacks label attribution: %v", err)
 	}
 }
 

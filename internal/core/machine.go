@@ -115,6 +115,7 @@ type Machine struct {
 
 	now      uint64
 	faultErr error
+	prog     *asm.Program // last loaded image, for label-level PC reports
 
 	// Sanitizer state (nil when Cfg.Sanitize is nil).
 	san      *sanitize.Sanitizer
@@ -224,11 +225,13 @@ func (m *Machine) LogicalCores() int { return len(m.Cores) }
 // PhysicalOf returns the physical core hosting logical core l.
 func (m *Machine) PhysicalOf(l int) int { return m.physOf[l] }
 
-// Load writes a program image into physical memory.
+// Load writes a program image into physical memory and retains it so
+// runtime error reports can attribute PCs to assembler labels.
 func (m *Machine) Load(p *asm.Program) {
 	for _, seg := range p.Segments {
 		m.Sys.Mem.WriteBytes(seg.Addr, seg.Data)
 	}
+	m.prog = p
 }
 
 // InstallFilter places a barrier filter into the bank its arrival region
@@ -434,7 +437,14 @@ func (m *Machine) describePCs() string {
 				break
 			}
 		}
-		s += fmt.Sprintf("[core%d %#x%s]", i, c.ResumePC(), blocked)
+		pc := c.ResumePC()
+		where := fmt.Sprintf("%#x", pc)
+		if m.prog != nil {
+			if loc := m.prog.Locate(pc); loc != where {
+				where = fmt.Sprintf("%#x(%s)", pc, loc)
+			}
+		}
+		s += fmt.Sprintf("[core%d %s%s]", i, where, blocked)
 	}
 	return s
 }

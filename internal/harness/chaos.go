@@ -187,7 +187,14 @@ func runChaosCell(ctx *cellCtx, k kernels.Kernel, kind barrier.Kind, p faults.Pr
 
 	pol := barrier.DefaultFallbackPolicy(opt.MaxCycles)
 	res, err := barrier.RunResilient(cfg, nthreads, kind, pol, func(gen barrier.Generator) (*asm.Program, error) {
-		return k.BuildPar(gen, nthreads)
+		prog, err := k.BuildPar(gen, nthreads)
+		if err != nil {
+			return nil, err
+		}
+		if err := vetProgram(fmt.Sprintf("chaos %s/%s", k.Name(), kind), prog, nthreads, opt.Options); err != nil {
+			return nil, err
+		}
+		return prog, nil
 	}, hooks)
 	retire()
 	attr := strings.Join(history, "\n  ")

@@ -45,7 +45,7 @@ func Fig4(opt Options) ([]LatencyPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		prog, err := buildLatencyProgram(gen, k, m)
+		prog, err := buildLatencyProgram(gen, k, m, n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -431,7 +431,7 @@ func Extras(opt Options) (ExtrasResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		prog, err := buildLatencyProgram(gen, k, m)
+		prog, err := buildLatencyProgram(gen, k, m, opt.Cores, opt)
 		if err != nil {
 			return nil, err
 		}

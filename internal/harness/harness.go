@@ -17,6 +17,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/sanitize"
+	"repro/internal/vet"
 )
 
 // Options tunes experiment cost.
@@ -64,6 +65,12 @@ type Options struct {
 	// journaled as timed out with its last-progress cycle; the sweep
 	// continues with the remaining cells.
 	CellDeadline time.Duration
+	// NoVet skips the static verifier (package vet) that every program
+	// the harness builds must otherwise pass before it runs. Escape
+	// hatch for differential work — e.g. measuring a deliberately broken
+	// barrier sequence, or ruling the verifier out as a source of a
+	// build failure. cmd/bench exposes it as -novet.
+	NoVet bool
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -89,12 +96,26 @@ func machineConfig(cores int, opt Options) core.Config {
 	return cfg
 }
 
+// vetProgram gates a freshly built program on the static verifier. A
+// diagnostic here means the build emitted a broken barrier protocol or
+// dataflow bug that the simulator might only expose as a hang or silent
+// corruption millions of cycles later, so the cell fails fast instead.
+func vetProgram(what string, prog *asm.Program, threads int, opt Options) error {
+	if opt.NoVet {
+		return nil
+	}
+	return vet.AsError(what, vet.Check(prog, vet.Options{Threads: threads}))
+}
+
 // RunSeq runs a kernel's sequential build on a single-core machine and
 // returns the cycle count.
 func RunSeq(k kernels.Kernel, opt Options) (uint64, error) {
 	prog, err := k.BuildSeq()
 	if err != nil {
 		return 0, fmt.Errorf("harness: %s: %w", k.Name(), err)
+	}
+	if err := vetProgram(k.Name()+" seq", prog, 1, opt); err != nil {
+		return 0, err
 	}
 	m, err := core.NewMachineChecked(machineConfig(1, opt))
 	if err != nil {
@@ -126,6 +147,9 @@ func RunPar(k kernels.Kernel, kind barrier.Kind, nthreads int, opt Options) (uin
 	prog, err := k.BuildPar(gen, nthreads)
 	if err != nil {
 		return 0, fmt.Errorf("harness: %s/%s: %w", k.Name(), kind, err)
+	}
+	if err := vetProgram(fmt.Sprintf("%s/%s", k.Name(), kind), prog, nthreads, opt); err != nil {
+		return 0, err
 	}
 	m, err := core.NewMachineChecked(cfg)
 	if err != nil {
@@ -162,8 +186,17 @@ func runSeqMachine(k kernels.Kernel, opt Options) (*mem.Memory, error) {
 	return m.Sys.Mem, nil
 }
 
-// buildLatencyProgram emits the Figure 4 microbenchmark for a generator.
-func buildLatencyProgram(gen barrier.Generator, k, m int) (*asm.Program, error) {
+// buildLatencyProgram emits and vets the Figure 4 microbenchmark for a
+// generator. nthreads is the thread count the program will launch with
+// (the builder itself does not use it).
+func buildLatencyProgram(gen barrier.Generator, k, m, nthreads int, opt Options) (*asm.Program, error) {
 	mb := &kernels.Microbench{K: k, M: m}
-	return mb.BuildPar(gen, 0) // thread count unused by the builder
+	prog, err := mb.BuildPar(gen, 0) // thread count unused by the builder
+	if err != nil {
+		return nil, err
+	}
+	if err := vetProgram(fmt.Sprintf("microbench/%d", nthreads), prog, nthreads, opt); err != nil {
+		return nil, err
+	}
+	return prog, nil
 }

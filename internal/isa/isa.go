@@ -274,6 +274,78 @@ func (in Inst) IsMem() bool {
 	return c == ClassLoad || c == ClassStore
 }
 
+// IsLoad reports whether the instruction reads data memory (LD/LW/LH/FLD/LL).
+func (in Inst) IsLoad() bool { return Lookup(in.Op).Class == ClassLoad }
+
+// IsStore reports whether the instruction writes data memory
+// (ST/SW/SH/FST/SC).
+func (in Inst) IsStore() bool { return Lookup(in.Op).Class == ClassStore }
+
+// IsInval reports whether the instruction invalidates a cache line (the
+// barrier-filter arrival/exit signals ICBI and DCBI).
+func (in Inst) IsInval() bool { return in.Op == ICBI || in.Op == DCBI }
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (in Inst) IsCondBranch() bool { return Lookup(in.Op).Class == ClassBranch }
+
+// BranchTarget returns the statically known control target of a branch or
+// JAL at address pc. It reports false for non-control instructions and for
+// JALR (whose target is a register value).
+func (in Inst) BranchTarget(pc uint64) (uint64, bool) {
+	switch Lookup(in.Op).Class {
+	case ClassBranch:
+		return pc + uint64(int64(in.Imm)), true
+	case ClassJump:
+		if in.Op == JAL {
+			return pc + uint64(int64(in.Imm)), true
+		}
+	}
+	return 0, false
+}
+
+// UsesInt returns a bitmask of the integer registers the instruction reads.
+func (in Inst) UsesInt() uint32 {
+	inf := Lookup(in.Op)
+	var m uint32
+	if inf.ReadsR1 {
+		m |= 1 << (in.Rs1 & 31)
+	}
+	if inf.ReadsR2 {
+		m |= 1 << (in.Rs2 & 31)
+	}
+	return m
+}
+
+// UsesFP returns a bitmask of the FP registers the instruction reads.
+func (in Inst) UsesFP() uint32 {
+	inf := Lookup(in.Op)
+	var m uint32
+	if inf.ReadsF1 {
+		m |= 1 << (in.Rs1 & 31)
+	}
+	if inf.ReadsF2 {
+		m |= 1 << (in.Rs2 & 31)
+	}
+	return m
+}
+
+// DefInt returns the integer register the instruction defines. Writes to x0
+// are discarded by the hardware and report as no definition.
+func (in Inst) DefInt() (uint8, bool) {
+	if Lookup(in.Op).WritesRd && in.Rd != RegZero {
+		return in.Rd, true
+	}
+	return 0, false
+}
+
+// DefFP returns the FP register the instruction defines.
+func (in Inst) DefFP() (uint8, bool) {
+	if Lookup(in.Op).WritesFd {
+		return in.Rd, true
+	}
+	return 0, false
+}
+
 // IsCtrl reports whether the instruction can redirect the PC.
 func (in Inst) IsCtrl() bool {
 	c := Lookup(in.Op).Class

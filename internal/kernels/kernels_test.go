@@ -7,6 +7,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/barrier"
 	"repro/internal/core"
+	"repro/internal/vet"
 )
 
 // runSeq builds and runs the sequential variant and verifies the result.
@@ -145,6 +146,74 @@ func TestKernelsAllBarriers(t *testing.T) {
 }
 
 var _ = asm.Program{} // reserve import for future symbol-based checks
+
+// TestKernelsVetClean: every registered kernel, sequential and under every
+// barrier mechanism, must pass the static verifier with zero diagnostics.
+// This is the "all shipped kernels vet clean" half of srvet's contract; the
+// other half (every misuse pattern is caught) is vet's TestCorpus.
+func TestKernelsVetClean(t *testing.T) {
+	kinds := append(append([]barrier.Kind{}, barrier.Kinds...), barrier.ExtraKinds...)
+	for _, name := range Names() {
+		name := name
+		t.Run(name+"/seq", func(t *testing.T) {
+			k, err := New(name, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := k.BuildSeq()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ds := vet.Check(p, vet.Options{Threads: 1}); len(ds) != 0 {
+				t.Errorf("%s seq: %v", k.Name(), vet.AsError(k.Name(), ds))
+			}
+		})
+		for _, kind := range kinds {
+			kind := kind
+			for _, nthreads := range []int{2, 8} {
+				nthreads := nthreads
+				t.Run(fmt.Sprintf("%s/%s/t%d", name, kind, nthreads), func(t *testing.T) {
+					k, err := New(name, 0, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := core.DefaultConfig(nthreads)
+					alloc := barrier.NewAllocator(cfg.Mem)
+					gen, err := barrier.NewExtra(kind, nthreads, alloc)
+					if err != nil {
+						t.Skipf("generator: %v", err)
+					}
+					p, err := k.BuildPar(gen, nthreads)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ds := vet.Check(p, vet.Options{Threads: nthreads}); len(ds) != 0 {
+						t.Errorf("%v", vet.AsError(k.Name()+"/"+kind.String(), ds))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestKernelRegistry: names resolve, unknown names error.
+func TestKernelRegistry(t *testing.T) {
+	if len(Names()) < 7 {
+		t.Fatalf("registry too small: %v", Names())
+	}
+	for _, name := range Names() {
+		k, err := New(name, 0, 0)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if k.Name() == "" {
+			t.Fatalf("kernel %q has empty Name()", name)
+		}
+	}
+	if _, err := New("no-such-kernel", 0, 0); err == nil {
+		t.Fatal("unknown kernel did not error")
+	}
+}
 
 func TestAutcor(t *testing.T) {
 	k := NewAutcor(256, 8, 1)

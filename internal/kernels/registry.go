@@ -1,0 +1,53 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps kernel names to constructors taking the generic (n, loops)
+// sizing knobs. Non-positive values select each kernel's default size, so
+// callers (cmd/srvet, cmd/bench, tests) can enumerate every kernel without
+// knowing per-kernel sizing rules.
+var registry = map[string]func(n, loops int) Kernel{
+	"livermore1": func(n, loops int) Kernel { return NewLivermore1(defInt(n, 64), defInt(loops, 2)) },
+	"livermore2": func(n, loops int) Kernel { return NewLivermore2(defInt(n, 64), defInt(loops, 1)) },
+	"livermore3": func(n, loops int) Kernel { return NewLivermore3(defInt(n, 64), defInt(loops, 2)) },
+	"livermore6": func(n, loops int) Kernel { return NewLivermore6(defInt(n, 32), defInt(loops, 1)) },
+	"autcor":     func(n, loops int) Kernel { return NewAutcor(defInt(n, 256), 8, defInt(loops, 1)) },
+	"viterbi":    func(n, loops int) Kernel { return NewViterbi(defInt(n, 48), defInt(loops, 1)) },
+	"coarse":     func(n, loops int) Kernel { return NewCoarseGrain(defInt(loops, 4), defInt(n, 64)) },
+	"microbench": func(n, loops int) Kernel {
+		mb := NewMicrobench()
+		mb.K = defInt(n, mb.K)
+		mb.M = defInt(loops, mb.M)
+		return mb
+	},
+}
+
+func defInt(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+// Names lists every registered kernel, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New constructs a kernel by registry name. n and loops size the workload;
+// non-positive values pick the kernel's default.
+func New(name string, n, loops int) (Kernel, error) {
+	mk, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown kernel %q (have %v)", name, Names())
+	}
+	return mk(n, loops), nil
+}

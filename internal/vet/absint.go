@@ -1,0 +1,299 @@
+package vet
+
+import (
+	"repro/internal/isa"
+)
+
+// av is a value in the affine abstract domain: base + coef·tid, or Top
+// (known == false). The domain exactly captures the address arithmetic the
+// barrier generators and kernels emit for per-thread addressing — a
+// constant base materialized with LI/LA, scaled by the thread id from a0 —
+// while everything data-dependent widens to Top. All downstream checks are
+// "must" checks: Top stays silent.
+type av struct {
+	known bool
+	base  int64
+	coef  int64
+}
+
+func avTop() av        { return av{} }
+func avCon(v int64) av { return av{known: true, base: v} }
+func avTid() av        { return av{known: true, coef: 1} }
+
+// at evaluates the value for a concrete thread id.
+func (a av) at(t int64) int64 { return a.base + a.coef*t }
+
+func (a av) eq(b av) bool { return a == b }
+
+func avJoin(a, b av) av {
+	if a == b {
+		return a
+	}
+	return avTop()
+}
+
+func avAdd(a, b av) av {
+	if !a.known || !b.known {
+		return avTop()
+	}
+	return av{known: true, base: a.base + b.base, coef: a.coef + b.coef}
+}
+
+func avSub(a, b av) av {
+	if !a.known || !b.known {
+		return avTop()
+	}
+	return av{known: true, base: a.base - b.base, coef: a.coef - b.coef}
+}
+
+func avMul(a, b av) av {
+	if !a.known || !b.known {
+		return avTop()
+	}
+	switch {
+	case a.coef == 0:
+		return av{known: true, base: a.base * b.base, coef: a.base * b.coef}
+	case b.coef == 0:
+		return av{known: true, base: a.base * b.base, coef: a.coef * b.base}
+	}
+	return avTop()
+}
+
+func avShl(a av, sh int32) av {
+	if !a.known || sh < 0 || sh > 31 {
+		return avTop()
+	}
+	return av{known: true, base: a.base << uint(sh), coef: a.coef << uint(sh)}
+}
+
+// tid path constraints derived from branches comparing a tid-affine value
+// against a constant.
+type tidKind uint8
+
+const (
+	tidAny  tidKind = iota // no constraint
+	tidEq                  // tid == val
+	tidNe                  // tid != val
+	tidNone                // infeasible path (branch can never go this way)
+)
+
+type tidC struct {
+	kind tidKind
+	val  int64
+}
+
+func tidJoin(a, b tidC) tidC {
+	if a == b {
+		return a
+	}
+	if a.kind == tidNone {
+		return b
+	}
+	if b.kind == tidNone {
+		return a
+	}
+	return tidC{kind: tidAny}
+}
+
+// tidAnd intersects two constraints (path condition conjunction). The
+// domain cannot express every conjunction; unrepresentable ones keep the
+// new constraint, which over-approximates the executing-thread set — safe
+// for the checks, which only need allows() to never rule out a thread that
+// can actually reach the point.
+func tidAnd(old, new tidC) tidC {
+	switch {
+	case old.kind == tidAny:
+		return new
+	case old.kind == tidNone || new.kind == tidNone:
+		return tidC{kind: tidNone}
+	case old.kind == tidEq && new.kind == tidEq:
+		if old.val == new.val {
+			return old
+		}
+		return tidC{kind: tidNone}
+	case old.kind == tidEq && new.kind == tidNe:
+		if old.val == new.val {
+			return tidC{kind: tidNone}
+		}
+		return old
+	case old.kind == tidNe && new.kind == tidEq:
+		if old.val == new.val {
+			return tidC{kind: tidNone}
+		}
+		return new
+	}
+	return new
+}
+
+// allows reports whether thread t can execute under the constraint.
+func (c tidC) allows(t int64) bool {
+	switch c.kind {
+	case tidEq:
+		return t == c.val
+	case tidNe:
+		return t != c.val
+	case tidNone:
+		return false
+	}
+	return true
+}
+
+// invalidation-protocol state: what this path has invalidated but not yet
+// stalled on.
+type invKind uint8
+
+const (
+	invNone invKind = iota
+	invSome         // one pending invalidation (target may still be Top)
+	invMany         // joined paths disagree — unknown, checks stay silent
+)
+
+type invState struct {
+	kind    invKind
+	target  av   // invalidated address (Top when data-dependent)
+	idx     int  // instruction index of the ICBI/DCBI
+	icache  bool // ICBI (true) or DCBI (false)
+	flushed bool // IFLUSH executed since the invalidation
+}
+
+func invJoin(a, b invState) invState {
+	if a == b {
+		return a
+	}
+	if a.kind == invNone && b.kind == invNone {
+		return invState{}
+	}
+	return invState{kind: invMany}
+}
+
+// pstate is the abstract machine state the protocol pass propagates along
+// each CFG edge.
+type pstate struct {
+	live  bool // state has been seeded (distinguishes bottom from entry)
+	regs  [isa.NumIntRegs]av
+	dirty bool // stores issued since the last FENCE
+	inv   invState
+	tid   tidC
+}
+
+func (s pstate) join(o pstate) pstate {
+	if !s.live {
+		return o
+	}
+	if !o.live {
+		return s
+	}
+	n := pstate{live: true, dirty: s.dirty || o.dirty}
+	for i := range n.regs {
+		n.regs[i] = avJoin(s.regs[i], o.regs[i])
+	}
+	n.inv = invJoin(s.inv, o.inv)
+	n.tid = tidJoin(s.tid, o.tid)
+	return n
+}
+
+func (s pstate) equal(o pstate) bool { return s == o }
+
+// entryState is the loader-established machine state: a0 = tid,
+// a1 = nthreads, x0 = 0. The stack pointer is per-thread but never enters
+// address arithmetic the checks care about, so it stays Top.
+func (u *unit) entryState() pstate {
+	s := pstate{live: true}
+	s.regs[isa.RegZero] = avCon(0)
+	s.regs[isa.RegA0] = avTid()
+	s.regs[isa.RegA1] = avCon(int64(u.opt.Threads))
+	return s
+}
+
+// stubState is the permissive state a resolved stall stub is analyzed
+// under: it runs mid-program, so only the loader invariants are assumed.
+func (u *unit) stubState() pstate {
+	return u.entryState()
+}
+
+// xfer applies instruction i's register effect to the state.
+func (u *unit) xfer(s *pstate, i int, in isa.Inst) {
+	val := func(r uint8) av {
+		return s.regs[r&31]
+	}
+	set := func(r uint8, v av) {
+		if r&31 != isa.RegZero {
+			s.regs[r&31] = v
+		}
+	}
+	switch in.Op {
+	case isa.LI:
+		set(in.Rd, avCon(int64(in.Imm)))
+	case isa.ADDI:
+		set(in.Rd, avAdd(val(in.Rs1), avCon(int64(in.Imm))))
+	case isa.ADD:
+		set(in.Rd, avAdd(val(in.Rs1), val(in.Rs2)))
+	case isa.SUB:
+		set(in.Rd, avSub(val(in.Rs1), val(in.Rs2)))
+	case isa.MUL:
+		set(in.Rd, avMul(val(in.Rs1), val(in.Rs2)))
+	case isa.SLLI:
+		set(in.Rd, avShl(val(in.Rs1), in.Imm))
+	case isa.XORI:
+		if a := val(in.Rs1); a.known && a.coef == 0 {
+			set(in.Rd, avCon(a.base^int64(in.Imm)))
+		} else {
+			set(in.Rd, avTop())
+		}
+	case isa.ANDI:
+		if a := val(in.Rs1); a.known && a.coef == 0 {
+			set(in.Rd, avCon(a.base&int64(in.Imm)))
+		} else {
+			set(in.Rd, avTop())
+		}
+	case isa.ORI:
+		if a := val(in.Rs1); a.known && a.coef == 0 {
+			set(in.Rd, avCon(a.base|int64(in.Imm)))
+		} else {
+			set(in.Rd, avTop())
+		}
+	case isa.JAL, isa.JALR:
+		// The link register holds the (constant) return address.
+		set(in.Rd, avCon(int64(u.addrOf(i)+isa.WordBytes)))
+	default:
+		if rd, ok := in.DefInt(); ok {
+			set(rd, avTop())
+		}
+	}
+}
+
+// refine returns the state for one outgoing edge of a conditional branch,
+// adding a tid constraint when the branch compares a tid-affine value to a
+// constant (the canonical "if tid != 0 skip" guard shape).
+func refine(s pstate, in isa.Inst, taken bool) pstate {
+	if in.Op != isa.BEQ && in.Op != isa.BNE {
+		return s
+	}
+	a, b := s.regs[in.Rs1&31], s.regs[in.Rs2&31]
+	if !a.known || !b.known {
+		return s
+	}
+	if a.coef == 0 && b.coef != 0 {
+		a, b = b, a
+	}
+	if a.coef == 0 || b.coef != 0 {
+		return s // not (tid-affine vs constant)
+	}
+	// a.base + a.coef·t == b.base ⇒ t == (b.base - a.base) / a.coef.
+	d := b.base - a.base
+	solvable := d%a.coef == 0
+	t := int64(0)
+	if solvable {
+		t = d / a.coef
+	}
+	eqEdge := (in.Op == isa.BEQ) == taken // this edge is the "equal" outcome
+	switch {
+	case eqEdge && solvable:
+		s.tid = tidAnd(s.tid, tidC{kind: tidEq, val: t})
+	case eqEdge && !solvable:
+		s.tid = tidC{kind: tidNone}
+	case !eqEdge && solvable:
+		s.tid = tidAnd(s.tid, tidC{kind: tidNe, val: t})
+	}
+	return s
+}

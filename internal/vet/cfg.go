@@ -1,0 +1,138 @@
+package vet
+
+import (
+	"repro/internal/isa"
+)
+
+// buildCFG computes per-instruction successor lists and entry reachability,
+// reporting structural problems (undecodable reachable words, branches out
+// of text, paths running off the end of text). Indirect stall-stub targets
+// are resolved later by the protocol pass, which extends u.roots; dead-code
+// reporting therefore runs last (checkDeadCode).
+func (u *unit) buildCFG() []Diagnostic {
+	u.succs = make([][]int, len(u.insts))
+	badBranch := make([]bool, len(u.insts))
+	fallsOff := make([]bool, len(u.insts))
+	for i, in := range u.insts {
+		addr := u.addrOf(i)
+		fall := func() {
+			if i+1 < len(u.insts) {
+				u.succs[i] = append(u.succs[i], i+1)
+			} else {
+				fallsOff[i] = true
+			}
+		}
+		switch {
+		case in.Op == isa.BAD:
+			// Undecodable word: reported if reachable, never executed past.
+		case in.Op == isa.HALT:
+			// Terminator.
+		case in.IsCondBranch():
+			if t, ok := in.BranchTarget(addr); ok {
+				if ti, ok := u.idxOf(t); ok {
+					u.succs[i] = append(u.succs[i], ti)
+				} else {
+					badBranch[i] = true
+				}
+			}
+			fall()
+		case in.Op == isa.JAL:
+			t, _ := in.BranchTarget(addr)
+			if ti, ok := u.idxOf(t); ok {
+				u.succs[i] = append(u.succs[i], ti)
+			} else {
+				badBranch[i] = true
+			}
+			if in.Rd == isa.RegRA {
+				// A linked call: the callee returns to the fall-through.
+				fall()
+			}
+		case in.Op == isa.JALR:
+			if in.Rd == isa.RegRA {
+				// Indirect call (the barrier-filter stall jump): control
+				// resumes at the fall-through when the stub returns. The
+				// protocol pass resolves the per-thread stub targets and
+				// registers them as analysis roots.
+				fall()
+			}
+			// rd=x0: a return (rs1=ra) or an unresolvable indirect jump —
+			// a path terminator either way.
+		default:
+			fall()
+		}
+	}
+
+	u.roots = []int{u.entryIdx}
+	u.reachable = u.bfs(u.roots)
+
+	var ds []Diagnostic
+	for i, in := range u.insts {
+		if !u.reachable[i] {
+			continue
+		}
+		if in.Op == isa.BAD {
+			ds = append(ds, u.diag(CodeBadOpcode, i, "reachable word does not decode"))
+		}
+		if badBranch[i] {
+			ds = append(ds, u.diag(CodeBadBranch, i, "%s targets an address outside the text segment", in))
+		}
+		if fallsOff[i] {
+			ds = append(ds, u.diag(CodeFallOffEnd, i, "execution can run past the end of the text segment without halt"))
+		}
+	}
+	return ds
+}
+
+// bfs marks every instruction reachable from the given roots.
+func (u *unit) bfs(roots []int) []bool {
+	seen := make([]bool, len(u.insts))
+	work := append([]int(nil), roots...)
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		if i < 0 || i >= len(u.insts) || seen[i] {
+			continue
+		}
+		seen[i] = true
+		work = append(work, u.succs[i]...)
+	}
+	return seen
+}
+
+// addRoot registers an additional analysis root (a resolved stall stub) and
+// refreshes reachability.
+func (u *unit) addRoot(i int) {
+	for _, r := range u.roots {
+		if r == i {
+			return
+		}
+	}
+	u.roots = append(u.roots, i)
+	u.reachable = u.bfs(u.roots)
+}
+
+// checkDeadCode reports reachable-from-nowhere instructions. NOP padding
+// (alignment, stub spacing), undecodable words, and bare RETs are exempt —
+// a lone RET is the ping-pong I-filter's whole stall stub, and its address
+// reaches the stall jump through a register rotation the affine domain
+// widens away, so it cannot be resolved as a root. Only the first
+// instruction of each maximal dead run is reported to keep the output
+// proportional to the number of problems, not their size.
+func (u *unit) checkDeadCode() []Diagnostic {
+	isRET := func(in isa.Inst) bool {
+		return in.Op == isa.JALR && in.Rd == isa.RegZero && in.Rs1 == isa.RegRA && in.Imm == 0
+	}
+	var ds []Diagnostic
+	inRun := false
+	for i, in := range u.insts {
+		if u.reachable[i] || in.Op == isa.NOP || in.Op == isa.BAD || isRET(in) {
+			inRun = false
+			continue
+		}
+		if !inRun {
+			ds = append(ds, u.diag(CodeDeadCode, i, "unreachable instruction %s", in))
+			inRun = true
+		}
+	}
+	return ds
+}

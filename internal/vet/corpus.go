@@ -1,0 +1,183 @@
+package vet
+
+import (
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// CorpusEntry is one deliberately broken kernel program: the smallest
+// realistic instance of a protocol or dataflow mistake, together with the
+// diagnostic Check must raise for it and the label it must be attributed
+// to. The corpus doubles as executable documentation of what each
+// diagnostic means and as the regression suite that keeps every check
+// firing.
+type CorpusEntry struct {
+	Name    string
+	Want    Code   // the diagnostic that must be reported
+	WantPos string // label prefix the diagnostic's Pos must carry
+	Threads int
+	Build   func() (*asm.Program, error)
+}
+
+// Barrier scratch registers, matching the generators' convention (s6/s7
+// hold the arrival and exit addresses), plus a second temporary.
+const (
+	cB1 = 24            // s6: arrival address
+	cB2 = 25            // s7: exit address
+	cT1 = isa.RegT0 + 1 // t1
+)
+
+const cStride = 256 // arrival-slot stride: LineBytes × L2 banks
+
+// dSetup emits the standard D-filter register setup:
+// s6 = arrivals + tid·stride, s7 = exits + tid·stride.
+func dSetup(b *asm.Builder) {
+	b.LI(isa.RegT6, cStride)
+	b.MUL(isa.RegT6, isa.RegT6, isa.RegA0)
+	b.LI(cB1, core.BarrierRegion)
+	b.ADD(cB1, cB1, isa.RegT6)
+	b.LI(cB2, core.BarrierRegion+16*cStride)
+	b.ADD(cB2, cB2, isa.RegT6)
+}
+
+// dBarrier emits the correct D-filter entry/exit arrival sequence.
+func dBarrier(b *asm.Builder) {
+	b.FENCE()
+	b.DCBI(cB1, 0)
+	b.LD(isa.RegT6, cB1, 0)
+	b.FENCE()
+	b.DCBI(cB2, 0)
+}
+
+// Corpus returns the seeded known-bad programs, one per diagnostic.
+func Corpus() []CorpusEntry {
+	return []CorpusEntry{
+		{
+			Name: "missing-fence", Want: CodeMissingFence, WantPos: "bar", Threads: 4,
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder(core.TextBase, core.DataBase)
+				dSetup(b)
+				// Store into this thread's partition cell, then arrive
+				// without draining it.
+				b.LI(isa.RegT0, 8)
+				b.MUL(isa.RegT0, isa.RegT0, isa.RegA0)
+				b.LI(isa.RegT7, core.DataBase)
+				b.ADD(isa.RegT0, isa.RegT0, isa.RegT7)
+				b.ST(isa.RegT7, isa.RegT0, 0)
+				b.Label("bar")
+				b.DCBI(cB1, 0) // missing fence: the store may still be pending
+				b.LD(isa.RegT6, cB1, 0)
+				b.FENCE()
+				b.DCBI(cB2, 0)
+				b.HALT()
+				return b.Build()
+			},
+		},
+		{
+			Name: "wrong-slot-invalidate", Want: CodeWrongSlotInval, WantPos: "bar", Threads: 4,
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder(core.TextBase, core.DataBase)
+				dSetup(b)
+				b.FENCE()
+				b.Label("bar")
+				b.DCBI(cB1, 64) // invalidates the next line, not this thread's slot
+				b.LD(isa.RegT6, cB1, 0)
+				b.FENCE()
+				b.DCBI(cB2, 0)
+				b.HALT()
+				return b.Build()
+			},
+		},
+		{
+			Name: "load-before-invalidate", Want: CodeLoadBeforeInval, WantPos: "bar", Threads: 4,
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder(core.TextBase, core.DataBase)
+				dSetup(b)
+				b.FENCE()
+				b.Label("bar")
+				b.LD(isa.RegT6, cB1, 0) // loads the warm line: cannot be starved
+				b.DCBI(cB1, 0)
+				b.LD(isa.RegT6, cB1, 0)
+				b.FENCE()
+				b.DCBI(cB2, 0)
+				b.HALT()
+				return b.Build()
+			},
+		},
+		{
+			Name: "store-to-arrival-line", Want: CodeStoreToArrival, WantPos: "poke", Threads: 4,
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder(core.TextBase, core.DataBase)
+				dSetup(b)
+				dBarrier(b)
+				b.Label("poke")
+				b.ST(isa.RegZero, cB1, 0) // writes the filter-watched arrival line
+				b.FENCE()
+				b.HALT()
+				return b.Build()
+			},
+		},
+		{
+			Name: "use-before-def", Want: CodeUseBeforeDef, WantPos: "kern", Threads: 1,
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder(core.TextBase, core.DataBase)
+				b.Label("kern")
+				b.ADD(cT1, isa.RegT0, isa.RegT0) // t0 never defined
+				b.HALT()
+				return b.Build()
+			},
+		},
+		{
+			Name: "cross-partition-store", Want: CodeCrossPartitionStore, WantPos: "kern", Threads: 4,
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder(core.TextBase, core.DataBase)
+				b.Label("kern")
+				b.LI(isa.RegT0, core.DataBase)
+				b.LI(cT1, 123)
+				b.ST(cT1, isa.RegT0, 0) // every thread writes the same word
+				b.HALT()
+				return b.Build()
+			},
+		},
+		{
+			Name: "missing-iflush", Want: CodeMissingIFlush, WantPos: "bar", Threads: 2,
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder(core.TextBase, core.DataBase)
+				// I-filter setup: s6 = stubs + tid·stride.
+				b.LI(isa.RegT6, cStride)
+				b.MUL(isa.RegT6, isa.RegT6, isa.RegA0)
+				b.LA(cB1, "stubs")
+				b.ADD(cB1, cB1, isa.RegT6)
+				b.FENCE()
+				b.Label("bar")
+				b.ICBI(cB1, 0)
+				b.JALR(isa.RegRA, cB1, 0) // no iflush before the stall jump
+				b.HALT()
+				b.AlignText(cStride)
+				b.Label("stubs")
+				for t := 0; t < 2; t++ {
+					start := b.PC()
+					b.RET()
+					for b.PC() < start+cStride {
+						b.NOP()
+					}
+				}
+				return b.Build()
+			},
+		},
+		{
+			Name: "dead-code", Want: CodeDeadCode, WantPos: "dead", Threads: 1,
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder(core.TextBase, core.DataBase)
+				b.Label("kern")
+				b.LI(isa.RegT0, 1)
+				b.HALT()
+				b.Label("dead")
+				b.ADDI(isa.RegT0, isa.RegT0, 1) // nothing jumps here
+				b.HALT()
+				return b.Build()
+			},
+		},
+	}
+}

@@ -1,0 +1,50 @@
+package vet
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// FuzzVet assembles arbitrary source and vets whatever links: Check must
+// terminate without panicking on any program, however malformed. The seeds
+// mirror the assembler fuzzer's plus protocol-shaped fragments so the
+// protocol pass's abstract interpreter gets exercised from the start.
+func FuzzVet(f *testing.F) {
+	seeds := []string{
+		"",
+		"halt",
+		"li t0, 42\nout t0\nhalt",
+		"x: j x",
+		"icbi 0(s6)\ndcbi 64(s7)\nfence\niflush",
+		"fence\ndcbi 0(s6)\nld t6, 0(s6)\nfence\ndcbi 0(s7)\nhalt",
+		"li s6, 0x0f000000\nst t0, 0(s6)\nhalt",
+		"li t0, 0x0f000000\nld t1, 0(t0)\nhalt",
+		"fence\nicbi 0(s6)\niflush\njalr ra, s6, 0\nhalt",
+		"beq a0, zero, only0\nj done\nonly0: st t0, 0(a1)\ndone: halt",
+		"spin: ld t6, 0(s7)\nbeq t6, zero, spin\nhalt",
+		"sc t0, t1, 0(a0)\nhwbar 3\nhalt",
+		"li t0, -2147483648\nhalt",
+		"nop\nnop\nnop",
+	}
+	for _, s := range seeds {
+		f.Add(s, 4)
+	}
+	f.Fuzz(func(t *testing.T, src string, threads int) {
+		p, err := asm.Assemble(src, 0x10000, 0x100000)
+		if err != nil {
+			return
+		}
+		ds := Check(p, Options{Threads: threads})
+		for _, d := range ds {
+			if d.Msg == "" || d.Code == "" {
+				t.Fatalf("empty diagnostic %+v from %q", d, src)
+			}
+		}
+		// A second run must be deterministic.
+		again := Check(p, Options{Threads: threads})
+		if len(again) != len(ds) {
+			t.Fatalf("non-deterministic: %d then %d diagnostics from %q", len(ds), len(again), src)
+		}
+	})
+}

@@ -1,0 +1,431 @@
+package vet
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// regionRec is one inferred filter-watched region: the affine target of an
+// ICBI/DCBI, covering line(target.at(t)) for every thread t.
+type regionRec struct {
+	target av
+	icache bool
+}
+
+// storeRec is one store with a statically known affine address.
+type storeRec struct {
+	idx      int
+	addr     av
+	width    int
+	tid      tidC
+	interval int // fence-delimited region index (text order)
+}
+
+// protoRes accumulates what one abstract-interpretation sweep discovers.
+type protoRes struct {
+	report  bool // emit diagnostics (the final sweep)
+	diags   []Diagnostic
+	regions []regionRec
+	roots   []int
+	stores  []storeRec
+}
+
+// checkProtocol runs the barrier-protocol and partition-discipline pass.
+//
+// The filter spec is not passed in: the pass infers the watched regions
+// from the program itself (every ICBI/DCBI target), exactly as the
+// hardware filter learns them from RegisterAll. Analysis runs in rounds:
+// abstract interpretation to a fixpoint, resolving indirect stall-stub
+// targets into new CFG roots, repeated until the root set is stable; then
+// one reporting sweep over the converged per-instruction states, plus two
+// whole-program post-passes over the collected store records (stores onto
+// filter-watched lines, cross-partition races).
+func (u *unit) checkProtocol() []Diagnostic {
+	u.hasInval = false
+	u.interval = make([]int, len(u.insts))
+	fences := 0
+	for i, in := range u.insts {
+		if in.IsInval() {
+			u.hasInval = true
+		}
+		u.interval[i] = fences
+		if in.Op == isa.FENCE {
+			fences++
+		}
+	}
+
+	var states []pstate
+	for round := 0; ; round++ {
+		states = u.fixpoint()
+		res := u.sweep(states, false)
+		grew := false
+		for _, r := range res.roots {
+			before := len(u.roots)
+			u.addRoot(r)
+			grew = grew || len(u.roots) != before
+		}
+		if !grew || round >= 8 {
+			break
+		}
+	}
+
+	res := u.sweep(states, true)
+	u.regions = nil
+	for _, r := range res.regions {
+		u.regions = append(u.regions, r.target)
+	}
+	ds := res.diags
+	ds = append(ds, u.checkStoreToArrival(res.stores, res.regions)...)
+	ds = append(ds, u.checkPartition(res.stores)...)
+	return ds
+}
+
+// fixpoint propagates pstate over the CFG from every root until stable.
+func (u *unit) fixpoint() []pstate {
+	states := make([]pstate, len(u.insts))
+	var work []int
+	seed := func(i int, s pstate) {
+		if i < 0 || i >= len(u.insts) {
+			return
+		}
+		j := states[i].join(s)
+		if !j.equal(states[i]) {
+			states[i] = j
+			work = append(work, i)
+		}
+	}
+	seed(u.entryIdx, u.entryState())
+	for _, r := range u.roots {
+		if r != u.entryIdx {
+			seed(r, u.stubState())
+		}
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := states[i]
+		in := u.insts[i]
+		u.step(&st, i, nil)
+		if in.IsCondBranch() {
+			if t, ok := in.BranchTarget(u.addrOf(i)); ok {
+				if ti, ok := u.idxOf(t); ok {
+					seed(ti, refine(st, in, true))
+				}
+			}
+			if i+1 < len(u.insts) {
+				seed(i+1, refine(st, in, false))
+			}
+		} else {
+			for _, sc := range u.succs[i] {
+				seed(sc, st)
+			}
+		}
+	}
+	return states
+}
+
+// sweep applies step (with collection, and reporting when report is set) to
+// the converged entry state of every reachable instruction.
+func (u *unit) sweep(states []pstate, report bool) protoRes {
+	res := protoRes{}
+	res.report = report
+	for i := range u.insts {
+		if !u.reachable[i] || !states[i].live {
+			continue
+		}
+		st := states[i]
+		u.step(&st, i, &res)
+	}
+	return res
+}
+
+// step applies instruction i to the state: protocol checks against the
+// entry state (collected into res when non-nil), then the state effects
+// (dirty/invalidation bookkeeping and the register transfer).
+func (u *unit) step(st *pstate, i int, res *protoRes) {
+	in := u.insts[i]
+	switch {
+	case in.Op == isa.FENCE:
+		st.dirty = false
+	case in.Op == isa.IFLUSH:
+		if st.inv.kind == invSome {
+			st.inv.flushed = true
+		}
+	case in.IsInval():
+		tgt := avAdd(st.regs[in.Rs1&31], avCon(int64(in.Imm)))
+		if res != nil {
+			if res.report && st.dirty {
+				res.diags = append(res.diags, u.diag(CodeMissingFence, i,
+					"%s executes while stores issued since the last fence may still be pending", in))
+			}
+			if tgt.known {
+				res.regions = append(res.regions, regionRec{target: tgt, icache: in.Op == isa.ICBI})
+			}
+		}
+		st.inv = invState{kind: invSome, target: tgt, idx: i, icache: in.Op == isa.ICBI}
+	case in.IsLoad():
+		if u.hasInval {
+			addr := avAdd(st.regs[in.Rs1&31], avCon(int64(in.Imm)))
+			u.checkStall(st, i, addr, false, res)
+		}
+	case in.IsStore():
+		addr := avAdd(st.regs[in.Rs1&31], avCon(int64(in.Imm)))
+		if res != nil && res.report && addr.known {
+			res.stores = append(res.stores, storeRec{
+				idx: i, addr: addr, width: isa.Lookup(in.Op).MemBytes,
+				tid: st.tid, interval: u.interval[i],
+			})
+		}
+		st.dirty = true
+	case in.Op == isa.JALR && in.Rd == isa.RegRA:
+		tgt := avAdd(st.regs[in.Rs1&31], avCon(int64(in.Imm)))
+		if res != nil && tgt.known {
+			for t := int64(0); t < int64(u.opt.Threads); t++ {
+				if !st.tid.allows(t) {
+					continue
+				}
+				if ti, ok := u.idxOf(uint64(tgt.at(t))); ok {
+					res.roots = append(res.roots, ti)
+				}
+			}
+		}
+		u.checkStall(st, i, tgt, true, res)
+	}
+	u.xfer(st, i, in)
+}
+
+// checkStall handles a potential barrier-stall operation: a load (D-filter)
+// or an indirect linked jump (I-filter) reached with invalidation state st.inv.
+func (u *unit) checkStall(st *pstate, i int, addr av, isJump bool, res *protoRes) {
+	line := int64(u.opt.LineBytes)
+	report := res != nil && res.report
+	switch st.inv.kind {
+	case invSome:
+		tgt := st.inv.target
+		if !tgt.known || !addr.known {
+			// Widened (e.g. the ping-pong register rotation across loop
+			// iterations): nothing provable; treat as the stall.
+			st.inv = invState{}
+			return
+		}
+		matched, feasible := false, false
+		for t := int64(0); t < int64(u.opt.Threads); t++ {
+			if !st.tid.allows(t) {
+				continue
+			}
+			feasible = true
+			if floorDiv(tgt.at(t), line) == floorDiv(addr.at(t), line) {
+				matched = true
+			}
+		}
+		if !feasible {
+			st.inv = invState{}
+			return
+		}
+		if !matched {
+			// Provably a different line for every thread that can get
+			// here. Only a stall-shaped operation counts: a jump, or a
+			// load aimed at the synchronization region.
+			if !isJump && !u.inBarrierRegion(addr, st.tid) {
+				return // ordinary data load; leave the invalidation pending
+			}
+			if report {
+				res.diags = append(res.diags, u.diag(CodeWrongSlotInval, st.inv.idx,
+					"invalidated line of %s but the stall at %s targets %s — another slot's line",
+					u.describeAV(tgt), u.p.Locate(u.addrOf(i)), u.describeAV(addr)))
+			}
+			st.inv = invState{}
+			return
+		}
+		if report && tgt.coef == 0 && addr.coef == 0 && u.opt.Threads > 1 && u.countAllowed(st.tid) > 1 {
+			res.diags = append(res.diags, u.diag(CodeWrongSlotInval, st.inv.idx,
+				"every thread invalidates and stalls on the one shared line %#x; arrival slots must be per-thread",
+				uint64(tgt.base)))
+		}
+		if report && isJump && st.inv.icache && !st.inv.flushed {
+			res.diags = append(res.diags, u.diag(CodeMissingIFlush, i,
+				"stall jump after an icbi without an iflush: prefetched stub instructions can run through the barrier"))
+		}
+		st.inv = invState{}
+	case invNone:
+		if !isJump && addr.known && u.inBarrierRegion(addr, st.tid) {
+			if report {
+				res.diags = append(res.diags, u.diag(CodeLoadBeforeInval, i,
+					"load from barrier line %s without invalidating it first: the load cannot be starved, so the thread runs through the barrier",
+					u.describeAV(addr)))
+			}
+		}
+	case invMany:
+		// Paths disagree about the pending invalidation; stay silent.
+	}
+}
+
+// inBarrierRegion reports whether the address provably lies in the barrier
+// data region for every thread the constraint allows.
+func (u *unit) inBarrierRegion(a av, c tidC) bool {
+	if !a.known {
+		return false
+	}
+	any := false
+	for t := int64(0); t < int64(u.opt.Threads); t++ {
+		if !c.allows(t) {
+			continue
+		}
+		any = true
+		if v := a.at(t); v < 0 || uint64(v) < u.opt.BarrierBase {
+			return false
+		}
+	}
+	return any
+}
+
+// countAllowed counts the threads a constraint admits.
+func (u *unit) countAllowed(c tidC) int {
+	n := 0
+	for t := int64(0); t < int64(u.opt.Threads); t++ {
+		if c.allows(t) {
+			n++
+		}
+	}
+	return n
+}
+
+func (u *unit) describeAV(a av) string {
+	if !a.known {
+		return "<unknown>"
+	}
+	if a.coef == 0 {
+		return fmt.Sprintf("%#x", uint64(a.base))
+	}
+	return fmt.Sprintf("%#x+tid*%d", uint64(a.base), a.coef)
+}
+
+// checkStoreToArrival reports stores whose footprint lands on a
+// filter-watched line (any thread's arrival or exit slot).
+func (u *unit) checkStoreToArrival(stores []storeRec, regions []regionRec) []Diagnostic {
+	var ds []Diagnostic
+	line := int64(u.opt.LineBytes)
+	for _, s := range stores {
+		hit := false
+		for _, r := range regions {
+			for t := int64(0); t < int64(u.opt.Threads) && !hit; t++ {
+				if !s.tid.allows(t) {
+					continue
+				}
+				a := s.addr.at(t)
+				lo, hiL := floorDiv(a, line), floorDiv(a+int64(s.width)-1, line)
+				for L := lo; L <= hiL && !hit; L++ {
+					if regionCoversLine(r.target, L, line, int64(u.opt.Threads)) {
+						ds = append(ds, u.diag(CodeStoreToArrival, s.idx,
+							"store to %#x lands on filter-watched line %#x; stores corrupt the filter's starvation protocol",
+							uint64(a), uint64(L*line)))
+						hit = true
+					}
+				}
+			}
+			if hit {
+				break
+			}
+		}
+	}
+	return ds
+}
+
+// regionCoversLine reports whether some thread u in [0, T) has
+// line(r.at(u)) == L.
+func regionCoversLine(r av, L, line, T int64) bool {
+	if r.coef == 0 {
+		return floorDiv(r.base, line) == L
+	}
+	u0 := (L*line - r.base) / r.coef
+	for d := int64(-2); d <= 2; d++ {
+		t := u0 + d
+		if t >= 0 && t < T && floorDiv(r.base+r.coef*t, line) == L {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPartition reports provable cross-thread overlapping stores to the
+// static data region within one fence-delimited interval: the data-partition
+// discipline the kernels rely on between barriers.
+func (u *unit) checkPartition(stores []storeRec) []Diagnostic {
+	if u.opt.Threads < 2 {
+		return nil
+	}
+	var ds []Diagnostic
+	data := func(s storeRec) bool {
+		for t := int64(0); t < int64(u.opt.Threads); t++ {
+			if !s.tid.allows(t) {
+				continue
+			}
+			v := s.addr.at(t)
+			if v < 0 || uint64(v) < u.opt.DataBase || uint64(v)+uint64(s.width) > u.opt.StackBase {
+				return false
+			}
+		}
+		return true
+	}
+	for ai, a := range stores {
+		if !data(a) {
+			continue
+		}
+		for _, b := range stores[ai:] {
+			if b.interval != a.interval || !data(b) {
+				continue
+			}
+			if t, v, ok := u.findRace(a, b); ok {
+				ds = append(ds, u.diag(CodeCrossPartitionStore, b.idx,
+					"threads %d and %d write overlapping bytes (%#x and %#x): a store escapes its thread's data partition",
+					t, v, uint64(a.addr.at(t)), uint64(b.addr.at(v))))
+				break
+			}
+		}
+	}
+	return ds
+}
+
+// findRace looks for distinct threads t (executing store a) and v
+// (executing store b) whose store footprints overlap.
+func (u *unit) findRace(a, b storeRec) (int64, int64, bool) {
+	T := int64(u.opt.Threads)
+	overlap := func(t, v int64) bool {
+		if t == v || t < 0 || v < 0 || t >= T || v >= T || !a.tid.allows(t) || !b.tid.allows(v) {
+			return false
+		}
+		x, y := a.addr.at(t), b.addr.at(v)
+		return x < y+int64(b.width) && y < x+int64(a.width)
+	}
+	for t := int64(0); t < T; t++ {
+		if !a.tid.allows(t) {
+			continue
+		}
+		if b.addr.coef == 0 {
+			for v := int64(0); v < T; v++ {
+				if overlap(t, v) {
+					return t, v, true
+				}
+			}
+			continue
+		}
+		v0 := (a.addr.at(t) - b.addr.base) / b.addr.coef
+		for d := int64(-2); d <= 2; d++ {
+			if overlap(t, v0+d) {
+				return t, v0 + d, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// floorDiv divides rounding toward negative infinity (addresses are
+// non-negative in practice; this keeps line math total).
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

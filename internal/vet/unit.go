@@ -1,0 +1,89 @@
+package vet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// unit is one program prepared for analysis: the decoded text segment plus
+// the CFG and analysis results layered onto it.
+type unit struct {
+	p   *asm.Program
+	opt Options
+
+	base  uint64     // text segment base address
+	insts []isa.Inst // decoded instruction stream
+
+	// CFG, filled by buildCFG.
+	succs     [][]int // per-instruction successor indexes
+	reachable []bool
+	roots     []int // entry + resolved stall-stub roots
+
+	// Protocol-pass working state: whether the program invalidates cache
+	// lines at all (gates the stall-load checks), the fence-delimited
+	// interval index of each instruction, and the inferred filter regions
+	// (invalidation targets) from the collection rounds.
+	hasInval bool
+	interval []int
+	regions  []av
+
+	// entryIdx is the instruction index of the program entry.
+	entryIdx int
+}
+
+// newUnit locates and decodes the text segment (the segment containing the
+// program entry). A program whose entry lies outside every segment, or is
+// misaligned, is reported rather than analyzed.
+func newUnit(p *asm.Program, opt Options) (*unit, []Diagnostic) {
+	for _, seg := range p.Segments {
+		if p.Entry < seg.Addr || p.Entry >= seg.Addr+uint64(len(seg.Data)) {
+			continue
+		}
+		if (p.Entry-seg.Addr)%isa.WordBytes != 0 || seg.Addr%isa.WordBytes != 0 {
+			return nil, []Diagnostic{{
+				Code: CodeNoText, Addr: p.Entry, Pos: p.Locate(p.Entry),
+				Msg: "entry is not instruction aligned",
+			}}
+		}
+		u := &unit{p: p, opt: opt, base: seg.Addr}
+		for off := 0; off+isa.WordBytes <= len(seg.Data); off += isa.WordBytes {
+			u.insts = append(u.insts, isa.Decode(binary.LittleEndian.Uint64(seg.Data[off:])))
+		}
+		u.entryIdx = int((p.Entry - seg.Addr) / isa.WordBytes)
+		if u.entryIdx >= len(u.insts) {
+			break // entry in a segment too short to hold an instruction
+		}
+		return u, nil
+	}
+	return nil, []Diagnostic{{
+		Code: CodeNoText, Addr: p.Entry, Pos: p.Locate(p.Entry),
+		Msg: "program entry lies outside every loaded segment",
+	}}
+}
+
+// addrOf returns the address of instruction index i.
+func (u *unit) addrOf(i int) uint64 { return u.base + uint64(i)*isa.WordBytes }
+
+// idxOf resolves a text address to an instruction index.
+func (u *unit) idxOf(addr uint64) (int, bool) {
+	if addr < u.base || (addr-u.base)%isa.WordBytes != 0 {
+		return 0, false
+	}
+	i := int((addr - u.base) / isa.WordBytes)
+	if i >= len(u.insts) {
+		return 0, false
+	}
+	return i, true
+}
+
+// diag builds a diagnostic attributed to instruction index i.
+func (u *unit) diag(code Code, i int, format string, args ...any) Diagnostic {
+	addr := u.addrOf(i)
+	return Diagnostic{
+		Code: code, Addr: addr, Pos: u.p.Locate(addr),
+		Msg: fmt.Sprintf(format, args...),
+	}
+}

@@ -23,8 +23,14 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (parallel harness) =="
+echo "== srvet (static verifier: all kernels clean, misuse corpus fires) =="
+go run ./cmd/srvet -all -threads 8
+go run ./cmd/srvet -all -threads 3
+go run ./cmd/srvet -corpus >/dev/null
+
+echo "== go test -race (parallel harness, verifier) =="
 go test -race -run 'TestForEach|TestParallelFig4Deterministic' ./internal/harness
+go test -race ./internal/vet ./internal/asm
 
 echo "== go test (chaos differential) =="
 go test -run Chaos -count=1 .
