@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check chaos
+.PHONY: build test bench check chaos scale
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,9 @@ chaos:
 	$(GO) test -run Chaos -count=1 -v .
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s -run '^$$' ./internal/asm
 	$(GO) test -fuzz=FuzzVet -fuzztime=10s -run '^$$' ./internal/vet
+
+# scale is a ~30s smoke of the fabric-scaling sweep (cores x interconnect
+# x barrier mechanism; ~38s of CPU, parallel across cells); the full
+# 4..64-core run is `go run ./cmd/bench -exp scale` and takes minutes.
+scale:
+	$(GO) run ./cmd/bench -exp scale -scalecores 4,8,16

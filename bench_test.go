@@ -16,7 +16,9 @@ import (
 	"repro/internal/barrier"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/interconnect"
 	"repro/internal/kernels"
+	"repro/internal/mem"
 )
 
 func benchOptions() harness.Options {
@@ -183,6 +185,65 @@ func BenchmarkAblationBusWidth(b *testing.B) {
 			cfg.Mem.DataBusBytesPerCycle = width
 			lat := latencyAt(b, cfg, barrier.KindFilterIPP, 32)
 			b.ReportMetric(lat, fmt.Sprintf("width%dB_cyc", width))
+		}
+	}
+}
+
+// BenchmarkFabricThroughput drives a fill storm through each interconnect
+// topology at 8 and 32 cores. A first, untimed round streams every line in
+// from DRAM (the serialized L3 bottlenecks that round identically on all
+// fabrics); the timed round then has every core fetch its neighbour's
+// lines, all L2-resident, so the fabric itself is the bottleneck: the bus
+// serializes every request through one arbiter while the crossbar and mesh
+// keep per-bank parallelism, and the gap widens with the core count.
+func BenchmarkFabricThroughput(b *testing.B) {
+	const linesPerCore = 64
+	for _, cores := range []int{8, 32} {
+		for _, fab := range interconnect.Kinds {
+			b.Run(fmt.Sprintf("%s_%dc", fab, cores), func(b *testing.B) {
+				var drainCycles uint64
+				for i := 0; i < b.N; i++ {
+					cfg := mem.DefaultConfig(cores)
+					cfg.Fabric = fab
+					// Deep MSHRs keep the timed round bandwidth-bound on
+					// the fabric rather than latency-bound on bank round
+					// trips.
+					cfg.MSHRs = 32
+					s := mem.NewSystem(cfg)
+					addr := func(c, l int) uint64 {
+						return uint64(0x10_0000 + (l*cores+c)*cfg.LineBytes)
+					}
+					now := uint64(0)
+					// storm issues linesPerCore misses per core (core c
+					// requesting owner (c+shift)'s lines) and runs the
+					// system until drained, returning the cycles taken.
+					storm := func(shift int) uint64 {
+						start := now
+						left := make([]int, cores)
+						for c := range left {
+							left[c] = linesPerCore
+						}
+						pending := cores * linesPerCore
+						for ; pending > 0 || !s.Quiet(); now++ {
+							for c := 0; c < cores; c++ {
+								if left[c] > 0 && s.L1D[c].StartMiss(now, addr((c+shift)%cores, linesPerCore-left[c]), mem.GetS, false) {
+									left[c]--
+									pending--
+								}
+							}
+							s.Tick(now)
+							if now-start > 10_000_000 {
+								b.Fatalf("%s/%dc: storm never drained", fab, cores)
+							}
+						}
+						return now - start
+					}
+					storm(0) // warm: pull every line into the L2 banks
+					drainCycles += storm(1)
+				}
+				b.ReportMetric(float64(drainCycles)/float64(b.N), "drain_cyc")
+				b.ReportMetric(float64(cores*linesPerCore)*1000/(float64(drainCycles)/float64(b.N)), "lines/kcyc")
+			})
 		}
 	}
 }

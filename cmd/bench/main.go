@@ -8,6 +8,8 @@
 //	bench -exp table1,fig5
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig10, all.
+// -fabric and -cores re-run any of them on a different interconnect or
+// machine width; -exp scale sweeps cores x fabric x mechanism explicitly.
 package main
 
 import (
@@ -15,15 +17,36 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/interconnect"
 )
 
+// parseInts parses a comma-separated integer list ("" = nil).
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig10,ocean,extras,chaos,all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig10,ocean,extras,chaos,scale,all")
 	full := flag.Bool("full", false, "paper-faithful sizes (slow); default is quick sizes with the same shapes")
+	fabric := flag.String("fabric", "bus", "interconnect fabric for every machine: bus, xbar (crossbar), or mesh")
+	cores := flag.Int("cores", 0, "core count for the kernel experiments (0 = the paper's 16)")
+	scalecores := flag.String("scalecores", "", "comma-separated core counts for -exp scale (default 4,8,16,32,64)")
 	seed := flag.Uint64("seed", 1, "master seed for the chaos fault-injection matrix (replays byte-identically)")
 	noverify := flag.Bool("noverify", false, "skip cross-checking kernel results against the Go references")
 	workers := flag.Int("workers", 0, "experiment-cell goroutines (0 = one per CPU, 1 = sequential)")
@@ -48,6 +71,19 @@ func main() {
 	opt.Resume = *resume
 	opt.CellDeadline = *deadline
 	opt.NoVet = *novet
+	kind, err := interconnect.ParseKind(*fabric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt.Fabric = kind
+	if *cores > 0 {
+		opt.Cores = *cores
+	}
+	if opt.ScaleCores, err = parseInts(*scalecores); err != nil {
+		fmt.Fprintf(os.Stderr, "-scalecores: %v\n", err)
+		os.Exit(2)
+	}
 	if *resume && *journal == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -journal")
 		os.Exit(2)
@@ -158,6 +194,19 @@ func main() {
 		harness.WriteCoarseGrain(os.Stdout, r)
 		return nil
 	})
+	// scale is opt-in (-exp scale): it sweeps cores x fabric x mechanism
+	// past the paper's machine, so "all" (the paper's figures) does not
+	// imply it.
+	if want["scale"] {
+		run("scale", func() error {
+			pts, err := harness.Scale(opt)
+			if err != nil {
+				return err
+			}
+			harness.WriteScale(os.Stdout, pts)
+			return nil
+		})
+	}
 	// chaos is opt-in (-exp chaos): it is a robustness matrix, not one of
 	// the paper's figures, so "all" does not imply it.
 	if want["chaos"] {

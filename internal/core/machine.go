@@ -375,7 +375,7 @@ func (m *Machine) Run(maxCycles uint64) (uint64, error) {
 			return m.now - start, fmt.Errorf("%w (last progress at cycle %d)", ErrStopped, m.now)
 		}
 		if m.now-start >= maxCycles {
-			return m.now - start, fmt.Errorf("core: cycle limit %d exceeded (possible deadlock at pc %s)", maxCycles, m.describePCs())
+			return m.now - start, fmt.Errorf("core: cycle limit %d exceeded on %s fabric (possible deadlock at pc %s)", maxCycles, m.Sys.FabricName(), m.describePCs())
 		}
 		if m.allQuiesced() {
 			// Every running core is provably idle until the memory

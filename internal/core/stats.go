@@ -78,12 +78,10 @@ func (m *Machine) StatsReport() *sim.Stats {
 	set("l3.hits", m.Sys.L3Cache().Hits)
 	set("l3.misses_to_dram", m.Sys.L3Cache().Misses)
 
-	set("bus.request_grants", m.Sys.Bus.ReqGrants)
-	set("bus.request_busy_cycles", m.Sys.Bus.ReqBusyCyc)
-	set("bus.response_grants", m.Sys.Bus.RespGrants)
-	set("bus.response_busy_cycles", m.Sys.Bus.RespBusyCyc)
-	set("bus.max_request_queue", uint64(m.Sys.Bus.MaxReqQueue))
-	set("bus.max_response_queue", uint64(m.Sys.Bus.MaxRespQueue))
+	// The fabric reports its own counters under its kind's prefix (bus.*,
+	// xbar.*, mesh.*); the bus keys and values match the pre-fabric report
+	// byte for byte (pinned by the fabric golden differential).
+	m.Sys.FabricStats(set)
 
 	set("hwnet.arrivals", m.Net.Arrivals)
 	set("hwnet.releases", m.Net.Releases)

@@ -1,7 +1,8 @@
 // Package faults is the deterministic fault-injection layer of the
 // simulator. An Injector implements mem.ChaosHook and, replayable from a
 // single seed, perturbs the machine at the points a real CMP could
-// misbehave: delayed and reordered bus requests, late responses, dropped
+// misbehave: delayed and reordered fabric requests (attributed to the bus,
+// crossbar port, or mesh link they would traverse), late responses, dropped
 // invalidation acknowledgements, spurious fill responses, filter-table
 // misuse transactions, and (through PreemptPlan, executed by the harness
 // with the OS model) thread preemption and migration mid-barrier.
@@ -261,24 +262,27 @@ func (in *Injector) Summary() string {
 	return fmt.Sprintf("injector %q: %s", in.P.Name, strings.Join(parts, ", "))
 }
 
-// OnRequest implements mem.ChaosHook.
+// OnRequest implements mem.ChaosHook. Fault sites are named after the
+// fabric link the transaction would traverse ("bus" on the shared bus,
+// "xbar.c2-b1" on the crossbar, "mesh.c2(0,1)->b1(1,1)" on the NoC) so a
+// chaos report attributes the perturbation to real wires.
 func (in *Injector) OnRequest(t mem.Txn, ready uint64) (delay uint64, reorder bool) {
 	if t.Kind.IsFillRequest() && in.P.FillDelayP > 0 && in.match(t.Addr) &&
 		in.rngReq.Float64() < in.P.FillDelayP {
 		delay = span(in.rngReq, in.P.FillDelayMin, in.P.FillDelayMax)
 		in.FillDelays++
-		in.record(ready, "bus.fill-delay", t.Core, t.Addr, fmt.Sprintf("+%d cycles", delay))
+		in.record(ready, in.sys.ReqLinkName(t)+".fill-delay", t.Core, t.Addr, fmt.Sprintf("+%d cycles", delay))
 	}
 	if (t.Kind == mem.InvalD || t.Kind == mem.InvalI) && in.P.InvalDelayP > 0 &&
 		in.match(t.Addr) && in.rngReq.Float64() < in.P.InvalDelayP {
 		delay = span(in.rngReq, 1, in.P.InvalDelayMax)
 		in.InvalDelays++
-		in.record(ready, "bus.inval-delay", t.Core, t.Addr, fmt.Sprintf("+%d cycles", delay))
+		in.record(ready, in.sys.ReqLinkName(t)+".inval-delay", t.Core, t.Addr, fmt.Sprintf("+%d cycles", delay))
 	}
 	if in.P.ReorderP > 0 && in.match(t.Addr) && in.rngReq.Float64() < in.P.ReorderP {
 		reorder = true
 		in.Reorders++
-		in.record(ready, "bus.reorder", t.Core, t.Addr, t.Kind.String())
+		in.record(ready, in.sys.ReqLinkName(t)+".reorder", t.Core, t.Addr, t.Kind.String())
 	}
 	return delay, reorder
 }
@@ -288,7 +292,7 @@ func (in *Injector) OnResponse(bank int, t mem.Txn, ready uint64) (delay uint64)
 	if in.P.RespDelayP > 0 && in.match(t.Addr) && in.rngResp.Float64() < in.P.RespDelayP {
 		delay = span(in.rngResp, 1, in.P.RespDelayMax)
 		in.RespDelays++
-		in.record(ready, "resp.delay", t.Core, t.Addr, fmt.Sprintf("%s +%d cycles", t.Kind, delay))
+		in.record(ready, in.sys.RespLinkName(bank, t)+".delay", t.Core, t.Addr, fmt.Sprintf("%s +%d cycles", t.Kind, delay))
 	}
 	return delay
 }

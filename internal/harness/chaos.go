@@ -295,7 +295,7 @@ func runPreemptPlan(m *core.Machine, sched *osmodel.Scheduler,
 		}
 	}
 	if m.Now() >= limit {
-		return m.Now() - start, applied, fmt.Errorf("core: cycle limit %d exceeded during preemption plan", budget)
+		return m.Now() - start, applied, fmt.Errorf("core: cycle limit %d exceeded on %s fabric during preemption plan", budget, m.Sys.FabricName())
 	}
 	_, err := m.Run(limit - m.Now())
 	return m.Now() - start, applied, err

@@ -39,6 +39,50 @@ func WriteFig4(w io.Writer, pts []LatencyPoint) {
 	}
 }
 
+// WriteScale renders the fabric-scaling sweep: one block per mechanism,
+// rows = core counts, columns = fabrics, with barrier latency and kernel
+// speedup side by side.
+func WriteScale(w io.Writer, pts []ScalePoint) {
+	fmt.Fprintln(w, "Fabric scaling: cycles/barrier (lat) and viterbi speedup (spd) per interconnect")
+	cores := map[int]bool{}
+	fabSeen := map[string]bool{}
+	var fabs []string
+	for _, p := range pts {
+		cores[p.Cores] = true
+		if !fabSeen[p.Fabric] {
+			fabSeen[p.Fabric] = true
+			fabs = append(fabs, p.Fabric)
+		}
+	}
+	var cc []int
+	for c := range cores {
+		cc = append(cc, c)
+	}
+	sort.Ints(cc)
+	cell := map[string]ScalePoint{}
+	for _, p := range pts {
+		cell[fmt.Sprintf("%s/%s/%d", p.Fabric, p.Kind, p.Cores)] = p
+	}
+	for _, k := range ScaleKinds {
+		fmt.Fprintf(w, "%s:\n", k)
+		fmt.Fprintf(w, "  %-8s", "cores")
+		for _, f := range fabs {
+			fmt.Fprintf(w, "%14s", f+" lat")
+			fmt.Fprintf(w, "%12s", f+" spd")
+		}
+		fmt.Fprintln(w)
+		for _, c := range cc {
+			fmt.Fprintf(w, "  %-8d", c)
+			for _, f := range fabs {
+				p := cell[fmt.Sprintf("%s/%s/%d", f, k, c)]
+				fmt.Fprintf(w, "%14.1f", p.AvgBarrier)
+				fmt.Fprintf(w, "%11.2fx", p.Speedup)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
 // WriteSpeedupRow renders one kernel's Figure 5/6 style bar set.
 func WriteSpeedupRow(w io.Writer, title string, r SpeedupRow) {
 	fmt.Fprintf(w, "%s: speedup over sequential (%d cycles) on 16 cores\n", title, r.SeqCycles)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/barrier"
 	"repro/internal/core"
+	"repro/internal/interconnect"
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/sanitize"
@@ -31,9 +32,16 @@ type Options struct {
 	Verify bool
 	// MaxCycles bounds any single simulation (deadlock guard).
 	MaxCycles uint64
+	// Fabric selects the interconnect topology of every machine the
+	// harness builds (zero value = the paper's shared bus; see
+	// interconnect.Kinds for crossbar and mesh).
+	Fabric interconnect.Kind
 	// Fig4Cores overrides the core counts of the Figure 4 sweep
 	// (default 4, 8, 16, 32, 64).
 	Fig4Cores []int
+	// ScaleCores overrides the core counts of the fabric-scaling sweep
+	// (default 4, 8, 16, 32, 64).
+	ScaleCores []int
 	// Lengths overrides the vector lengths of the Figure 7/8/10 sweeps.
 	Lengths []int
 	// Workers is the number of goroutines running experiment cells
@@ -89,6 +97,7 @@ func QuickOptions() Options {
 // machineConfig builds the per-cell machine configuration.
 func machineConfig(cores int, opt Options) core.Config {
 	cfg := core.DefaultConfig(cores)
+	cfg.Mem.Fabric = opt.Fabric
 	cfg.NoFastPath = opt.NoFastPath
 	if opt.Sanitize {
 		cfg.Sanitize = sanitize.Default()

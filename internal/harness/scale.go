@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/interconnect"
+	"repro/internal/kernels"
+)
+
+// --- fabric scaling: cores x interconnect x mechanism -----------------------
+
+// ScalePoint is one (fabric, mechanism, core count) cell of the scaling
+// sweep: the Figure 4 microbenchmark's average barrier latency and the
+// Figure 6 style kernel speedup over the same fabric's sequential baseline.
+type ScalePoint struct {
+	Fabric     string
+	Kind       barrier.Kind
+	Cores      int
+	AvgBarrier float64 // cycles per barrier on the latency microbenchmark
+	Speedup    float64 // viterbi warm speedup over 1-core sequential
+}
+
+// ScaleKinds is the mechanism subset the scaling sweep measures: the
+// paper's centralized software baseline, the D-cache barrier filter, and
+// the dedicated-network lower bound. One mechanism per class keeps the
+// cores x fabric matrix affordable while still separating traffic that
+// converges on one line (sw-central), traffic spread across banks
+// (filter-d), and traffic that bypasses the fabric entirely (hw-net).
+var ScaleKinds = []barrier.Kind{barrier.KindSWCentral, barrier.KindFilterD, barrier.KindHWNet}
+
+func (o Options) scaleCores() []int {
+	if len(o.ScaleCores) > 0 {
+		return o.ScaleCores
+	}
+	return []int{4, 8, 16, 32, 64}
+}
+
+// Scale extends the paper's Figure 4/6 axes past its 16-core machine:
+// every interconnect fabric x ScaleKinds mechanism x core count. The bus
+// serializes all request traffic through one arbiter, so its barrier
+// latency inflects upward as cores grow; the crossbar and mesh keep
+// per-bank parallelism and overtake it at high core counts — unless the
+// mechanism's traffic all lands on one bank (sw-central) or skips the
+// memory system (hw-net), which is the point of measuring all three.
+// Cells are journaled under "scale/<fabric>/<kind>/<cores>" (sequential
+// baselines under "scale/<fabric>/seq") when Options.JournalPath is set.
+func Scale(opt Options) ([]ScalePoint, error) {
+	coreCounts := opt.scaleCores()
+	fabrics := interconnect.Kinds
+	k, m := 64, 64 // the paper's 64 consecutive barriers x 64 iterations
+	if opt.Quick {
+		k, m = 16, 8
+	}
+	lk := LoopKernel{"viterbi", 2, func(l int) kernels.Kernel {
+		return kernels.NewViterbi(opt.viterbiBits(), l)
+	}}
+
+	// Sequential speedup baselines, one per fabric (a 1-core machine
+	// barely exercises the fabric, but dividing by the same topology's
+	// baseline keeps each curve self-consistent).
+	seq := make([]uint64, len(fabrics))
+	seqKeys := make([]string, len(fabrics))
+	for i, f := range fabrics {
+		seqKeys[i] = fmt.Sprintf("scale/%s/seq", f)
+	}
+	err := runCells(opt, len(fabrics), seqKeys, func(i int, _ *cellCtx) (any, error) {
+		o := opt
+		o.Fabric = fabrics[i]
+		c, err := MeasureSeqWarm(lk, o)
+		if err != nil {
+			return nil, err
+		}
+		seq[i] = c
+		return c, nil
+	}, func(i int, data json.RawMessage) error {
+		return json.Unmarshal(data, &seq[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type cellIdx struct{ f, k, n int }
+	var cells []cellIdx
+	for f := range fabrics {
+		for ki := range ScaleKinds {
+			for n := range coreCounts {
+				cells = append(cells, cellIdx{f: f, k: ki, n: n})
+			}
+		}
+	}
+	out := make([]ScalePoint, len(cells))
+	keys := make([]string, len(cells))
+	for i, cl := range cells {
+		keys[i] = fmt.Sprintf("scale/%s/%s/%d", fabrics[cl.f], ScaleKinds[cl.k], coreCounts[cl.n])
+	}
+	err = runCells(opt, len(cells), keys, func(i int, ctx *cellCtx) (any, error) {
+		cl := cells[i]
+		fab, kind, n := fabrics[cl.f], ScaleKinds[cl.k], coreCounts[cl.n]
+
+		// Barrier latency: the Figure 4 microbenchmark on this fabric.
+		cfg := ctx.Config(n)
+		cfg.Mem.Fabric = fab
+		alloc := barrier.NewAllocator(cfg.Mem)
+		gen, err := barrier.New(kind, n, alloc)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := buildLatencyProgram(gen, k, m, n, opt)
+		if err != nil {
+			return nil, err
+		}
+		mach, err := core.NewMachineChecked(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := barrier.Launch(mach, gen, prog, n); err != nil {
+			return nil, err
+		}
+		cycles, err := mach.Run(opt.MaxCycles)
+		if err != nil {
+			return nil, fmt.Errorf("harness: scale %s/%s/%d: %w", fab, kind, n, err)
+		}
+
+		// Kernel speedup over this fabric's sequential baseline.
+		o := opt
+		o.Fabric = fab
+		parWarm, err := MeasureParWarm(lk, kind, n, o)
+		if err != nil {
+			return nil, fmt.Errorf("harness: scale %s/%s/%d: %w", fab, kind, n, err)
+		}
+		out[i] = ScalePoint{
+			Fabric:     fab.String(),
+			Kind:       kind,
+			Cores:      n,
+			AvgBarrier: float64(cycles) / float64(k*m),
+			Speedup:    float64(seq[cl.f]) / float64(parWarm),
+		}
+		return out[i], nil
+	}, func(i int, data json.RawMessage) error {
+		return json.Unmarshal(data, &out[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

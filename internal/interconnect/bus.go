@@ -1,0 +1,231 @@
+package interconnect
+
+// Bus is the paper's split-transaction bus with two independently arbitrated
+// halves:
+//
+//   - the request (address) bus: one grant per cycle, round-robin across
+//     cores; writebacks and dirty invalidations carry their line on the
+//     request path and occupy it for the full data-transfer time. This is
+//     the shared resource whose saturation past 16 cores the paper reports;
+//   - the response (data) path: by default a Niagara-style crossbar with an
+//     independent channel per L2 bank (Geometry.SharedData collapses it to
+//     one shared bus for the ablation). A line fill occupies its channel
+//     for its full transfer time, acks for one cycle.
+//
+// Per-core request queues are FIFO, which gives the same-address ordering
+// the barrier sequences rely on: an ICBI/DCBI transaction always reaches the
+// bank before the fill request the same core issues afterwards.
+//
+// This is the pre-refactor mem/bus.go logic, moved behind the Fabric
+// interface unchanged; the fabric golden differential (fabric_test.go at the
+// repo root) pins its cycle counts and statistics byte-for-byte against the
+// hard-wired original.
+type Bus[P any] struct {
+	g Geometry
+	d Delivery[P]
+
+	reqQ    [][]timedMsg[P] // per core
+	reqNext int
+	reqFree uint64 // first cycle the request bus is free
+
+	respQ    [][]timedMsg[P] // per bank
+	respNext int
+	respFree []uint64 // per bank channel (single shared entry when SharedData)
+
+	// statistics
+	ReqGrants    uint64
+	ReqBusyCyc   uint64
+	RespGrants   uint64
+	RespBusyCyc  uint64
+	MaxReqQueue  int
+	MaxRespQueue int
+}
+
+func newBus[P any](g Geometry, d Delivery[P]) *Bus[P] {
+	nchan := g.Banks
+	if g.SharedData {
+		nchan = 1
+	}
+	return &Bus[P]{
+		g:        g,
+		d:        d,
+		reqQ:     make([][]timedMsg[P], g.Cores),
+		respQ:    make([][]timedMsg[P], g.Banks),
+		respFree: make([]uint64, nchan),
+	}
+}
+
+func (b *Bus[P]) Kind() Kind { return KindBus }
+
+// PushRequest enqueues a request from a core, available for arbitration at
+// cycle ready.
+func (b *Bus[P]) PushRequest(m Message[P], ready uint64, reorder bool) {
+	b.reqQ[m.Src] = pushOrdered(b.reqQ[m.Src], m, ready, reorder)
+	if n := len(b.reqQ[m.Src]); n > b.MaxReqQueue {
+		b.MaxReqQueue = n
+	}
+}
+
+// PushResponse enqueues a response from a bank, available at cycle ready.
+func (b *Bus[P]) PushResponse(m Message[P], ready uint64) {
+	b.respQ[m.Src] = append(b.respQ[m.Src], timedMsg[P]{m, ready})
+	if n := len(b.respQ[m.Src]); n > b.MaxRespQueue {
+		b.MaxRespQueue = n
+	}
+}
+
+// Tick arbitrates both bus halves for one cycle.
+func (b *Bus[P]) Tick(now uint64) {
+	b.tickReq(now)
+	b.tickResp(now)
+}
+
+func (b *Bus[P]) tickReq(now uint64) {
+	if now < b.reqFree {
+		b.ReqBusyCyc++
+		return
+	}
+	n := len(b.reqQ)
+	for i := 0; i < n; i++ {
+		c := (b.reqNext + i) % n
+		q := b.reqQ[c]
+		if len(q) == 0 || q[0].ready > now {
+			continue
+		}
+		m := q[0].msg
+		b.reqQ[c] = q[1:]
+		b.reqNext = (c + 1) % n
+		b.reqFree = now + m.Occ
+		b.ReqGrants++
+		b.d.Req(m.Dst, m.Payload, now+m.Occ)
+		return
+	}
+}
+
+func (b *Bus[P]) tickResp(now uint64) {
+	if b.g.SharedData {
+		// One shared data bus: a single grant per transfer time.
+		if now < b.respFree[0] {
+			b.RespBusyCyc++
+			return
+		}
+		n := len(b.respQ)
+		for i := 0; i < n; i++ {
+			k := (b.respNext + i) % n
+			q := b.respQ[k]
+			if len(q) == 0 || q[0].ready > now {
+				continue
+			}
+			m := q[0].msg
+			b.respQ[k] = q[1:]
+			b.respNext = (k + 1) % n
+			b.respFree[0] = now + m.Occ
+			b.RespGrants++
+			b.d.Resp(m.Dst, m.Payload, now+m.Occ)
+			return
+		}
+		return
+	}
+	// Crossbar: each bank's channel grants independently.
+	for k := range b.respQ {
+		if now < b.respFree[k] {
+			b.RespBusyCyc++
+			continue
+		}
+		q := b.respQ[k]
+		if len(q) == 0 || q[0].ready > now {
+			continue
+		}
+		m := q[0].msg
+		b.respQ[k] = q[1:]
+		b.respFree[k] = now + m.Occ
+		b.RespGrants++
+		b.d.Resp(m.Dst, m.Payload, now+m.Occ)
+	}
+}
+
+// NextEvent returns the earliest cycle at which either bus half could grant
+// a transfer: the earliest queued entry's ready time, pushed out to when its
+// half (or channel) is free. ok=false when both halves are empty. Busy-cycle
+// accounting on empty halves is not an event; SkipIdle compensates for it.
+func (b *Bus[P]) NextEvent(now uint64) (event uint64, ok bool) {
+	consider := func(t uint64) {
+		if !ok || t < event {
+			event, ok = t, true
+		}
+	}
+	reqReady, reqAny := uint64(0), false
+	for _, q := range b.reqQ {
+		if len(q) > 0 && (!reqAny || q[0].ready < reqReady) {
+			reqReady, reqAny = q[0].ready, true
+		}
+	}
+	if reqAny {
+		consider(max(reqReady, b.reqFree))
+	}
+	if b.g.SharedData {
+		respReady, respAny := uint64(0), false
+		for _, q := range b.respQ {
+			if len(q) > 0 && (!respAny || q[0].ready < respReady) {
+				respReady, respAny = q[0].ready, true
+			}
+		}
+		if respAny {
+			consider(max(respReady, b.respFree[0]))
+		}
+	} else {
+		for k, q := range b.respQ {
+			if len(q) > 0 {
+				consider(max(q[0].ready, b.respFree[k]))
+			}
+		}
+	}
+	return event, ok
+}
+
+// SkipIdle credits the per-cycle busy counters that n skipped Ticks starting
+// at cycle now would have bumped: each half (or crossbar channel) counts one
+// busy cycle per skipped cycle it is still occupied by an earlier grant.
+func (b *Bus[P]) SkipIdle(now, n uint64) {
+	if b.reqFree > now {
+		b.ReqBusyCyc += min(n, b.reqFree-now)
+	}
+	for k := range b.respFree {
+		if b.respFree[k] > now {
+			b.RespBusyCyc += min(n, b.respFree[k]-now)
+		}
+	}
+}
+
+// Quiet reports whether no transaction is queued on either half.
+func (b *Bus[P]) Quiet() bool {
+	for _, q := range b.reqQ {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	for _, q := range b.respQ {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StatsInto emits the bus counters under the pre-refactor names; the fabric
+// golden differential depends on these keys and values being stable.
+func (b *Bus[P]) StatsInto(set func(name string, v uint64)) {
+	set("bus.request_grants", b.ReqGrants)
+	set("bus.request_busy_cycles", b.ReqBusyCyc)
+	set("bus.response_grants", b.RespGrants)
+	set("bus.response_busy_cycles", b.RespBusyCyc)
+	set("bus.max_request_queue", uint64(b.MaxReqQueue))
+	set("bus.max_response_queue", uint64(b.MaxRespQueue))
+}
+
+// ReqLinkName keeps the pre-fabric attribution name: every request crosses
+// the one shared address bus.
+func (b *Bus[P]) ReqLinkName(src, dst int) string { return "bus" }
+
+// RespLinkName keeps the pre-fabric attribution name for the data path.
+func (b *Bus[P]) RespLinkName(src, dst int) string { return "resp" }

@@ -1,0 +1,226 @@
+package interconnect
+
+import "fmt"
+
+// Crossbar is a full core-to-bank crossbar. Unlike the bus, there is no
+// shared arbiter: every destination port (each L2 bank on the request side,
+// each core on the response side) grants independently every cycle, so
+// requests bound for different banks never serialize against each other.
+// Contention remains at two places only:
+//
+//   - destination ports have PortBW parallel channels; a transfer occupies
+//     its channel for Occ cycles, and a port with every channel busy defers
+//     its queued messages (finite per-port bandwidth);
+//   - source ports inject at most one message per cycle, so a single core
+//     cannot exceed its own link bandwidth even when many banks are free.
+//
+// Arbitration at each destination port is round-robin across sources, and
+// source queues are strict FIFO, which preserves the per-core same-address
+// ordering the barrier sequences rely on.
+type Crossbar[P any] struct {
+	g Geometry
+	d Delivery[P]
+
+	reqQ  [][]timedMsg[P] // per core
+	respQ [][]timedMsg[P] // per bank
+
+	reqFree  [][]uint64 // per bank: PortBW channel-free cycles
+	respFree [][]uint64 // per core: PortBW channel-free cycles
+
+	reqRR  []int // per bank: next core to consider
+	respRR []int // per core: next bank to consider
+
+	// reqStamp[c] = now+1 when core c injected a request this cycle;
+	// respStamp likewise for banks (source-port serialization).
+	reqStamp  []uint64
+	respStamp []uint64
+
+	// statistics
+	ReqGrants    uint64
+	ReqBusyCyc   uint64
+	RespGrants   uint64
+	RespBusyCyc  uint64
+	MaxReqQueue  int
+	MaxRespQueue int
+}
+
+func newCrossbar[P any](g Geometry, d Delivery[P]) *Crossbar[P] {
+	x := &Crossbar[P]{
+		g:         g,
+		d:         d,
+		reqQ:      make([][]timedMsg[P], g.Cores),
+		respQ:     make([][]timedMsg[P], g.Banks),
+		reqFree:   make([][]uint64, g.Banks),
+		respFree:  make([][]uint64, g.Cores),
+		reqRR:     make([]int, g.Banks),
+		respRR:    make([]int, g.Cores),
+		reqStamp:  make([]uint64, g.Cores),
+		respStamp: make([]uint64, g.Banks),
+	}
+	for b := range x.reqFree {
+		x.reqFree[b] = make([]uint64, g.PortBW)
+	}
+	for c := range x.respFree {
+		x.respFree[c] = make([]uint64, g.PortBW)
+	}
+	return x
+}
+
+func (x *Crossbar[P]) Kind() Kind { return KindCrossbar }
+
+// PushRequest enqueues a request at its core's injection queue.
+func (x *Crossbar[P]) PushRequest(m Message[P], ready uint64, reorder bool) {
+	x.reqQ[m.Src] = pushOrdered(x.reqQ[m.Src], m, ready, reorder)
+	if n := len(x.reqQ[m.Src]); n > x.MaxReqQueue {
+		x.MaxReqQueue = n
+	}
+}
+
+// PushResponse enqueues a response at its bank's injection queue.
+func (x *Crossbar[P]) PushResponse(m Message[P], ready uint64) {
+	x.respQ[m.Src] = append(x.respQ[m.Src], timedMsg[P]{m, ready})
+	if n := len(x.respQ[m.Src]); n > x.MaxRespQueue {
+		x.MaxRespQueue = n
+	}
+}
+
+// Tick grants transfers at every destination port independently.
+func (x *Crossbar[P]) Tick(now uint64) {
+	tickSide(now, x.reqQ, x.reqFree, x.reqRR, x.reqStamp,
+		&x.ReqGrants, &x.ReqBusyCyc, x.d.Req)
+	tickSide(now, x.respQ, x.respFree, x.respRR, x.respStamp,
+		&x.RespGrants, &x.RespBusyCyc, x.d.Resp)
+}
+
+// tickSide arbitrates one direction of the crossbar: srcQ are the source
+// FIFO queues, free the destination ports' channel-free cycles, rr the
+// per-destination round-robin cursor, stamp the per-source injection stamps.
+func tickSide[P any](now uint64, srcQ [][]timedMsg[P], free [][]uint64,
+	rr []int, stamp []uint64, grants, busy *uint64, deliver func(int, P, uint64)) {
+	// Busy accounting first, one count per occupied channel per cycle,
+	// mirroring the bus's per-half counters (SkipIdle credits skipped
+	// windows the same way).
+	for d := range free {
+		for _, f := range free[d] {
+			if now < f {
+				*busy = *busy + 1
+			}
+		}
+	}
+	n := len(srcQ)
+	for d := range free {
+		for ch := range free[d] {
+			if now < free[d][ch] {
+				continue
+			}
+			granted := false
+			for i := 0; i < n; i++ {
+				s := (rr[d] + i) % n
+				q := srcQ[s]
+				if len(q) == 0 || q[0].ready > now || q[0].msg.Dst != d {
+					continue
+				}
+				if stamp[s] == now+1 {
+					continue // source already injected this cycle
+				}
+				m := q[0].msg
+				srcQ[s] = q[1:]
+				rr[d] = (s + 1) % n
+				stamp[s] = now + 1
+				occ := max(m.Occ, 1)
+				free[d][ch] = now + occ
+				*grants = *grants + 1
+				deliver(m.Dst, m.Payload, now+occ)
+				granted = true
+				break
+			}
+			if !granted {
+				break // no eligible source for this port's remaining channels
+			}
+		}
+	}
+}
+
+// NextEvent returns the earliest cycle at which some destination port could
+// grant a queued head: max(head ready, earliest channel-free cycle of its
+// destination). Exact because source heads only change via Tick, and a
+// contended cycle still performs a grant at that cycle.
+func (x *Crossbar[P]) NextEvent(now uint64) (event uint64, ok bool) {
+	consider := func(t uint64) {
+		if !ok || t < event {
+			event, ok = t, true
+		}
+	}
+	sideNext(x.reqQ, x.reqFree, consider)
+	sideNext(x.respQ, x.respFree, consider)
+	return event, ok
+}
+
+func sideNext[P any](srcQ [][]timedMsg[P], free [][]uint64, consider func(uint64)) {
+	for _, q := range srcQ {
+		if len(q) == 0 {
+			continue
+		}
+		dst := q[0].msg.Dst
+		ef := free[dst][0]
+		for _, f := range free[dst][1:] {
+			if f < ef {
+				ef = f
+			}
+		}
+		consider(max(q[0].ready, ef))
+	}
+}
+
+// SkipIdle credits per-channel busy cycles across a skipped window.
+func (x *Crossbar[P]) SkipIdle(now, n uint64) {
+	for d := range x.reqFree {
+		for _, f := range x.reqFree[d] {
+			if f > now {
+				x.ReqBusyCyc += min(n, f-now)
+			}
+		}
+	}
+	for c := range x.respFree {
+		for _, f := range x.respFree[c] {
+			if f > now {
+				x.RespBusyCyc += min(n, f-now)
+			}
+		}
+	}
+}
+
+// Quiet reports whether every source queue is empty.
+func (x *Crossbar[P]) Quiet() bool {
+	for _, q := range x.reqQ {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	for _, q := range x.respQ {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StatsInto emits the crossbar counters under the xbar prefix.
+func (x *Crossbar[P]) StatsInto(set func(name string, v uint64)) {
+	set("xbar.request_grants", x.ReqGrants)
+	set("xbar.request_busy_cycles", x.ReqBusyCyc)
+	set("xbar.response_grants", x.RespGrants)
+	set("xbar.response_busy_cycles", x.RespBusyCyc)
+	set("xbar.max_request_queue", uint64(x.MaxReqQueue))
+	set("xbar.max_response_queue", uint64(x.MaxRespQueue))
+}
+
+// ReqLinkName names the core-to-bank crosspoint a request crosses.
+func (x *Crossbar[P]) ReqLinkName(src, dst int) string {
+	return fmt.Sprintf("xbar.c%d-b%d", src, dst)
+}
+
+// RespLinkName names the bank-to-core crosspoint a response crosses.
+func (x *Crossbar[P]) RespLinkName(src, dst int) string {
+	return fmt.Sprintf("xbar.b%d-c%d", src, dst)
+}

@@ -1,0 +1,299 @@
+package interconnect
+
+import "fmt"
+
+// Mesh is a W x H 2D-mesh network-on-chip. Each router hosts a core
+// network interface (core c at node c mod W*H) and possibly a bank
+// interface (bank b at node b*W*H/Banks, spreading the banks evenly across
+// the grid). Messages are routed XY (dimension-ordered: all X hops, then
+// all Y hops), which is deadlock-free and deterministic.
+//
+// Timing model: a message launches from its source port when its ready
+// cycle has passed, one of the port's PortBW injection channels is free,
+// and the first link of its route is free. At launch the whole route is
+// reserved link by link — each link is held for Occ cycles from the cycle
+// the message reaches it (waiting out any earlier reservation), and the
+// head advances one hop per LinkLat cycles — so the arrival cycle is known
+// at launch and delivered to the receiving queue immediately. Waiting
+// inside the network is accounted in mesh.link_wait_cycles.
+//
+// Deliberate simplifications (DESIGN.md section 10): routers have no
+// finite buffering, so there is no head-of-line blocking at intermediate
+// hops and no credit flow control; reservations are made in message order
+// at launch, so a later launch cannot use a bandwidth hole in front of an
+// earlier reservation on its first link. Per-source FIFO ordering toward a
+// fixed destination holds because a source launches in queue order and
+// both messages reserve the same XY path with monotonically increasing
+// link times.
+type Mesh[P any] struct {
+	g    Geometry
+	d    Delivery[P]
+	w, h int
+
+	reqQ  [][]timedMsg[P] // per core
+	respQ [][]timedMsg[P] // per bank
+
+	reqInj  [][]uint64 // per core: PortBW injection-channel free cycles
+	respInj [][]uint64 // per bank
+
+	linkFree []uint64 // per directed link: node*4 + direction
+
+	// statistics
+	ReqGrants    uint64
+	RespGrants   uint64
+	HopsTotal    uint64
+	LinkWaitCyc  uint64
+	MaxReqQueue  int
+	MaxRespQueue int
+}
+
+// Directed-link direction codes: linkFree[node*4+dir] is the link leaving
+// node toward +x, -x, +y, -y respectively.
+const (
+	dirEast = iota
+	dirWest
+	dirSouth
+	dirNorth
+)
+
+func newMesh[P any](g Geometry, d Delivery[P]) *Mesh[P] {
+	m := &Mesh[P]{
+		g:        g,
+		d:        d,
+		w:        g.MeshW,
+		h:        g.MeshH,
+		reqQ:     make([][]timedMsg[P], g.Cores),
+		respQ:    make([][]timedMsg[P], g.Banks),
+		reqInj:   make([][]uint64, g.Cores),
+		respInj:  make([][]uint64, g.Banks),
+		linkFree: make([]uint64, g.MeshW*g.MeshH*4),
+	}
+	for c := range m.reqInj {
+		m.reqInj[c] = make([]uint64, g.PortBW)
+	}
+	for b := range m.respInj {
+		m.respInj[b] = make([]uint64, g.PortBW)
+	}
+	return m
+}
+
+func (m *Mesh[P]) Kind() Kind { return KindMesh }
+
+func (m *Mesh[P]) coreNode(c int) int { return c % (m.w * m.h) }
+
+func (m *Mesh[P]) bankNode(b int) int { return b * m.w * m.h / m.g.Banks }
+
+// walk visits the directed links of the XY route from node to node.
+func (m *Mesh[P]) walk(from, to int, fn func(link int)) {
+	x, y := from%m.w, from/m.w
+	tx, ty := to%m.w, to/m.w
+	for x < tx {
+		fn((y*m.w+x)*4 + dirEast)
+		x++
+	}
+	for x > tx {
+		fn((y*m.w+x)*4 + dirWest)
+		x--
+	}
+	for y < ty {
+		fn((y*m.w+x)*4 + dirSouth)
+		y++
+	}
+	for y > ty {
+		fn((y*m.w+x)*4 + dirNorth)
+		y--
+	}
+}
+
+// firstLink returns the first link of the XY route, ok=false when source
+// and destination share a node.
+func (m *Mesh[P]) firstLink(from, to int) (link int, ok bool) {
+	m.walk(from, to, func(l int) {
+		if !ok {
+			link, ok = l, true
+		}
+	})
+	return link, ok
+}
+
+// PushRequest enqueues a request at its core's injection port.
+func (m *Mesh[P]) PushRequest(msg Message[P], ready uint64, reorder bool) {
+	m.reqQ[msg.Src] = pushOrdered(m.reqQ[msg.Src], msg, ready, reorder)
+	if n := len(m.reqQ[msg.Src]); n > m.MaxReqQueue {
+		m.MaxReqQueue = n
+	}
+}
+
+// PushResponse enqueues a response at its bank's injection port.
+func (m *Mesh[P]) PushResponse(msg Message[P], ready uint64) {
+	m.respQ[msg.Src] = append(m.respQ[msg.Src], timedMsg[P]{msg, ready})
+	if n := len(m.respQ[msg.Src]); n > m.MaxRespQueue {
+		m.MaxRespQueue = n
+	}
+}
+
+// Tick launches at most one message per source port.
+func (m *Mesh[P]) Tick(now uint64) {
+	for c := range m.reqQ {
+		m.tryLaunch(now, c, true)
+	}
+	for b := range m.respQ {
+		m.tryLaunch(now, b, false)
+	}
+}
+
+func (m *Mesh[P]) tryLaunch(now uint64, port int, req bool) {
+	var q []timedMsg[P]
+	var inj []uint64
+	if req {
+		q, inj = m.reqQ[port], m.reqInj[port]
+	} else {
+		q, inj = m.respQ[port], m.respInj[port]
+	}
+	if len(q) == 0 || q[0].ready > now {
+		return
+	}
+	ch := 0
+	for i := range inj {
+		if inj[i] < inj[ch] {
+			ch = i
+		}
+	}
+	if inj[ch] > now {
+		return
+	}
+	msg := q[0].msg
+	var from, to int
+	if req {
+		from, to = m.coreNode(msg.Src), m.bankNode(msg.Dst)
+	} else {
+		from, to = m.bankNode(msg.Src), m.coreNode(msg.Dst)
+	}
+	if first, hasLink := m.firstLink(from, to); hasLink && m.linkFree[first] > now {
+		return
+	}
+	// Launch: pop, hold the injection channel, reserve the route. The time
+	// the head spent eligible but blocked by its first link is contention.
+	m.LinkWaitCyc += now - max(q[0].ready, inj[ch])
+	occ := max(msg.Occ, 1)
+	if req {
+		m.reqQ[port] = q[1:]
+	} else {
+		m.respQ[port] = q[1:]
+	}
+	inj[ch] = now + occ
+	t := now
+	m.walk(from, to, func(link int) {
+		s := max(t, m.linkFree[link])
+		m.LinkWaitCyc += s - t
+		m.linkFree[link] = s + occ
+		t = s + m.g.LinkLat
+		m.HopsTotal++
+	})
+	at := t + occ // ejection: the tail crosses the destination interface
+	if req {
+		m.ReqGrants++
+		m.d.Req(msg.Dst, msg.Payload, at)
+	} else {
+		m.RespGrants++
+		m.d.Resp(msg.Dst, msg.Payload, at)
+	}
+}
+
+// NextEvent returns the earliest cycle some port head could launch:
+// max(head ready, earliest injection channel, first-link free). Exact:
+// link and channel reservations only move under Tick, and arrivals are
+// delivered to the receiving queues at launch time, so the fabric itself
+// holds no future work beyond these launch points.
+func (m *Mesh[P]) NextEvent(now uint64) (event uint64, ok bool) {
+	consider := func(t uint64) {
+		if !ok || t < event {
+			event, ok = t, true
+		}
+	}
+	for c := range m.reqQ {
+		if t, o := m.headLaunch(c, true); o {
+			consider(t)
+		}
+	}
+	for b := range m.respQ {
+		if t, o := m.headLaunch(b, false); o {
+			consider(t)
+		}
+	}
+	return event, ok
+}
+
+func (m *Mesh[P]) headLaunch(port int, req bool) (t uint64, ok bool) {
+	var q []timedMsg[P]
+	var inj []uint64
+	if req {
+		q, inj = m.reqQ[port], m.reqInj[port]
+	} else {
+		q, inj = m.respQ[port], m.respInj[port]
+	}
+	if len(q) == 0 {
+		return 0, false
+	}
+	t = q[0].ready
+	ch := inj[0]
+	for _, f := range inj[1:] {
+		if f < ch {
+			ch = f
+		}
+	}
+	t = max(t, ch)
+	msg := q[0].msg
+	var from, to int
+	if req {
+		from, to = m.coreNode(msg.Src), m.bankNode(msg.Dst)
+	} else {
+		from, to = m.bankNode(msg.Src), m.coreNode(msg.Dst)
+	}
+	if first, hasLink := m.firstLink(from, to); hasLink {
+		t = max(t, m.linkFree[first])
+	}
+	return t, true
+}
+
+// SkipIdle is a no-op: the mesh accounts waiting at reservation time
+// (mesh.link_wait_cycles), not per skipped cycle.
+func (m *Mesh[P]) SkipIdle(now, n uint64) {}
+
+// Quiet reports whether every injection queue is empty (launched messages
+// already live in the receivers' queues).
+func (m *Mesh[P]) Quiet() bool {
+	for _, q := range m.reqQ {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	for _, q := range m.respQ {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StatsInto emits the mesh counters under the mesh prefix.
+func (m *Mesh[P]) StatsInto(set func(name string, v uint64)) {
+	set("mesh.request_grants", m.ReqGrants)
+	set("mesh.response_grants", m.RespGrants)
+	set("mesh.hops_total", m.HopsTotal)
+	set("mesh.link_wait_cycles", m.LinkWaitCyc)
+	set("mesh.max_request_queue", uint64(m.MaxReqQueue))
+	set("mesh.max_response_queue", uint64(m.MaxRespQueue))
+}
+
+// ReqLinkName names the XY route a request takes, for fault attribution.
+func (m *Mesh[P]) ReqLinkName(src, dst int) string {
+	f, t := m.coreNode(src), m.bankNode(dst)
+	return fmt.Sprintf("mesh.c%d(%d,%d)->b%d(%d,%d)", src, f%m.w, f/m.w, dst, t%m.w, t/m.w)
+}
+
+// RespLinkName names the XY route a response takes.
+func (m *Mesh[P]) RespLinkName(src, dst int) string {
+	f, t := m.bankNode(src), m.coreNode(dst)
+	return fmt.Sprintf("mesh.b%d(%d,%d)->c%d(%d,%d)", src, f%m.w, f/m.w, dst, t%m.w, t/m.w)
+}

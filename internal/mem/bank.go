@@ -25,11 +25,13 @@ type BankHook interface {
 // dirEntry is the full-map directory state for one line: which L1Ds and
 // L1Is may hold it and which core (if any) owns it in Modified state. The
 // directory is idealized (untagged, unbounded), standing in for the snoopy
-// broadcast of the paper's bus without transient-state complexity.
+// broadcast of the paper's bus without transient-state complexity. Sharer
+// sets are variable-width bitsets, so the directory imposes no core-count
+// cap.
 type dirEntry struct {
-	dSharers uint64
-	iSharers uint64
-	owner    int8 // -1 when no L1 holds the line Modified
+	dSharers Sharers
+	iSharers Sharers
+	owner    int16 // -1 when no L1 holds the line Modified
 }
 
 // Bank is one bank of the shared L2 plus its slice of the directory and an
@@ -116,19 +118,20 @@ func (bk *Bank) SetHook(h BankHook) { bk.hook = h }
 
 // DirEntry is a read-only copy of one directory entry (sanitizer/test use).
 type DirEntry struct {
-	DSharers uint64
-	ISharers uint64
+	DSharers Sharers
+	ISharers Sharers
 	Owner    int // -1 when no L1D holds the line Modified
 }
 
 // DirLookup returns the directory entry for a line, if one has ever been
-// created. It performs no allocation and no state change.
+// created. The sharer sets are copies, so callers cannot alias live
+// directory state; no bank state changes.
 func (bk *Bank) DirLookup(addr uint64) (DirEntry, bool) {
 	e, ok := bk.dir[addr]
 	if !ok {
 		return DirEntry{Owner: -1}, false
 	}
-	return DirEntry{DSharers: e.dSharers, ISharers: e.iSharers, Owner: int(e.owner)}, true
+	return DirEntry{DSharers: e.dSharers.Clone(), ISharers: e.iSharers.Clone(), Owner: int(e.owner)}, true
 }
 
 // L2Peek returns the L2 array state of a line without touching LRU order.
@@ -249,19 +252,19 @@ func (bk *Bank) processInval(now uint64, t Txn) {
 	e := bk.entry(t.Addr)
 	if t.Kind == InvalD {
 		for c := 0; c < bk.sys.Cfg.Cores; c++ {
-			if c != t.Core && e.dSharers&(1<<uint(c)) != 0 {
+			if c != t.Core && e.dSharers.Has(c) {
 				bk.sys.L1D[c].extInval(t.Addr)
 			}
 		}
-		e.dSharers = 0
+		e.dSharers.Reset()
 		e.owner = -1
 	} else {
 		for c := 0; c < bk.sys.Cfg.Cores; c++ {
-			if c != t.Core && e.iSharers&(1<<uint(c)) != 0 {
+			if c != t.Core && e.iSharers.Has(c) {
 				bk.sys.L1I[c].extInval(t.Addr)
 			}
 		}
-		e.iSharers = 0
+		e.iSharers.Reset()
 	}
 	resp := Txn{Kind: InvalAck, Addr: t.Addr, Core: t.Core, ID: t.ID, ReqKind: t.Kind, Err: fault}
 	bk.sys.observe(now, t)
@@ -272,7 +275,7 @@ func (bk *Bank) processInval(now uint64, t Txn) {
 	if bk.sys.chaos != nil && bk.sys.chaos.OnInvalAckDrop(now, resp) {
 		return
 	}
-	bk.sys.Bus.PushResponse(bk.idx, resp, now+uint64(bk.sys.Cfg.L2Lat))
+	bk.sys.pushResponse(bk.idx, resp, now+uint64(bk.sys.Cfg.L2Lat))
 }
 
 // serviceFill runs the normal fill path (directory + L2 array + miss path).
@@ -281,7 +284,6 @@ func (bk *Bank) serviceFill(now uint64, t Txn, skipHook bool) {
 	_ = skipHook
 	e := bk.entry(t.Addr)
 	penalty := 0
-	cbit := uint64(1) << uint(t.Core)
 
 	switch t.Kind {
 	case GetS, GetI:
@@ -293,14 +295,14 @@ func (bk *Bank) serviceFill(now uint64, t Txn, skipHook bool) {
 			penalty += bk.sys.Cfg.OwnerFetchPenalty
 		}
 		if t.Kind == GetS {
-			e.dSharers |= cbit
+			e.dSharers.Set(t.Core)
 		} else {
-			e.iSharers |= cbit
+			e.iSharers.Set(t.Core)
 		}
 	case GetM:
 		had := false
 		for c := 0; c < bk.sys.Cfg.Cores; c++ {
-			if c != t.Core && e.dSharers&(1<<uint(c)) != 0 {
+			if c != t.Core && e.dSharers.Has(c) {
 				bk.sys.L1D[c].extInval(t.Addr)
 				had = true
 			}
@@ -310,8 +312,9 @@ func (bk *Bank) serviceFill(now uint64, t Txn, skipHook bool) {
 		} else if had {
 			penalty += bk.sys.Cfg.SharerInvalPenalty
 		}
-		e.dSharers = cbit
-		e.owner = int8(t.Core)
+		e.dSharers.Reset()
+		e.dSharers.Set(t.Core)
+		e.owner = int16(t.Core)
 	}
 
 	if t.Kind == GetM {
@@ -353,7 +356,7 @@ func (bk *Bank) respondAt(t Txn, ready uint64) {
 		Exclusive: t.Kind == GetM,
 		Prefetch:  t.Prefetch,
 	}
-	bk.sys.Bus.PushResponse(bk.idx, resp, ready)
+	bk.sys.pushResponse(bk.idx, resp, ready)
 }
 
 // respond sends an (error) fill immediately.
@@ -366,7 +369,7 @@ func (bk *Bank) respond(now uint64, t Txn, errFill bool) {
 		ReqKind: t.Kind,
 		Err:     errFill,
 	}
-	bk.sys.Bus.PushResponse(bk.idx, resp, now+1)
+	bk.sys.pushResponse(bk.idx, resp, now+1)
 }
 
 func (bk *Bank) processUpgrade(now uint64, t Txn) {
@@ -375,21 +378,22 @@ func (bk *Bank) processUpgrade(now uint64, t Txn) {
 	e := bk.entry(t.Addr)
 	penalty := 0
 	for c := 0; c < bk.sys.Cfg.Cores; c++ {
-		if c != t.Core && e.dSharers&(1<<uint(c)) != 0 {
+		if c != t.Core && e.dSharers.Has(c) {
 			bk.sys.L1D[c].extInval(t.Addr)
 			penalty = bk.sys.Cfg.SharerInvalPenalty
 		}
 	}
-	e.dSharers = 1 << uint(t.Core)
-	e.owner = int8(t.Core)
+	e.dSharers.Reset()
+	e.dSharers.Set(t.Core)
+	e.owner = int16(t.Core)
 	resp := Txn{Kind: UpgAck, Addr: t.Addr, Core: t.Core, ID: t.ID, ReqKind: t.Kind}
-	bk.sys.Bus.PushResponse(bk.idx, resp, now+uint64(bk.sys.Cfg.L2Lat+penalty))
+	bk.sys.pushResponse(bk.idx, resp, now+uint64(bk.sys.Cfg.L2Lat+penalty))
 }
 
 func (bk *Bank) processWB(now uint64, t Txn) {
 	bk.WBs++
 	e := bk.entry(t.Addr)
-	e.dSharers &^= 1 << uint(t.Core)
+	e.dSharers.Clear(t.Core)
 	if int(e.owner) == t.Core {
 		e.owner = -1
 	}
@@ -404,9 +408,9 @@ func (bk *Bank) dropSharer(addr uint64, core int, icache bool) {
 		return
 	}
 	if icache {
-		e.iSharers &^= 1 << uint(core)
+		e.iSharers.Clear(core)
 	} else {
-		e.dSharers &^= 1 << uint(core)
+		e.dSharers.Clear(core)
 		if int(e.owner) == core {
 			e.owner = -1
 		}

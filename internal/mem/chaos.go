@@ -5,8 +5,8 @@ package mem
 // is attached via SetChaosHook, the hierarchy consults it at every point a
 // real machine could misbehave:
 //
-//   - OnRequest, at the moment a request transaction is enqueued on the
-//     address bus (delay and adjacent reordering);
+//   - OnRequest, at the moment a request transaction is injected into the
+//     fabric's request path (delay and adjacent reordering);
 //   - OnResponse, at the moment a response is enqueued on the data path
 //     (late fills and late acks);
 //   - OnInvalAckDrop, when a bank is about to acknowledge an ICBI/DCBI
@@ -49,7 +49,6 @@ type ChaosHook interface {
 // SetChaosHook attaches (or, with nil, detaches) a fault injector.
 func (s *System) SetChaosHook(h ChaosHook) {
 	s.chaos = h
-	s.Bus.chaos = h
 }
 
 // InjectResponse delivers a synthetic response transaction to its core at
@@ -57,11 +56,11 @@ func (s *System) SetChaosHook(h ChaosHook) {
 // no outstanding MSHR or invalidation token are dropped by the receivers,
 // which is exactly the robustness property spurious-fill injection probes.
 func (s *System) InjectResponse(t Txn, at uint64) {
-	s.deliverResp(t, at)
+	s.deliverResp(t.Core, t, at)
 }
 
-// InjectRequest places a synthetic request transaction on the address bus
+// InjectRequest places a synthetic request transaction on the fabric
 // (subject to normal arbitration, and to the chaos hook's own OnRequest).
 func (s *System) InjectRequest(t Txn, at uint64) {
-	s.Bus.PushRequest(t, at)
+	s.pushRequest(t, at)
 }

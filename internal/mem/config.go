@@ -1,5 +1,7 @@
 package mem
 
+import "repro/internal/interconnect"
+
 // Config describes the memory system. DefaultConfig matches Table 2 of the
 // paper.
 type Config struct {
@@ -23,10 +25,37 @@ type Config struct {
 
 	DataBusBytesPerCycle int // width of data transfers
 
-	// SharedDataBus collapses the per-bank data crossbar into one shared
-	// data bus (ablation; the default organization follows Figure 1's
-	// Niagara-style core-to-bank crossbar).
+	// SharedDataBus collapses the bus fabric's per-bank data crossbar into
+	// one shared data bus (ablation; the default organization follows
+	// Figure 1's Niagara-style core-to-bank crossbar). Ignored by the
+	// crossbar and mesh fabrics.
 	SharedDataBus bool
+
+	// Fabric selects the core-to-bank interconnect topology. The zero
+	// value is the paper's shared split-transaction bus, so existing
+	// configurations are unchanged.
+	Fabric interconnect.Kind
+
+	// MeshW x MeshH is the mesh fabric's router grid. Both zero (the
+	// default) derives a near-square grid covering max(Cores, L2Banks);
+	// explicit dimensions must cover that count (Validate rejects
+	// mismatches).
+	MeshW, MeshH int
+
+	// LinkLat is the mesh fabric's per-hop router-to-router latency.
+	LinkLat int
+
+	// MeshLinkBytesPerCycle is the mesh fabric's per-link datapath width.
+	// NoC channels are conventionally wider than a global shared bus
+	// segment (the bus amortizes its width over one set of long wires; a
+	// mesh has short point-to-point links clocked at core frequency), so
+	// the default is twice DataBusBytesPerCycle. Setting it equal to
+	// DataBusBytesPerCycle models a mesh that is bus-width per link.
+	MeshLinkBytesPerCycle int
+
+	// PortBW is the number of parallel channels per destination port
+	// (crossbar) or injection port (mesh).
+	PortBW int
 
 	// L1INextLinePrefetch enables a next-line instruction prefetcher.
 	// Prefetch fills that touch barrier arrival lines are filtered —
@@ -56,26 +85,63 @@ type Config struct {
 // the given core count.
 func DefaultConfig(cores int) Config {
 	return Config{
-		Cores:                cores,
-		LineBytes:            64,
-		L1Size:               64 << 10,
-		L1Assoc:              2,
-		L1Lat:                1,
-		L2Size:               512 << 10,
-		L2Assoc:              2,
-		L2Lat:                14,
-		L2Banks:              4,
-		L3Size:               4096 << 10,
-		L3Assoc:              2,
-		L3Lat:                38,
-		MemLat:               138,
-		DataBusBytesPerCycle: 16,
-		MSHRs:                8,
-		IMSHRs:               2,
-		OwnerFetchPenalty:    6,
-		SharerInvalPenalty:   2,
-		FilterBW:             1,
-		GrantHoldCycles:      16,
+		Cores:                 cores,
+		LineBytes:             64,
+		L1Size:                64 << 10,
+		L1Assoc:               2,
+		L1Lat:                 1,
+		L2Size:                512 << 10,
+		L2Assoc:               2,
+		L2Lat:                 14,
+		L2Banks:               4,
+		L3Size:                4096 << 10,
+		L3Assoc:               2,
+		L3Lat:                 38,
+		MemLat:                138,
+		DataBusBytesPerCycle:  16,
+		MSHRs:                 8,
+		IMSHRs:                2,
+		OwnerFetchPenalty:     6,
+		SharerInvalPenalty:    2,
+		FilterBW:              1,
+		GrantHoldCycles:       16,
+		LinkLat:               1,
+		MeshLinkBytesPerCycle: 32,
+		PortBW:                1,
+	}
+}
+
+// MeshDims returns the effective mesh grid: the configured dimensions, or,
+// when both are zero, the smallest near-square grid covering
+// max(Cores, L2Banks) nodes.
+func (c *Config) MeshDims() (w, h int) {
+	if c.MeshW != 0 || c.MeshH != 0 {
+		return c.MeshW, c.MeshH
+	}
+	need := c.Cores
+	if c.L2Banks > need {
+		need = c.L2Banks
+	}
+	w = 1
+	for w*w < need {
+		w++
+	}
+	h = (need + w - 1) / w
+	return w, h
+}
+
+// fabricGeometry translates the configuration into the interconnect
+// package's geometry description.
+func (c *Config) fabricGeometry() interconnect.Geometry {
+	w, h := c.MeshDims()
+	return interconnect.Geometry{
+		Cores:      c.Cores,
+		Banks:      c.L2Banks,
+		SharedData: c.SharedDataBus,
+		MeshW:      w,
+		MeshH:      h,
+		LinkLat:    uint64(c.LinkLat),
+		PortBW:     c.PortBW,
 	}
 }
 

@@ -22,20 +22,20 @@ func TestDirDropSharerLastSharer(t *testing.T) {
 	const addr = 0x4000
 	fillShared(t, s, 0, addr)
 	e, ok := dirOf(s, addr)
-	if !ok || e.DSharers != 1 {
-		t.Fatalf("directory after fill: ok=%v dSharers=%#x, want bit 0", ok, e.DSharers)
+	if !ok || !e.DSharers.Only(0) {
+		t.Fatalf("directory after fill: ok=%v dSharers=%s, want bit 0", ok, e.DSharers)
 	}
 	// Silent clean eviction of the only sharer: the bit clears, and the
 	// line simply has no cached copies left.
 	s.L1D[0].localInval(addr)
 	s.dirDropSharer(addr, 0, false)
-	if e, _ := dirOf(s, addr); e.DSharers != 0 {
-		t.Fatalf("dSharers=%#x after dropping the last sharer, want 0", e.DSharers)
+	if e, _ := dirOf(s, addr); e.DSharers.Any() {
+		t.Fatalf("dSharers=%s after dropping the last sharer, want 0", e.DSharers)
 	}
 	// The line is still fetchable afterwards.
 	fillShared(t, s, 1, addr)
-	if e, _ := dirOf(s, addr); e.DSharers != 2 {
-		t.Fatalf("dSharers=%#x after refetch by core 1, want bit 1", e.DSharers)
+	if e, _ := dirOf(s, addr); !e.DSharers.Only(1) {
+		t.Fatalf("dSharers=%s after refetch by core 1, want bit 1", e.DSharers)
 	}
 }
 
@@ -66,8 +66,8 @@ func TestDirDropSharerClearsOwner(t *testing.T) {
 	s.L1D[0].localInval(addr)
 	s.dirDropSharer(addr, 0, false)
 	e, _ := dirOf(s, addr)
-	if e.Owner != -1 || e.DSharers != 0 {
-		t.Fatalf("owner=%d dSharers=%#x after dropping the owner, want -1/0", e.Owner, e.DSharers)
+	if e.Owner != -1 || e.DSharers.Any() {
+		t.Fatalf("owner=%d dSharers=%s after dropping the owner, want -1/0", e.Owner, e.DSharers)
 	}
 }
 
@@ -82,17 +82,17 @@ func TestDirDropSharerICacheOnlyTouchesISharers(t *testing.T) {
 		t.Fatal("I-fill never arrived")
 	}
 	e, _ := dirOf(s, addr)
-	if e.ISharers != 1 || e.DSharers != 1 {
-		t.Fatalf("iSharers=%#x dSharers=%#x after dual fill, want 1/1", e.ISharers, e.DSharers)
+	if !e.ISharers.Only(0) || !e.DSharers.Only(0) {
+		t.Fatalf("iSharers=%s dSharers=%s after dual fill, want 1/1", e.ISharers, e.DSharers)
 	}
 	// An I-side drop must leave the D bit, and vice versa.
 	s.dirDropSharer(addr, 0, true)
-	if e, _ := dirOf(s, addr); e.ISharers != 0 || e.DSharers != 1 {
-		t.Fatalf("iSharers=%#x dSharers=%#x after I-drop, want 0/1", e.ISharers, e.DSharers)
+	if e, _ := dirOf(s, addr); e.ISharers.Any() || !e.DSharers.Only(0) {
+		t.Fatalf("iSharers=%s dSharers=%s after I-drop, want 0/1", e.ISharers, e.DSharers)
 	}
 	s.dirDropSharer(addr, 0, false)
-	if e, _ := dirOf(s, addr); e.DSharers != 0 {
-		t.Fatalf("dSharers=%#x after D-drop, want 0", e.DSharers)
+	if e, _ := dirOf(s, addr); e.DSharers.Any() {
+		t.Fatalf("dSharers=%s after D-drop, want 0", e.DSharers)
 	}
 }
 
@@ -103,8 +103,8 @@ func TestDirDropSharerNonSharerIsNoOp(t *testing.T) {
 	// Dropping a core that never held the line must not disturb the bit of
 	// the one that does.
 	s.dirDropSharer(addr, 1, false)
-	if e, _ := dirOf(s, addr); e.DSharers != 1 {
-		t.Fatalf("dSharers=%#x after dropping a non-sharer, want bit 0 intact", e.DSharers)
+	if e, _ := dirOf(s, addr); !e.DSharers.Only(0) {
+		t.Fatalf("dSharers=%s after dropping a non-sharer, want bit 0 intact", e.DSharers)
 	}
 }
 
@@ -137,8 +137,8 @@ func TestIssueCacheInvalIssuerIsOnlySharer(t *testing.T) {
 	if tok.Err {
 		t.Fatal("unexpected error ack")
 	}
-	if e, _ := dirOf(s, addr); e.DSharers != 0 {
-		t.Fatalf("dSharers=%#x after the only sharer's DCBI, want 0", e.DSharers)
+	if e, _ := dirOf(s, addr); e.DSharers.Any() {
+		t.Fatalf("dSharers=%s after the only sharer's DCBI, want 0", e.DSharers)
 	}
 }
 
@@ -159,8 +159,8 @@ func TestIssueCacheInvalDirtyLocalCopy(t *testing.T) {
 	if tok.Err {
 		t.Fatal("unexpected error ack for a dirty local copy")
 	}
-	if e, _ := dirOf(s, addr); e.DSharers != 0 || e.Owner != -1 {
-		t.Fatalf("directory owner=%d dSharers=%#x after dirty DCBI, want -1/0", e.Owner, e.DSharers)
+	if e, _ := dirOf(s, addr); e.DSharers.Any() || e.Owner != -1 {
+		t.Fatalf("directory owner=%d dSharers=%s after dirty DCBI, want -1/0", e.Owner, e.DSharers)
 	}
 	// The line is refetchable and coherent afterwards.
 	fillShared(t, s, 1, addr)

@@ -3,6 +3,8 @@ package mem
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/interconnect"
 )
 
 // ErrConfig marks an invalid memory-system configuration. Constructors
@@ -38,8 +40,8 @@ func checkGeometry(name string, totalBytes, ways, lineBytes int) error {
 // configuration; harness code paths go through core.NewMachineChecked, which
 // calls this before construction.
 func (c *Config) Validate() error {
-	if c.Cores <= 0 || c.Cores > 64 {
-		return fmt.Errorf("mem: core count %d outside 1..64 (directory sharer sets are 64-bit): %w", c.Cores, ErrConfig)
+	if c.Cores <= 0 || c.Cores > MaxCores {
+		return fmt.Errorf("mem: core count %d outside 1..%d: %w", c.Cores, MaxCores, ErrConfig)
 	}
 	if c.L2Banks <= 0 {
 		return fmt.Errorf("mem: L2 bank count %d is not positive: %w", c.L2Banks, ErrConfig)
@@ -61,6 +63,36 @@ func (c *Config) Validate() error {
 	}
 	if err := checkGeometry("L3", c.L3Size, c.L3Assoc, c.LineBytes); err != nil {
 		return err
+	}
+	return c.validateFabric()
+}
+
+// validateFabric rejects fabric-geometry mismatches — an unknown topology,
+// zero-bandwidth ports, non-positive mesh link latency, or an explicit mesh
+// grid too small for the core/bank count — before they can silently
+// mis-route traffic.
+func (c *Config) validateFabric() error {
+	switch c.Fabric {
+	case interconnect.KindBus, interconnect.KindCrossbar, interconnect.KindMesh:
+	default:
+		return fmt.Errorf("mem: unknown fabric kind %d: %w", int(c.Fabric), ErrConfig)
+	}
+	if c.Fabric == interconnect.KindMesh {
+		if c.LinkLat <= 0 {
+			return fmt.Errorf("mem: mesh link latency %d cycles is not positive: %w", c.LinkLat, ErrConfig)
+		}
+		if c.MeshLinkBytesPerCycle <= 0 {
+			return fmt.Errorf("mem: mesh link width %dB/cycle is not positive: %w", c.MeshLinkBytesPerCycle, ErrConfig)
+		}
+		if (c.MeshW != 0) != (c.MeshH != 0) {
+			return fmt.Errorf("mem: mesh dimensions %dx%d: set both or neither: %w", c.MeshW, c.MeshH, ErrConfig)
+		}
+		if c.MeshW < 0 || c.MeshH < 0 {
+			return fmt.Errorf("mem: mesh dimensions %dx%d are negative: %w", c.MeshW, c.MeshH, ErrConfig)
+		}
+	}
+	if err := c.fabricGeometry().Validate(c.Fabric); err != nil {
+		return fmt.Errorf("mem: %v: %w", err, ErrConfig)
 	}
 	return nil
 }

@@ -102,7 +102,7 @@ func (l *L1) StartMiss(now uint64, addr uint64, kind TxnKind, prefetch bool) boo
 	e := &mshrEntry{id: l.nextID, kind: kind, prefetch: prefetch, born: now}
 	l.mshr[la] = e
 	l.Misses++
-	l.sys.Bus.PushRequest(Txn{
+	l.sys.pushRequest(Txn{
 		Kind:     kind,
 		Addr:     la,
 		Core:     l.core,
@@ -175,7 +175,7 @@ func (l *L1) evictVictim(now uint64, v Victim) {
 	if v.Dirty {
 		// Data is already functionally in Memory; the writeback
 		// transaction models the bus/directory cost.
-		l.sys.Bus.PushRequest(Txn{Kind: WB, Addr: v.Addr, Core: l.core}, now+1)
+		l.sys.pushRequest(Txn{Kind: WB, Addr: v.Addr, Core: l.core}, now+1)
 	} else {
 		// Clean lines are evicted silently; the directory tolerates
 		// the staleness.

@@ -504,12 +504,14 @@ func TestGetSDowngradesOwner(t *testing.T) {
 
 func TestBusQuietAndStats(t *testing.T) {
 	s := NewSystem(DefaultConfig(2))
-	if !s.Bus.Quiet() {
+	if !s.Fabric().Quiet() {
 		t.Fatal("fresh bus not quiet")
 	}
 	s.L1D[0].StartMiss(0, 0x5000, GetS, false)
 	runSystem(s, 2000, func() bool { return s.Quiet() })
-	if s.Bus.ReqGrants == 0 || s.Bus.RespGrants == 0 {
-		t.Fatal("bus grants not counted")
+	stats := map[string]uint64{}
+	s.FabricStats(func(name string, v uint64) { stats[name] = v })
+	if stats["bus.request_grants"] == 0 || stats["bus.response_grants"] == 0 {
+		t.Fatalf("bus grants not counted: %v", stats)
 	}
 }

@@ -1,5 +1,17 @@
 package mem
 
+import (
+	"fmt"
+
+	"repro/internal/interconnect"
+)
+
+// timedTxn is one queued transaction with its earliest-processing cycle.
+type timedTxn struct {
+	txn   Txn
+	ready uint64
+}
+
 // InvalToken tracks one outstanding ICBI/DCBI broadcast. The issuing core's
 // store buffer holds the cache-op until Done. Born is the cycle the
 // broadcast was issued; the liveness watchdog uses it to spot tokens whose
@@ -15,7 +27,7 @@ type InvalToken struct {
 type System struct {
 	Cfg   *Config
 	Mem   *Memory
-	Bus   *Bus
+	fab   interconnect.Fabric[Txn]
 	L1I   []*L1
 	L1D   []*L1
 	Banks []*Bank
@@ -53,7 +65,17 @@ func NewSystem(cfg Config) *System {
 		nextInvalID: make([]uint64, cfg.Cores),
 		wake:        make([]func(), cfg.Cores),
 	}
-	s.Bus = NewBus(s.Cfg, s.deliverReq, s.deliverResp)
+	fab, err := interconnect.New(cfg.Fabric, cfg.fabricGeometry(), interconnect.Delivery[Txn]{
+		Req:  s.deliverReq,
+		Resp: s.deliverResp,
+	})
+	if err != nil {
+		// Validate catches fabric-geometry mismatches before construction;
+		// reaching this is a caller bug, reported like the other internal
+		// config panics so harness workers can recover and attribute it.
+		panic(fmt.Errorf("mem: %v: %w", err, ErrConfig))
+	}
+	s.fab = fab
 	for c := 0; c < cfg.Cores; c++ {
 		s.L1I = append(s.L1I, newL1(s, c, true))
 		s.L1D = append(s.L1D, newL1(s, c, false))
@@ -73,8 +95,95 @@ func (s *System) deliverReq(bank int, t Txn, at uint64) {
 	s.Banks[bank].push(t, at)
 }
 
-func (s *System) deliverResp(t Txn, at uint64) {
+func (s *System) deliverResp(core int, t Txn, at uint64) {
+	_ = core // == t.Core; the inbox dispatches on the transaction itself
 	s.respInbox = append(s.respInbox, timedTxn{t, at})
+}
+
+// Fabric exposes the interconnect (stats, tests, topology probes).
+func (s *System) Fabric() interconnect.Fabric[Txn] { return s.fab }
+
+// FabricStats emits the fabric's counters into set (core.StatsReport).
+func (s *System) FabricStats(set func(name string, v uint64)) { s.fab.StatsInto(set) }
+
+// FabricName returns the fabric kind's short name ("bus", "xbar", "mesh").
+func (s *System) FabricName() string { return s.fab.Kind().String() }
+
+// ReqLinkName names the fabric link or port a request transaction crosses,
+// for fault attribution.
+func (s *System) ReqLinkName(t Txn) string {
+	return s.fab.ReqLinkName(t.Core, s.Cfg.BankOf(t.Addr))
+}
+
+// RespLinkName names the fabric link or port a response from bank crosses.
+func (s *System) RespLinkName(bank int, t Txn) string {
+	return s.fab.RespLinkName(bank, t.Core)
+}
+
+// lineOccupancy returns the cycles one cache line occupies a fabric
+// channel or link. The bus and the crossbar run at the paper's data-path
+// width; the mesh's point-to-point links use their own (wider by default)
+// width, MeshLinkBytesPerCycle.
+func (s *System) lineOccupancy() uint64 {
+	w := s.Cfg.DataBusBytesPerCycle
+	if s.Cfg.Fabric == interconnect.KindMesh {
+		w = s.Cfg.MeshLinkBytesPerCycle
+	}
+	if occ := s.Cfg.LineBytes / w; occ > 1 {
+		return uint64(occ)
+	}
+	return 1
+}
+
+// reqOccupancy returns the number of cycles a request occupies a fabric
+// channel: writebacks and dirty invalidations carry their line on the
+// request path.
+func (s *System) reqOccupancy(t Txn) uint64 {
+	if t.Kind == WB || (t.Kind == InvalD && t.Dirty) {
+		return s.lineOccupancy()
+	}
+	return 1
+}
+
+// respOccupancy returns the number of cycles a response occupies a fabric
+// channel: line fills carry data, acks do not.
+func (s *System) respOccupancy(t Txn) uint64 {
+	if t.Kind == Fill && !t.Err {
+		return s.lineOccupancy()
+	}
+	return 1
+}
+
+// pushRequest injects a request transaction into the fabric, available for
+// arbitration at cycle ready. An attached chaos hook may delay the entry
+// (its ready time moves out, so NextEvent stays exact) or reorder it ahead
+// of the youngest entry the same core already has queued.
+func (s *System) pushRequest(t Txn, ready uint64) {
+	reorder := false
+	if s.chaos != nil {
+		var delay uint64
+		delay, reorder = s.chaos.OnRequest(t, ready)
+		ready += delay
+	}
+	s.fab.PushRequest(interconnect.Message[Txn]{
+		Src:     t.Core,
+		Dst:     s.Cfg.BankOf(t.Addr),
+		Occ:     s.reqOccupancy(t),
+		Payload: t,
+	}, ready, reorder)
+}
+
+// pushResponse injects a response from bank into the fabric.
+func (s *System) pushResponse(bank int, t Txn, ready uint64) {
+	if s.chaos != nil {
+		ready += s.chaos.OnResponse(bank, t, ready)
+	}
+	s.fab.PushResponse(interconnect.Message[Txn]{
+		Src:     bank,
+		Dst:     t.Core,
+		Occ:     s.respOccupancy(t),
+		Payload: t,
+	}, ready)
 }
 
 // IssueCacheInval performs the core-local half of an ICBI/DCBI (drop the
@@ -94,7 +203,7 @@ func (s *System) IssueCacheInval(now uint64, core int, addr uint64, icache bool)
 	id := s.nextInvalID[core]
 	tok := &InvalToken{Addr: la, Born: now}
 	s.invalTokens[core][id] = tok
-	s.Bus.PushRequest(Txn{Kind: kind, Addr: la, Core: core, ID: id, Dirty: dirty}, now+1)
+	s.pushRequest(Txn{Kind: kind, Addr: la, Core: core, ID: id, Dirty: dirty}, now+1)
 	return tok
 }
 
@@ -115,12 +224,12 @@ func (s *System) Tick(now uint64) {
 		s.respInbox = append(s.respInbox[:i], s.respInbox[i+1:]...)
 		s.dispatchResp(now, t)
 	}
-	// 2. Banks, then L3/DRAM, then the bus grants new transfers.
+	// 2. Banks, then L3/DRAM, then the fabric grants new transfers.
 	for _, bk := range s.Banks {
 		bk.Tick(now)
 	}
 	s.l3.Tick(now)
-	s.Bus.Tick(now)
+	s.fab.Tick(now)
 }
 
 // SetWakeHook registers fn to run whenever a response is delivered to core.
@@ -170,8 +279,9 @@ type hookNextEventer interface {
 }
 
 // NextEvent returns the earliest cycle at or after now at which Tick would
-// do anything beyond per-cycle busy accounting: deliver a response, grant a
-// bus transfer, process a bank or L3 queue entry, or release a parked fill.
+// do anything beyond per-cycle busy accounting: deliver a response, grant or
+// launch a fabric transfer, process a bank or L3 queue entry, or release a
+// parked fill.
 // ok=false means the hierarchy is completely idle and, absent new requests,
 // no event will ever occur.
 func (s *System) NextEvent(now uint64) (event uint64, ok bool) {
@@ -186,7 +296,7 @@ func (s *System) NextEvent(now uint64) (event uint64, ok bool) {
 	for i := range s.respInbox {
 		consider(s.respInbox[i].ready)
 	}
-	if t, o := s.Bus.nextEvent(); o {
+	if t, o := s.fab.NextEvent(now); o {
 		consider(t)
 	}
 	for _, bk := range s.Banks {
@@ -209,13 +319,13 @@ func (s *System) NextEvent(now uint64) (event uint64, ok bool) {
 // have performed between now and the next event. The caller must have
 // verified (via NextEvent) that no event falls inside the skipped window.
 func (s *System) SkipIdle(now, n uint64) {
-	s.Bus.skipIdle(now, n)
+	s.fab.SkipIdle(now, n)
 }
 
 // Quiet reports whether nothing is in flight anywhere in the hierarchy
 // (used by tests and by drain checks).
 func (s *System) Quiet() bool {
-	if len(s.respInbox) > 0 || !s.Bus.Quiet() || !s.l3.Quiet() {
+	if len(s.respInbox) > 0 || !s.fab.Quiet() || !s.l3.Quiet() {
 		return false
 	}
 	for _, bk := range s.Banks {

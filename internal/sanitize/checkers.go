@@ -63,38 +63,37 @@ func (s *Sanitizer) checkLine(now uint64, la uint64) {
 		s.record(Violation{
 			Cycle: now, Checker: "msi", Invariant: "msi.double-modified",
 			Addr: la, Core: owners[0], Bank: bank, Slot: -1, Thread: -1,
-			Detail: fmt.Sprintf("line Modified in L1Ds of cores %v; dir owner=%d dSharers=%#x", owners, dir.Owner, dir.DSharers),
+			Detail: fmt.Sprintf("line Modified in L1Ds of cores %v; dir owner=%d dSharers=%s", owners, dir.Owner, dir.DSharers),
 		})
 	}
 	if len(owners) == 1 && len(valid) > 1 {
 		s.record(Violation{
 			Cycle: now, Checker: "msi", Invariant: "msi.modified-shared",
 			Addr: la, Core: owners[0], Bank: bank, Slot: -1, Thread: -1,
-			Detail: fmt.Sprintf("core %d holds line Modified while cores %v hold valid copies; dir owner=%d dSharers=%#x", owners[0], valid, dir.Owner, dir.DSharers),
+			Detail: fmt.Sprintf("core %d holds line Modified while cores %v hold valid copies; dir owner=%d dSharers=%s", owners[0], valid, dir.Owner, dir.DSharers),
 		})
 	}
 	if len(owners) == 1 && dir.Owner != owners[0] {
 		s.record(Violation{
 			Cycle: now, Checker: "msi", Invariant: "msi.phantom-modified",
 			Addr: la, Core: owners[0], Bank: bank, Slot: -1, Thread: -1,
-			Detail: fmt.Sprintf("core %d holds line Modified but dir owner=%d dSharers=%#x (soft error or lost invalidation)", owners[0], dir.Owner, dir.DSharers),
+			Detail: fmt.Sprintf("core %d holds line Modified but dir owner=%d dSharers=%s (soft error or lost invalidation)", owners[0], dir.Owner, dir.DSharers),
 		})
 	}
 
 	for c := 0; c < s.sys.Cfg.Cores; c++ {
-		cbit := uint64(1) << uint(c)
-		if s.sys.L1D[c].Peek(la) != mem.Invalid && dir.DSharers&cbit == 0 {
+		if s.sys.L1D[c].Peek(la) != mem.Invalid && !dir.DSharers.Has(c) {
 			s.record(Violation{
 				Cycle: now, Checker: "inclusion", Invariant: "inclusion.uncovered-dline",
 				Addr: la, Core: c, Bank: bank, Slot: -1, Thread: -1,
-				Detail: fmt.Sprintf("valid L1D line not covered by directory (owner=%d dSharers=%#x iSharers=%#x l2=%s)", dir.Owner, dir.DSharers, dir.ISharers, s.sys.Banks[bank].L2Peek(la)),
+				Detail: fmt.Sprintf("valid L1D line not covered by directory (owner=%d dSharers=%s iSharers=%s l2=%s)", dir.Owner, dir.DSharers, dir.ISharers, s.sys.Banks[bank].L2Peek(la)),
 			})
 		}
-		if s.sys.L1I[c].Peek(la) != mem.Invalid && dir.ISharers&cbit == 0 {
+		if s.sys.L1I[c].Peek(la) != mem.Invalid && !dir.ISharers.Has(c) {
 			s.record(Violation{
 				Cycle: now, Checker: "inclusion", Invariant: "inclusion.uncovered-iline",
 				Addr: la, Core: c, Bank: bank, Slot: -1, Thread: -1,
-				Detail: fmt.Sprintf("valid L1I line not covered by directory (dSharers=%#x iSharers=%#x l2=%s)", dir.DSharers, dir.ISharers, s.sys.Banks[bank].L2Peek(la)),
+				Detail: fmt.Sprintf("valid L1I line not covered by directory (dSharers=%s iSharers=%s l2=%s)", dir.DSharers, dir.ISharers, s.sys.Banks[bank].L2Peek(la)),
 			})
 		}
 	}

@@ -28,9 +28,13 @@ go run ./cmd/srvet -all -threads 8
 go run ./cmd/srvet -all -threads 3
 go run ./cmd/srvet -corpus >/dev/null
 
-echo "== go test -race (parallel harness, verifier) =="
+echo "== go test -race (parallel harness, verifier, fabrics) =="
 go test -race -run 'TestForEach|TestParallelFig4Deterministic' ./internal/harness
 go test -race ./internal/vet ./internal/asm
+go test -race ./internal/interconnect ./internal/mem
+
+echo "== go test (fabric differential: bus golden + crossbar/mesh suites) =="
+go test -run 'TestBusFabricGolden|TestKernelsOnOtherFabrics|TestFastPathOnOtherFabrics' -count=1 .
 
 echo "== go test (chaos differential) =="
 go test -run Chaos -count=1 .
