@@ -17,12 +17,15 @@ check:
 	sh scripts/check.sh
 
 # chaos runs the fault-injection differential matrix plus short fuzz
-# smokes of the assembler (the surface the chaos kernels are built through)
-# and the static verifier (which must never panic on arbitrary programs).
+# smokes of the assembler (the surface the chaos kernels are built through),
+# the static verifier (which must never panic on arbitrary programs), and
+# the translation-cache differential (arbitrary programs must retire
+# identically with the frontend cache on and off).
 chaos:
 	$(GO) test -run Chaos -count=1 -v .
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s -run '^$$' ./internal/asm
 	$(GO) test -fuzz=FuzzVet -fuzztime=10s -run '^$$' ./internal/vet
+	$(GO) test -fuzz=FuzzTranslateDiff -fuzztime=10s -run '^$$' ./internal/cpu
 
 # scale is a ~30s smoke of the fabric-scaling sweep (cores x interconnect
 # x barrier mechanism; ~38s of CPU, parallel across cells); the full

@@ -253,8 +253,21 @@ func BenchmarkFabricThroughput(b *testing.B) {
 // instructions per host second. This is the simulator-performance baseline
 // for future optimisation work.
 func BenchmarkSimThroughput(b *testing.B) {
+	benchSimThroughput(b, false)
+}
+
+// BenchmarkSimThroughputNoTranslate is the same run with the basic-block
+// translation cache disabled; the gap between the two is the translator's
+// contribution to raw simulator speed (scripts/bench_translate.sh records
+// both into BENCH_translate.json).
+func BenchmarkSimThroughputNoTranslate(b *testing.B) {
+	benchSimThroughput(b, true)
+}
+
+func benchSimThroughput(b *testing.B, noTranslate bool) {
 	const nCores = 16
 	cfg := core.DefaultConfig(nCores)
+	cfg.NoTranslate = noTranslate
 	alloc := barrier.NewAllocator(cfg.Mem)
 	gen := barrier.MustNew(barrier.KindFilterD, nCores, alloc)
 	prog, err := kernels.NewLivermore2(256, 2).BuildPar(gen, nCores)

@@ -51,6 +51,7 @@ func main() {
 	noverify := flag.Bool("noverify", false, "skip cross-checking kernel results against the Go references")
 	workers := flag.Int("workers", 0, "experiment-cell goroutines (0 = one per CPU, 1 = sequential)")
 	nofastpath := flag.Bool("nofastpath", false, "disable the quiescent-core simulator fast path (differential debugging)")
+	notranslate := flag.Bool("notranslate", false, "disable the basic-block translation cache (differential debugging)")
 	sanitize := flag.Bool("sanitize", false, "run the online invariant sanitizer on every machine (behaviour-invariant; violations abort the cell with an attributed report)")
 	journal := flag.String("journal", "", "append per-cell JSONL records for the journaling sweeps (fig4, chaos) to this file")
 	resume := flag.Bool("resume", false, "skip cells already recorded in -journal (crash recovery for interrupted sweeps)")
@@ -66,6 +67,7 @@ func main() {
 	opt.Verify = !*noverify
 	opt.Workers = *workers
 	opt.NoFastPath = *nofastpath
+	opt.NoTranslate = *notranslate
 	opt.Sanitize = *sanitize
 	opt.JournalPath = *journal
 	opt.Resume = *resume

@@ -71,6 +71,15 @@ type Config struct {
 	// debugging.
 	NoFastPath bool
 
+	// NoTranslate disables the basic-block translation cache, restoring
+	// per-fetch decoding. Like the fast path, translation is behaviour-
+	// invariant (the cache is kept coherent with memory by a functional
+	// write hook and by ICBI/IFLUSH; see internal/cpu/translate.go), so
+	// the only observable difference is the absence of the translate.*
+	// counters from StatsReport. The knob exists for differential testing
+	// (TestTranslateDifferential, FuzzTranslateDiff, -notranslate).
+	NoTranslate bool
+
 	// Sanitize attaches the online invariant sanitizer (nil = off). The
 	// checkers are read-only, so a clean run is bit-identical with the
 	// sanitizer on or off; on a violation Run/RunUntil stop with the
@@ -112,6 +121,10 @@ type Machine struct {
 	// for the quiescent fast path (single-threaded, fast path enabled);
 	// nil entries always take the plain Tick path.
 	fastCores []*cpu.Core
+
+	// trans is the machine-shared basic-block translation cache (nil
+	// under Cfg.NoTranslate).
+	trans *cpu.TransCache
 
 	now      uint64
 	faultErr error
@@ -193,6 +206,15 @@ func NewMachine(cfg Config) *Machine {
 		for _, c := range mt.Contexts {
 			m.Cores = append(m.Cores, c)
 			m.physOf = append(m.physOf, p)
+		}
+	}
+	if !cfg.NoTranslate {
+		m.trans = cpu.NewTransCache(m.Sys.Mem, cfg.Mem.LineBytes)
+		m.Sys.Mem.SetWriteHook(m.trans.OnMemWrite)
+		// Every logical core (including multithreaded contexts) shares
+		// the one cache: they all fetch from the same physical memory.
+		for _, c := range m.Cores {
+			c.AttachTranslator(m.trans)
 		}
 	}
 	if cfg.Sanitize != nil {

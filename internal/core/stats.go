@@ -85,6 +85,15 @@ func (m *Machine) StatsReport() *sim.Stats {
 
 	set("hwnet.arrivals", m.Net.Arrivals)
 	set("hwnet.releases", m.Net.Releases)
+
+	// Translation-cache effectiveness. Only emitted when the translator
+	// is on, so translator-off reports are byte-identical to pre-cache
+	// ones; differentials strip the translate.* keys before comparing.
+	if m.trans != nil {
+		set("translate.hits", m.trans.Hits)
+		set("translate.misses", m.trans.Misses)
+		set("translate.invalidations", m.trans.Invalidations)
+	}
 	return s
 }
 

@@ -21,7 +21,7 @@ type BarrierNet interface {
 // fetchedInst is one instruction waiting in the fetch buffer.
 type fetchedInst struct {
 	pc        uint64
-	in        isa.Inst
+	d         isa.Decoded
 	predTaken bool
 	predNext  uint64
 }
@@ -45,6 +45,10 @@ type entry struct {
 
 	src  [2]source
 	dest int // regfile index (0..31 int, 32..63 fp), -1 none
+
+	// waiters counts younger entries holding an unresolved dep on this
+	// one, letting broadcast stop as soon as all are woken.
+	waiters int
 
 	issued bool
 	done   bool
@@ -81,14 +85,6 @@ func (e *entry) isCacheOp() bool {
 }
 
 func (e *entry) serializing() bool { return e.isSer }
-
-func classSerializing(c isa.Class) bool {
-	switch c {
-	case isa.ClassFence, isa.ClassIFlush, isa.ClassHWBar, isa.ClassHalt:
-		return true
-	}
-	return false
-}
 
 // sbEntry is one post-commit store-buffer slot.
 type sbEntry struct {
@@ -128,6 +124,13 @@ type Core struct {
 	fetchBuf       []fetchedInst
 	pred           *bimodal
 
+	// Translation cache (nil = per-fetch decoding). curBlock is this
+	// core's cached pointer to the block holding fetchPC; it is dropped
+	// at IFLUSH and on any pipeline flush, and bypassed whenever the
+	// block has been invalidated.
+	trans    *TransCache
+	curBlock *transBlock
+
 	// Window.
 	window     []*entry
 	nextSeq    uint64
@@ -154,6 +157,12 @@ type Core struct {
 	inFlight    int // issued but not yet done
 	missWaiting int // loads waiting on fills
 	entryPool   []*entry
+
+	// Reusable backing arrays for the three front-popped queues (see
+	// pushQueue); steady-state push/pop traffic allocates nothing.
+	fetchBack []fetchedInst
+	winBack   []*entry
+	sbBack    []sbEntry
 
 	// Quiescence state (see quiesce.go).
 	quiesced    bool
@@ -229,6 +238,24 @@ func (c *Core) flushPipeline() {
 	c.inFlight = 0
 	c.missWaiting = 0
 	c.quiesced = false
+	c.curBlock = nil
+}
+
+// pushQueue appends e to a queue whose consumers pop from the front with
+// q = q[1:]. When the append would outgrow q's current backing array, the
+// live elements are first compacted to the front of *back (allocated once
+// at capacity bound), so the queue never grows a fresh array in steady
+// state. bound must be at least twice the queue's maximum live length so a
+// compaction always leaves room to append.
+func pushQueue[T any](q []T, back *[]T, bound int, e T) []T {
+	if len(q) == cap(q) {
+		if cap(*back) < bound {
+			*back = make([]T, bound)
+		}
+		n := copy((*back)[:bound], q)
+		q = (*back)[:n]
+	}
+	return append(q, e)
 }
 
 // allocEntry takes an entry from the pool (or allocates one) and resets it.
@@ -256,7 +283,9 @@ func (c *Core) freeEntry(e *entry) {
 func (c *Core) onLineLost(lineAddr uint64) {
 	if c.llValid && c.lineOf(c.llAddr) == lineAddr {
 		c.llValid = false
-		tracef("core%d lock lost on %#x\n", c.ID, lineAddr)
+		if Trace {
+			tracef("core%d lock lost on %#x\n", c.ID, lineAddr)
+		}
 	}
 }
 
@@ -349,33 +378,53 @@ func (c *Core) Tick(now uint64) {
 // --- complete / wakeup -----------------------------------------------
 
 func (c *Core) completeStage(now uint64) {
-	if c.inFlight == 0 {
+	// Retire finished executions, waking their consumers; resolve
+	// branches. The scan stops once every in-flight entry has been seen:
+	// the remaining tail is unissued or done, for which the body is a
+	// no-op anyway.
+	remaining := c.inFlight
+	if remaining == 0 {
 		return
 	}
-	// Retire finished executions, waking their consumers; resolve
-	// branches.
 	for _, e := range c.window {
-		if e.issued && !e.done && e.doneAt <= now {
+		// missWait loads are issued-but-not-done without being counted
+		// in inFlight (their doneAt is unreachable until the fill).
+		if !e.issued || e.done || e.missWait {
+			continue
+		}
+		remaining--
+		if e.doneAt <= now {
 			e.done = true
 			c.inFlight--
 			c.broadcast(e)
 			if e.mispredicted {
 				c.Mispredicts++
 				c.squashAfter(now, e)
-				break // window changed
+				return // window changed
 			}
+		}
+		if remaining == 0 {
+			return
 		}
 	}
 }
 
 // broadcast delivers a completed entry's result to waiting consumers.
+// Consumers are strictly younger than their producer (program order), so
+// the scan runs from the window tail and stops at p's position — or
+// earlier, once every registered waiter has been woken.
 func (c *Core) broadcast(p *entry) {
-	for _, e := range c.window {
-		for i := range e.src {
-			if e.src[i].dep == p {
-				e.src[i].val = p.result
-				e.src[i].ready = true
-				e.src[i].dep = nil
+	for i := len(c.window) - 1; i >= 0 && p.waiters > 0; i-- {
+		e := c.window[i]
+		if e.seq <= p.seq {
+			break
+		}
+		for j := range e.src {
+			if e.src[j].dep == p {
+				e.src[j].val = p.result
+				e.src[j].ready = true
+				e.src[j].dep = nil
+				p.waiters--
 			}
 		}
 	}
@@ -417,6 +466,7 @@ func (c *Core) rebuildRename() {
 	c.inFlight = 0
 	c.missWaiting = 0
 	for _, x := range c.window {
+		x.waiters = 0
 		if x.dest >= 0 {
 			c.producer[x.dest] = x
 		}
@@ -431,6 +481,15 @@ func (c *Core) rebuildRename() {
 		}
 		if x.missWait {
 			c.missWaiting++
+		}
+	}
+	// Recount waiters: squashed consumers took their registrations with
+	// them, and deps always point at older (surviving) entries.
+	for _, x := range c.window {
+		for i := range x.src {
+			if d := x.src[i].dep; d != nil {
+				d.waiters++
+			}
 		}
 	}
 }
@@ -459,12 +518,12 @@ func (c *Core) commitStage(now uint64) {
 			if len(c.sb) >= c.Cfg.SBSize {
 				return // store buffer full; retry next cycle
 			}
-			c.sb = append(c.sb, sbEntry{addr: e.addr, size: e.info.MemBytes, val: e.storeVal})
+			c.sb = pushQueue(c.sb, &c.sbBack, 2*c.Cfg.SBSize, sbEntry{addr: e.addr, size: e.info.MemBytes, val: e.storeVal})
 		case e.isCacheOp():
 			if len(c.sb) >= c.Cfg.SBSize {
 				return
 			}
-			c.sb = append(c.sb, sbEntry{cacheOp: true, icache: e.in.Op == isa.ICBI, addr: e.addr})
+			c.sb = pushQueue(c.sb, &c.sbBack, 2*c.Cfg.SBSize, sbEntry{cacheOp: true, icache: e.in.Op == isa.ICBI, addr: e.addr})
 		}
 		if e.dest >= 0 {
 			c.regs[e.dest] = e.result
@@ -472,7 +531,9 @@ func (c *Core) commitStage(now uint64) {
 				c.producer[e.dest] = nil
 			}
 		}
-		tracef("[%d] core%d commit pc=%#x %v dest=%d res=%#x\n", now, c.ID, e.pc, e.in, e.dest, e.result)
+		if Trace {
+			tracef("[%d] core%d commit pc=%#x %v dest=%d res=%#x\n", now, c.ID, e.pc, e.in, e.dest, e.result)
+		}
 		if e.isBranch {
 			if e.in.Op != isa.JAL && e.in.Op != isa.JALR {
 				c.pred.updateDir(e.pc, e.actualTaken)
@@ -494,6 +555,7 @@ func (c *Core) commitStage(now uint64) {
 			c.fetchStopped = false
 			c.fetchPC = e.pc + isa.WordBytes
 			c.fetchHoldUntil = now + uint64(c.Cfg.RedirectPenalty)
+			c.curBlock = nil // IFLUSH drops the translated-block pointer
 		case isa.ClassOther:
 			if e.in.Op == isa.OUT {
 				c.Console = append(c.Console, e.src[0].val)
@@ -567,6 +629,9 @@ func (c *Core) drainStoreBuffer(now uint64) {
 	if h.cacheOp {
 		if h.token == nil {
 			h.token = c.sys.IssueCacheInval(now, c.physID, h.addr, h.icache)
+			if h.icache && c.trans != nil {
+				c.trans.InvalidateLine(h.addr)
+			}
 			return
 		}
 		if h.token.Done {
@@ -630,11 +695,15 @@ func (c *Core) performLoad(now uint64, e *entry) {
 	e.doneAt = now + 1
 	c.inFlight++
 	c.LoadsExecuted++
-	tracef("[%d] core%d load pc=%#x addr=%#x -> %#x\n", now, c.ID, e.pc, e.addr, e.result)
+	if Trace {
+		tracef("[%d] core%d load pc=%#x addr=%#x -> %#x\n", now, c.ID, e.pc, e.addr, e.result)
+	}
 	if e.in.Op == isa.LL {
 		c.llAddr = e.addr
 		c.llValid = true
-		tracef("[%d] core%d LL pc=%#x addr=%#x -> %d\n", now, c.ID, e.pc, e.addr, e.result)
+		if Trace {
+			tracef("[%d] core%d LL pc=%#x addr=%#x -> %d\n", now, c.ID, e.pc, e.addr, e.result)
+		}
 	}
 }
 
@@ -797,14 +866,14 @@ func (c *Core) tryIssueLoad(now uint64, e *entry) bool {
 		c.broadcast(e)
 		return true
 	}
-	fwd, ok := c.loadOrdering(e, addr)
+	fwd, hasFwd, ok := c.loadOrdering(e, addr)
 	if !ok {
 		return false
 	}
 	e.addr = addr
 	e.addrReady = true
 	e.issued = true
-	if e.in.Op == isa.LL && fwd != nil {
+	if e.in.Op == isa.LL && hasFwd {
 		// LL ignores forwarding: it needs the line in the cache for
 		// the reservation to mean anything.
 		e.missWait = true
@@ -815,8 +884,8 @@ func (c *Core) tryIssueLoad(now uint64, e *entry) bool {
 		}
 		return true
 	}
-	if fwd != nil {
-		e.result = signExtend(fwd.val, e.info.MemBytes)
+	if hasFwd {
+		e.result = signExtend(fwd, e.info.MemBytes)
 		e.doneAt = now + 1
 		c.inFlight++
 		c.LoadsExecuted++
@@ -833,14 +902,14 @@ func (c *Core) tryIssueLoad(now uint64, e *entry) bool {
 	return true
 }
 
-type fwdVal struct{ val uint64 }
-
 // loadOrdering checks this load against older stores and cache-ops in the
-// window and store buffer. It returns (forwardedValue, okToIssue).
-func (c *Core) loadOrdering(e *entry, addr uint64) (*fwdVal, bool) {
+// window and store buffer. It returns (forwardedValue, haveForward,
+// okToIssue).
+func (c *Core) loadOrdering(e *entry, addr uint64) (uint64, bool, bool) {
 	size := uint64(e.info.MemBytes)
 	line := c.lineOf(addr)
-	var fwd *fwdVal
+	var fwd uint64
+	hasFwd := false
 
 	// Committed store buffer first (oldest); later matches override.
 	for i := range c.sb {
@@ -851,16 +920,16 @@ func (c *Core) loadOrdering(e *entry, addr uint64) (*fwdVal, bool) {
 			// by then and the bus FIFO orders the broadcast before
 			// the load's fill request.
 			if h.token == nil && c.lineOf(h.addr) == line {
-				return nil, false
+				return 0, false, false
 			}
 			continue
 		}
-		f, conflict := coverCheck(h.addr, uint64(h.size), h.val, addr, size)
+		f, covered, conflict := coverCheck(h.addr, uint64(h.size), h.val, addr, size)
 		if conflict {
-			return nil, false
+			return 0, false, false
 		}
-		if f != nil {
-			fwd = f
+		if covered {
+			fwd, hasFwd = f, true
 		}
 	}
 	// Older window entries.
@@ -870,10 +939,10 @@ func (c *Core) loadOrdering(e *entry, addr uint64) (*fwdVal, bool) {
 		}
 		if o.isCacheOp() {
 			if !o.addrReady {
-				return nil, false
+				return 0, false, false
 			}
 			if c.lineOf(o.addr) == line {
-				return nil, false
+				return 0, false, false
 			}
 			continue
 		}
@@ -881,39 +950,40 @@ func (c *Core) loadOrdering(e *entry, addr uint64) (*fwdVal, bool) {
 			continue
 		}
 		if !o.addrReady {
-			return nil, false
+			return 0, false, false
 		}
 		if o.in.Op == isa.SC {
 			// SC writes memory directly when it performs; a younger
 			// load to the same line must wait for it and then read
 			// the memory image (no forwarding).
 			if !o.done && c.lineOf(o.addr) == line {
-				return nil, false
+				return 0, false, false
 			}
 			continue
 		}
-		f, conflict := coverCheck(o.addr, uint64(o.info.MemBytes), o.storeVal, addr, size)
+		f, covered, conflict := coverCheck(o.addr, uint64(o.info.MemBytes), o.storeVal, addr, size)
 		if conflict {
-			return nil, false
+			return 0, false, false
 		}
-		if f != nil {
-			fwd = f
+		if covered {
+			fwd, hasFwd = f, true
 		}
 	}
-	return fwd, true
+	return fwd, hasFwd, true
 }
 
 // coverCheck classifies an older store against a load: full coverage allows
-// forwarding, partial overlap blocks the load.
-func coverCheck(sAddr, sSize uint64, sVal uint64, lAddr, lSize uint64) (*fwdVal, bool) {
+// forwarding (value, covered=true), partial overlap blocks the load
+// (conflict=true), disjoint accesses report neither.
+func coverCheck(sAddr, sSize uint64, sVal uint64, lAddr, lSize uint64) (val uint64, covered, conflict bool) {
 	if sAddr+sSize <= lAddr || lAddr+lSize <= sAddr {
-		return nil, false // disjoint
+		return 0, false, false // disjoint
 	}
 	if sAddr <= lAddr && lAddr+lSize <= sAddr+sSize {
 		shift := (lAddr - sAddr) * 8
-		return &fwdVal{val: sVal >> shift}, false
+		return sVal >> shift, true, false
 	}
-	return nil, true // partial overlap
+	return 0, false, true // partial overlap
 }
 
 // tryIssueSC issues a store-conditional. SC is non-speculative: it waits
@@ -954,7 +1024,9 @@ func (c *Core) tryIssueSC(now uint64, e *entry) bool {
 	case mem.Modified:
 		c.sys.Mem.Write(addr, 8, e.src[1].val)
 		c.notifySiblingsOfWrite(c.lineOf(addr))
-		tracef("[%d] core%d SC OK pc=%#x addr=%#x val=%d\n", now, c.ID, e.pc, addr, e.src[1].val)
+		if Trace {
+			tracef("[%d] core%d SC OK pc=%#x addr=%#x val=%d\n", now, c.ID, e.pc, addr, e.src[1].val)
+		}
 		e.issued = true
 		c.inFlight++
 		e.addrReady = true
@@ -986,74 +1058,45 @@ func (c *Core) dispatchStage(now uint64) {
 		if len(c.fetchBuf) == 0 || len(c.window) >= c.Cfg.RUUSize || c.fenceBlock {
 			return
 		}
-		f := c.fetchBuf[0]
-		info := isa.Lookup(f.in.Op)
-		isMem := info.Class == isa.ClassLoad || info.Class == isa.ClassStore || info.Class == isa.ClassCacheOp
-		if isMem && c.memOps >= c.Cfg.LSQSize {
+		f := &c.fetchBuf[0]
+		if f.d.Mem && c.memOps >= c.Cfg.LSQSize {
 			return
 		}
-		c.fetchBuf = c.fetchBuf[1:]
 		c.nextSeq++
 		e := c.allocEntry()
 		e.seq = c.nextSeq
 		e.pc = f.pc
-		e.in = f.in
-		e.info = info
+		e.in = f.d.In
+		e.info = f.d.Info
 		e.predTaken = f.predTaken
 		e.predNext = f.predNext
-		e.dest = -1
-		e.isSer = classSerializing(info.Class)
-		// Capture sources.
-		c.captureSrc(e, 0, srcSpec(info, f.in, 0))
-		c.captureSrc(e, 1, srcSpec(info, f.in, 1))
-		// Destination.
-		switch {
-		case info.WritesRd && f.in.Rd != 0:
-			e.dest = int(f.in.Rd)
-		case info.WritesFd:
-			e.dest = 32 + int(f.in.Rd)
-		}
+		e.dest = int(f.d.Dest)
+		e.isSer = f.d.Ser
+		// Capture sources and destination from the pre-bound record.
+		c.captureSrc(e, 0, int(f.d.Src0))
+		c.captureSrc(e, 1, int(f.d.Src1))
 		if e.dest >= 0 {
 			c.producer[e.dest] = e
 		}
-		if isMem {
+		if f.d.Mem {
 			c.memOps++
 		}
-		if e.serializing() {
+		if f.d.Ser {
 			c.fenceBlock = true
 		}
-		if f.in.Op == isa.BAD {
+		if f.d.In.Op == isa.BAD {
 			e.issued = true
 			e.done = true
 			e.fault = fmt.Errorf("cpu: illegal instruction at %#x", f.pc)
 		}
-		if f.in.Op == isa.NOP {
+		if f.d.In.Op == isa.NOP {
 			e.issued = true
 			e.done = true
 		}
-		c.window = append(c.window, e)
+		c.fetchBuf = c.fetchBuf[1:]
+		c.window = pushQueue(c.window, &c.winBack, 2*c.Cfg.RUUSize, e)
 		_ = now
 	}
-}
-
-// srcSpec returns the regfile index read by source slot i, or -1.
-func srcSpec(info isa.Info, in isa.Inst, i int) int {
-	if i == 0 {
-		switch {
-		case info.ReadsR1:
-			return int(in.Rs1)
-		case info.ReadsF1:
-			return 32 + int(in.Rs1)
-		}
-		return -1
-	}
-	switch {
-	case info.ReadsR2:
-		return int(in.Rs2)
-	case info.ReadsF2:
-		return 32 + int(in.Rs2)
-	}
-	return -1
 }
 
 func (c *Core) captureSrc(e *entry, slot, reg int) {
@@ -1066,6 +1109,7 @@ func (c *Core) captureSrc(e *entry, slot, reg int) {
 			e.src[slot] = source{val: p.result, ready: true}
 		} else {
 			e.src[slot] = source{dep: p}
+			p.waiters++
 		}
 		return
 	}
@@ -1092,19 +1136,32 @@ func (c *Core) fetchStage(now uint64) {
 			}
 			lineOK = line
 		}
-		word := c.sys.Mem.ReadUint64(c.fetchPC)
-		in := isa.Decode(word)
-		f := fetchedInst{pc: c.fetchPC, in: in, predNext: c.fetchPC + isa.WordBytes}
-		switch isa.Lookup(in.Op).Class {
+		var d isa.Decoded
+		if c.trans != nil && c.fetchPC%isa.WordBytes == 0 {
+			base := c.fetchPC &^ c.trans.lineMask
+			b := c.curBlock
+			if b == nil || !b.valid || b.base != base {
+				b = c.trans.Block(base)
+				c.curBlock = b
+			}
+			d = b.recs[(c.fetchPC-base)/isa.WordBytes]
+		} else {
+			// No translator, or a misaligned PC (reachable through JALR):
+			// decode the current memory word directly. Misaligned fetches
+			// straddle record boundaries, so they always bypass the cache.
+			d = isa.Predecode(c.sys.Mem.ReadUint64(c.fetchPC))
+		}
+		f := fetchedInst{pc: c.fetchPC, d: d, predNext: c.fetchPC + isa.WordBytes}
+		switch d.Info.Class {
 		case isa.ClassBranch:
 			if c.pred.predictDir(c.fetchPC) {
 				f.predTaken = true
-				f.predNext = uint64(int64(c.fetchPC) + int64(in.Imm))
+				f.predNext = uint64(int64(c.fetchPC) + int64(d.In.Imm))
 			}
 		case isa.ClassJump:
-			if in.Op == isa.JAL {
+			if d.In.Op == isa.JAL {
 				f.predTaken = true
-				f.predNext = uint64(int64(c.fetchPC) + int64(in.Imm))
+				f.predNext = uint64(int64(c.fetchPC) + int64(d.In.Imm))
 			} else if t, ok := c.pred.predictTarget(c.fetchPC); ok {
 				f.predTaken = true
 				f.predNext = t
@@ -1112,7 +1169,7 @@ func (c *Core) fetchStage(now uint64) {
 		case isa.ClassHalt:
 			c.fetchStopped = true
 		}
-		c.fetchBuf = append(c.fetchBuf, f)
+		c.fetchBuf = pushQueue(c.fetchBuf, &c.fetchBack, 8*c.Cfg.FetchWidth, f)
 		prev := c.fetchPC
 		c.fetchPC = f.predNext
 		if c.fetchStopped {

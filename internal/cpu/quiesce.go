@@ -134,9 +134,7 @@ func (c *Core) CheckQuiesce(now uint64) bool {
 	}
 	// dispatchStage: the first fetched instruction must be undispatchable.
 	if len(c.fetchBuf) > 0 && !c.fenceBlock && len(c.window) < c.Cfg.RUUSize {
-		cl := isa.Lookup(c.fetchBuf[0].in.Op).Class
-		isMem := cl == isa.ClassLoad || cl == isa.ClassStore || cl == isa.ClassCacheOp
-		if !isMem || c.memOps < c.Cfg.LSQSize {
+		if !c.fetchBuf[0].d.Mem || c.memOps < c.Cfg.LSQSize {
 			return false
 		}
 	}

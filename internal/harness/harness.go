@@ -53,6 +53,10 @@ type Options struct {
 	// NoFastPath disables the simulator's quiescent-core fast path
 	// (differential testing; see core.Config.NoFastPath).
 	NoFastPath bool
+	// NoTranslate disables the basic-block translation cache, restoring
+	// per-fetch decoding (differential testing; see
+	// core.Config.NoTranslate). cmd/bench exposes it as -notranslate.
+	NoTranslate bool
 	// Sanitize enables the online invariant sanitizer (package sanitize)
 	// on every machine the harness builds. Enabling it is
 	// behaviour-invariant: all cycle counts and statistics stay
@@ -99,6 +103,7 @@ func machineConfig(cores int, opt Options) core.Config {
 	cfg := core.DefaultConfig(cores)
 	cfg.Mem.Fabric = opt.Fabric
 	cfg.NoFastPath = opt.NoFastPath
+	cfg.NoTranslate = opt.NoTranslate
 	if opt.Sanitize {
 		cfg.Sanitize = sanitize.Default()
 	}

@@ -29,7 +29,10 @@ type line struct {
 }
 
 // Cache is a set-associative tag/state array. It holds no data (see the
-// package comment); it models presence, permission and replacement.
+// package comment); it models presence, permission and replacement. The
+// ways of all sets live in one flat set-major array: a machine builds two
+// caches per core plus one per bank, so per-set slice headers were a
+// measurable share of machine-construction allocation.
 type Cache struct {
 	name      string
 	sets      int
@@ -37,7 +40,7 @@ type Cache struct {
 	lineBytes int
 	shift     uint // log2(lineBytes)
 	mask      uint64
-	arr       [][]line
+	arr       []line // sets*ways, set-major
 	useClock  uint64
 }
 
@@ -55,31 +58,32 @@ func NewCache(name string, totalBytes, ways, lineBytes int) *Cache {
 	for 1<<shift < lineBytes {
 		shift++
 	}
-	c := &Cache{
+	return &Cache{
 		name:      name,
 		sets:      sets,
 		ways:      ways,
 		lineBytes: lineBytes,
 		shift:     shift,
 		mask:      uint64(sets - 1),
-		arr:       make([][]line, sets),
+		arr:       make([]line, sets*ways),
 	}
-	for i := range c.arr {
-		c.arr[i] = make([]line, ways)
-	}
-	return c
 }
 
 // LineAddr returns the line-aligned address containing addr.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ uint64(c.lineBytes-1) }
 
-func (c *Cache) set(addr uint64) int { return int((addr >> c.shift) & c.mask) }
+// set returns the ways of the set holding addr, as a view into the flat
+// array.
+func (c *Cache) set(addr uint64) []line {
+	i := int((addr>>c.shift)&c.mask) * c.ways
+	return c.arr[i : i+c.ways]
+}
 
 // Lookup returns the state of the line containing addr (Invalid if absent)
 // and refreshes its LRU position when present.
 func (c *Cache) Lookup(addr uint64) LineState {
 	la := c.LineAddr(addr)
-	s := c.arr[c.set(la)]
+	s := c.set(la)
 	for i := range s {
 		if s[i].state != Invalid && s[i].tag == la {
 			c.useClock++
@@ -93,7 +97,7 @@ func (c *Cache) Lookup(addr uint64) LineState {
 // Peek is Lookup without the LRU update.
 func (c *Cache) Peek(addr uint64) LineState {
 	la := c.LineAddr(addr)
-	s := c.arr[c.set(la)]
+	s := c.set(la)
 	for i := range s {
 		if s[i].state != Invalid && s[i].tag == la {
 			return s[i].state
@@ -106,7 +110,7 @@ func (c *Cache) Peek(addr uint64) LineState {
 // absent (silent-eviction races make that legal).
 func (c *Cache) SetState(addr uint64, st LineState) {
 	la := c.LineAddr(addr)
-	s := c.arr[c.set(la)]
+	s := c.set(la)
 	for i := range s {
 		if s[i].state != Invalid && s[i].tag == la {
 			if st == Invalid {
@@ -131,7 +135,7 @@ type Victim struct {
 // line that is already present just updates its state.
 func (c *Cache) Insert(addr uint64, st LineState) Victim {
 	la := c.LineAddr(addr)
-	s := c.arr[c.set(la)]
+	s := c.set(la)
 	c.useClock++
 	// Already present?
 	for i := range s {
@@ -164,7 +168,7 @@ func (c *Cache) Insert(addr uint64, st LineState) Victim {
 // present and whether it was dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	la := c.LineAddr(addr)
-	s := c.arr[c.set(la)]
+	s := c.set(la)
 	for i := range s {
 		if s[i].state != Invalid && s[i].tag == la {
 			dirty = s[i].state == Modified
@@ -186,11 +190,9 @@ type CacheLine struct {
 // the array without perturbing replacement behaviour.
 func (c *Cache) Snapshot() []CacheLine {
 	var out []CacheLine
-	for si := range c.arr {
-		for wi := range c.arr[si] {
-			if l := c.arr[si][wi]; l.state != Invalid {
-				out = append(out, CacheLine{Addr: l.tag, State: l.state})
-			}
+	for i := range c.arr { // flat array is set-major, so index order is set-then-way
+		if l := c.arr[i]; l.state != Invalid {
+			out = append(out, CacheLine{Addr: l.tag, State: l.state})
 		}
 	}
 	return out
@@ -199,9 +201,7 @@ func (c *Cache) Snapshot() []CacheLine {
 // Flush invalidates every line (used when a thread context is torn down in
 // tests).
 func (c *Cache) Flush() {
-	for si := range c.arr {
-		for wi := range c.arr[si] {
-			c.arr[si][wi] = line{}
-		}
+	for i := range c.arr {
+		c.arr[i] = line{}
 	}
 }

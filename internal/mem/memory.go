@@ -14,6 +14,14 @@ const pageBytes = 1 << 12
 // above it only model timing.
 type Memory struct {
 	pages map[uint64][]byte
+
+	// onWrite, when set, observes every functional write (address and
+	// byte count) before it lands. Because Memory is the single
+	// functional home of all data, this hook sees every way the machine
+	// can change a byte — committed stores, SC, and loader writes — which
+	// is exactly the invalidation feed the basic-block translation cache
+	// needs to stay coherent with the bytes fetch would read.
+	onWrite func(addr uint64, n int)
 }
 
 // NewMemory returns an empty memory.
@@ -43,8 +51,15 @@ func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 	return out
 }
 
+// SetWriteHook registers fn to observe every functional write. One hook at
+// a time; nil disables.
+func (m *Memory) SetWriteHook(fn func(addr uint64, n int)) { m.onWrite = fn }
+
 // WriteBytes copies data into memory starting at addr.
 func (m *Memory) WriteBytes(addr uint64, data []byte) {
+	if m.onWrite != nil {
+		m.onWrite(addr, len(data))
+	}
 	for i := 0; i < len(data); {
 		p := m.page(addr + uint64(i))
 		off := int((addr + uint64(i)) % pageBytes)
@@ -83,6 +98,9 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 
 // Write stores size bytes of v at addr, little-endian.
 func (m *Memory) Write(addr uint64, size int, v uint64) {
+	if m.onWrite != nil {
+		m.onWrite(addr, size)
+	}
 	p := m.page(addr)
 	off := addr % pageBytes
 	if off+uint64(size) <= pageBytes {

@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench_translate.sh — the simulator-speed scoreboard for the basic-block
+# translation cache. Runs BenchmarkSimThroughput with the translator on and
+# off and writes BENCH_translate.json with instructions-per-second and
+# ns-per-simulated-instruction for both, plus the speedups against each other
+# and against the pre-translator baseline.
+#
+# Usage: scripts/bench_translate.sh [benchtime-iterations]   (default 40;
+# one iteration is one ~15ms machine run, so small counts are noisy)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+runs="${1:-40}x"
+out=BENCH_translate.json
+
+# inst/s measured on the seed tree (commit 66d5193, flat per-fetch decode,
+# no allocation reuse) by the same benchmark on the same host class. The
+# >=2x acceptance target of the translation-cache change is against this.
+seed_baseline=558404
+
+bench() {
+	go test -bench "^$1\$" -benchtime "$runs" -run '^$' . |
+		awk '{ for (i = 1; i < NF; i++) if ($(i+1) == "inst/s") { printf "%.0f\n", $i; exit } }'
+}
+
+echo "== BenchmarkSimThroughput (translator on) =="
+on=$(bench BenchmarkSimThroughput)
+echo "   $on inst/s"
+echo "== BenchmarkSimThroughputNoTranslate (translator off) =="
+off=$(bench BenchmarkSimThroughputNoTranslate)
+echo "   $off inst/s"
+
+if [ -z "$on" ] || [ -z "$off" ]; then
+	echo "failed to parse inst/s from benchmark output" >&2
+	exit 1
+fi
+
+awk -v on="$on" -v off="$off" -v seed="$seed_baseline" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" 'BEGIN {
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkSimThroughput (livermore2 n=256, 16 cores, filter-D barrier)\",\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"seed_baseline\": { \"inst_per_sec\": %d, \"ns_per_inst\": %.2f },\n", seed, 1e9 / seed
+	printf "  \"translator_off\": { \"inst_per_sec\": %d, \"ns_per_inst\": %.2f },\n", off, 1e9 / off
+	printf "  \"translator_on\":  { \"inst_per_sec\": %d, \"ns_per_inst\": %.2f },\n", on, 1e9 / on
+	printf "  \"speedup_on_vs_off\": %.2f,\n", on / off
+	printf "  \"speedup_on_vs_seed\": %.2f\n", on / seed
+	printf "}\n"
+}' >"$out"
+
+cat "$out"
+
+# The acceptance target: the translated simulator must be at least 2x the
+# seed baseline in simulated instructions per host second.
+awk -v on="$on" -v seed="$seed_baseline" 'BEGIN { exit !(on >= 2 * seed) }' || {
+	echo "WARNING: translator speedup vs seed baseline below 2x" >&2
+}

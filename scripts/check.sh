@@ -33,6 +33,13 @@ go test -race -run 'TestForEach|TestParallelFig4Deterministic' ./internal/harnes
 go test -race ./internal/vet ./internal/asm
 go test -race ./internal/interconnect ./internal/mem
 
+echo "== go test -race (translation cache: counters, invalidation, fuzz seeds) =="
+go test -race -run TestTranslate ./internal/cpu
+go test -race -run FuzzTranslateDiff ./internal/cpu
+
+echo "== go test (translation differential: -notranslate shard) =="
+go test -short -run 'TestTranslateDifferentialShort|TestTranslateSanitizerDifferential' -count=1 .
+
 echo "== go test (fabric differential: bus golden + crossbar/mesh suites) =="
 go test -run 'TestBusFabricGolden|TestKernelsOnOtherFabrics|TestFastPathOnOtherFabrics' -count=1 .
 

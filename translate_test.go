@@ -1,0 +1,154 @@
+// Differential tests for the basic-block translation cache: translating the
+// frontend must be invisible to the timing model. Every cell runs twice —
+// cache attached (the default) and detached (core.Config.NoTranslate) — and
+// must produce byte-identical cycle counts and statistics (minus the
+// translate.* effectiveness counters, which only the attached run emits).
+//
+// The full matrix (every kernel x every mechanism x every fabric) and the
+// chaos matrix are skipped in -short; TestTranslateDifferentialShort keeps a
+// four-cell slice in the default suite and is the shard scripts/check.sh runs
+// with -notranslate semantics pinned.
+package cmpfb
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/interconnect"
+	"repro/internal/kernels"
+	"repro/internal/sanitize"
+)
+
+// runTranslateCell runs one kernel x mechanism x fabric cell with the given
+// translator setting and returns its outcome for comparison.
+func runTranslateCell(t *testing.T, name string, kind barrier.Kind,
+	fab interconnect.Kind, sanitized, noTranslate bool) fastSlowResult {
+	t.Helper()
+	k, err := kernels.New(name, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(goldenCores)
+	cfg.Mem.Fabric = fab
+	cfg.NoTranslate = noTranslate
+	if sanitized {
+		cfg.Sanitize = sanitize.Default()
+	}
+	alloc := barrier.NewAllocator(cfg.Mem)
+	gen, err := barrier.New(kind, goldenCores, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := k.BuildPar(gen, goldenCores)
+	if err != nil {
+		t.Fatalf("%s/%s: build: %v", name, kind, err)
+	}
+	m := core.NewMachine(cfg)
+	if err := barrier.Launch(m, gen, prog, goldenCores); err != nil {
+		t.Fatalf("%s/%s: launch: %v", name, kind, err)
+	}
+	cycles, err := m.Run(500_000_000)
+	res := fastSlowResult{cycles: cycles, stats: stripTranslateStats(m.StatsReport().String())}
+	if err != nil {
+		res.errText = err.Error()
+		return res
+	}
+	if err := k.Verify(m.Sys.Mem, prog, goldenCores); err != nil {
+		t.Fatalf("%s/%s: verify: %v", name, kind, err)
+	}
+	return res
+}
+
+func compareTranslateCell(t *testing.T, key string, on, off fastSlowResult) {
+	t.Helper()
+	if on.errText != off.errText {
+		t.Errorf("%s: error diverged:\non:  %q\noff: %q", key, on.errText, off.errText)
+		return
+	}
+	if on.cycles != off.cycles {
+		t.Errorf("%s: cycle count diverged: translated %d, untranslated %d", key, on.cycles, off.cycles)
+		return
+	}
+	if on.stats != off.stats {
+		t.Errorf("%s: statistics diverged:\n--- translated ---\n%s--- untranslated ---\n%s", key, on.stats, off.stats)
+	}
+}
+
+// TestTranslateDifferentialShort is the always-on slice: two kernels x two
+// mechanisms on the bus, translator on vs off.
+func TestTranslateDifferentialShort(t *testing.T) {
+	for _, name := range []string{"livermore3", "viterbi"} {
+		for _, kind := range []barrier.Kind{barrier.KindFilterD, barrier.KindSWCentral} {
+			key := fmt.Sprintf("%s/%s", name, kind)
+			on := runTranslateCell(t, name, kind, interconnect.KindBus, false, false)
+			off := runTranslateCell(t, name, kind, interconnect.KindBus, false, true)
+			compareTranslateCell(t, key, on, off)
+		}
+	}
+}
+
+// TestTranslateDifferential is the full contract: every kernel x every
+// barrier mechanism x every fabric, byte-identical on vs off.
+func TestTranslateDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel x mechanism x fabric matrix; skipped in -short")
+	}
+	for _, fab := range interconnect.Kinds {
+		fab := fab
+		t.Run(fab.String(), func(t *testing.T) {
+			for _, name := range kernels.Names() {
+				for _, kind := range barrier.Kinds {
+					key := fmt.Sprintf("%s/%s/%s", fab, name, kind)
+					on := runTranslateCell(t, name, kind, fab, false, false)
+					off := runTranslateCell(t, name, kind, fab, false, true)
+					compareTranslateCell(t, key, on, off)
+				}
+			}
+		})
+	}
+}
+
+// TestTranslateSanitizerDifferential: the sanitizer observes the machine at
+// full invariant granularity; its runs must be equally translator-blind.
+func TestTranslateSanitizerDifferential(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		kind barrier.Kind
+	}{
+		{"livermore3", barrier.KindFilterD},
+		{"viterbi", barrier.KindSWTree},
+	} {
+		key := fmt.Sprintf("sanitized/%s/%s", c.name, c.kind)
+		on := runTranslateCell(t, c.name, c.kind, interconnect.KindBus, true, false)
+		off := runTranslateCell(t, c.name, c.kind, interconnect.KindBus, true, true)
+		compareTranslateCell(t, key, on, off)
+	}
+}
+
+// TestTranslateChaosDifferential: the chaos contract (bit-identical results
+// or an attributed fault, per injected-fault profile) must not depend on the
+// translator — every cell's outcome, attempt count, injection count, and
+// cycle total must match exactly.
+func TestTranslateChaosDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix x2; skipped in -short")
+	}
+	run := func(noTranslate bool) []harness.ChaosCell {
+		opt := harness.DefaultChaosOptions()
+		opt.NoTranslate = noTranslate
+		opt.Kinds = []barrier.Kind{barrier.KindFilterD}
+		cells, err := harness.RunChaos(opt)
+		if err != nil {
+			t.Fatalf("chaos (notranslate=%v): %v", noTranslate, err)
+		}
+		return cells
+	}
+	on, off := run(false), run(true)
+	if !reflect.DeepEqual(on, off) {
+		t.Fatalf("chaos matrix diverged:\n--- translated ---\n%+v\n--- untranslated ---\n%+v", on, off)
+	}
+}
