@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check chaos scale
+.PHONY: build test bench check chaos scale simd-smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ chaos:
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s -run '^$$' ./internal/asm
 	$(GO) test -fuzz=FuzzVet -fuzztime=10s -run '^$$' ./internal/vet
 	$(GO) test -fuzz=FuzzTranslateDiff -fuzztime=10s -run '^$$' ./internal/cpu
+
+# simd-smoke boots the simd simulation server, SIGKILLs it mid-sweep, and
+# asserts the resumed sweep (and its journal) is byte-identical to an
+# uninterrupted run, plus the cache and -nofastpath oracle checks.
+simd-smoke:
+	sh scripts/simd_smoke.sh
 
 # scale is a ~30s smoke of the fabric-scaling sweep (cores x interconnect
 # x barrier mechanism; ~38s of CPU, parallel across cells); the full

@@ -10,6 +10,10 @@
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig10, all.
 // -fabric and -cores re-run any of them on a different interconnect or
 // machine width; -exp scale sweeps cores x fabric x mechanism explicitly.
+//
+// With -server URL, bench is instead a client for the simd simulation
+// service (cmd/simd): it submits the -spec sweep and prints one result
+// JSON per line on stdout (see cmd/bench/client.go).
 package main
 
 import (
@@ -58,7 +62,17 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "wall-clock budget per experiment cell (0 = none); cells over budget are journaled as timed out and the sweep continues")
 	novet := flag.Bool("novet", false, "skip the static program verifier (srvet) on harness-built programs (differential debugging)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	server := flag.String("server", "", "simd server base URL: run as a client, submitting -spec and printing one result JSON per line")
+	spec := flag.String("spec", "", "sweep spec for -server: inline JSON, a file path, or - for stdin (default: a minimal microbench sweep)")
 	flag.Parse()
+
+	if *server != "" {
+		os.Exit(runClient(*server, *spec))
+	}
+	if *spec != "" {
+		fmt.Fprintln(os.Stderr, "-spec requires -server")
+		os.Exit(2)
+	}
 
 	opt := harness.QuickOptions()
 	if *full {

@@ -173,3 +173,84 @@ func TestResilientVerifyFailureIsUnrecoverable(t *testing.T) {
 		t.Fatalf("attempt error %q not marked as corruption", res.Attempts[0].Err)
 	}
 }
+
+// TestFallbackEngineZeroBackoff: a zero backoff schedule charges no re-arm
+// delay at all — every retry fires immediately, the total cycle accounting
+// is exactly the sum of the attempts, and each attempt's budget is an even
+// share of what remains (remaining / attempts-left).
+func TestFallbackEngineZeroBackoff(t *testing.T) {
+	pol := FallbackPolicy{Retries: 2, Backoff: 0, MaxCycles: 4000, Fallback: KindSWCentral}
+	wantBudgets := []uint64{1000, 1300, 1900, 3700}
+	var gotBudgets []uint64
+	res, err := RunWithFallback(KindFilterD, pol, func(kind Kind, try int, budget uint64) (uint64, error) {
+		gotBudgets = append(gotBudgets, budget)
+		if kind == KindFilterD {
+			return 100, fmt.Errorf("injected filter fault")
+		}
+		return 50, nil
+	})
+	if err != nil {
+		t.Fatalf("zero-backoff run failed: %v", err)
+	}
+	if fmt.Sprint(gotBudgets) != fmt.Sprint(wantBudgets) {
+		t.Fatalf("attempt budgets %v, want %v", gotBudgets, wantBudgets)
+	}
+	if res.TotalCycles != 3*100+50 {
+		t.Fatalf("total cycles %d, want 350 (no backoff may be charged)", res.TotalCycles)
+	}
+	if !res.Degraded || res.Cycles != 50 || len(res.Attempts) != 4 {
+		t.Fatalf("degraded=%v cycles=%d attempts=%d", res.Degraded, res.Cycles, len(res.Attempts))
+	}
+}
+
+// TestFallbackEngineExhaustionExactlyAtDeadline: when every attempt eats
+// its entire budget and fails, the retry plan runs to completion with the
+// cycle budget exhausted to exactly zero — never overdrawn, and the final
+// fallback attempt still gets its (full remaining) share.
+func TestFallbackEngineExhaustionExactlyAtDeadline(t *testing.T) {
+	pol := FallbackPolicy{Retries: 2, Backoff: 0, MaxCycles: 1000, Fallback: KindSWCentral}
+	res, err := RunWithFallback(KindFilterD, pol, func(kind Kind, try int, budget uint64) (uint64, error) {
+		return budget, fmt.Errorf("eats its whole budget and fails")
+	})
+	if err == nil {
+		t.Fatal("exhausted run reported success")
+	}
+	if len(res.Attempts) != 4 {
+		t.Fatalf("got %d attempts, want all 4 (3 filter + fallback)", len(res.Attempts))
+	}
+	if res.TotalCycles != pol.MaxCycles {
+		t.Fatalf("total cycles %d, want exactly the %d budget", res.TotalCycles, pol.MaxCycles)
+	}
+	// Even shares of the shrinking remainder: 250 each.
+	for i, a := range res.Attempts {
+		if a.Budget != 250 || a.Cycles != 250 {
+			t.Fatalf("attempt %d budget/cycles = %d/%d, want 250/250", i, a.Budget, a.Cycles)
+		}
+	}
+	if !strings.Contains(err.Error(), "failed after 4 attempts") {
+		t.Fatalf("error does not report the attempt count: %v", err)
+	}
+}
+
+// TestFallbackEngineBackoffConsumesRemainingBudget: when the next re-arm
+// delay is at least the remaining budget, the engine stops before burning
+// cycles it does not have — the boundary case wait == remaining included.
+func TestFallbackEngineBackoffConsumesRemainingBudget(t *testing.T) {
+	pol := FallbackPolicy{Retries: 1, Backoff: 400, MaxCycles: 600, Fallback: KindSWCentral}
+	calls := 0
+	res, err := RunWithFallback(KindFilterD, pol, func(kind Kind, try int, budget uint64) (uint64, error) {
+		calls++
+		return budget, fmt.Errorf("injected filter fault")
+	})
+	if err == nil {
+		t.Fatal("budget-starved run reported success")
+	}
+	// Attempt 0 gets 600/3 = 200 cycles and fails; the first re-arm wants
+	// 400 cycles, which is every cycle left, so no retry may start.
+	if calls != 1 || len(res.Attempts) != 1 {
+		t.Fatalf("calls=%d attempts=%d, want 1 (backoff >= remaining must stop the plan)", calls, len(res.Attempts))
+	}
+	if res.TotalCycles != 200 {
+		t.Fatalf("total cycles %d, want 200 (an unaffordable backoff is not charged)", res.TotalCycles)
+	}
+}

@@ -104,6 +104,17 @@ func ProfileByName(name string) (Profile, bool) {
 	return Profile{}, false
 }
 
+// ProfileNames lists the standard profiles, in sweep order — the simd
+// server quotes it when rejecting a spec naming an unknown chaos profile.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
 // Record is one injected fault, for attribution in chaos reports.
 type Record struct {
 	Cycle  uint64

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,19 +16,37 @@ import (
 // runCells can journal it with the "panic" status.
 var errCellPanic = errors.New("harness: cell panicked")
 
+// ctx returns the Options context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// canceled reports whether the Options context has been canceled — the
+// sweep is being torn down (an aborted request, a server shutdown, ^C), as
+// opposed to a single cell running over its own deadline.
+func (o Options) canceled() bool { return o.ctx().Err() != nil }
+
 // cellCtx is handed to each cell body. Machine configurations built through
-// it honor the per-cell wall-clock deadline.
+// it honor the per-cell wall-clock deadline and the sweep's context.
 type cellCtx struct {
 	opt  Options
 	stop atomic.Bool
 }
 
 // Config builds the cell's machine configuration, wiring the deadline's
-// stop flag in as the machine's stop check.
+// stop flag and the sweep context in as the machine's stop check.
 func (c *cellCtx) Config(cores int) core.Config {
 	cfg := machineConfig(cores, c.opt)
 	if c.opt.CellDeadline > 0 {
-		cfg.StopCheck = c.stop.Load
+		prev := cfg.StopCheck // the context check installed by machineConfig
+		if prev == nil {
+			cfg.StopCheck = c.stop.Load
+		} else {
+			cfg.StopCheck = func() bool { return c.stop.Load() || prev() }
+		}
 	}
 	return cfg
 }
@@ -54,39 +73,51 @@ func runCell(opt Options, fn func(ctx *cellCtx) (any, error)) (data any, err err
 	return fn(ctx)
 }
 
+// StatusOf classifies a cell error into the journal's status vocabulary —
+// StatusOK, StatusTimeout (a core.ErrStopped stop check), StatusPanic (a
+// recovered cell panic), or StatusError. External cell drivers (the simd
+// server) use it so their records classify exactly like journaled sweeps.
+func StatusOf(err error) string { return cellStatus(err) }
+
 // cellStatus classifies a cell error for the journal.
 func cellStatus(err error) string {
 	switch {
 	case err == nil:
-		return statusOK
+		return StatusOK
 	case errors.Is(err, core.ErrStopped):
-		return statusTimeout
+		return StatusTimeout
 	case errors.Is(err, errCellPanic):
 		if errors.Is(err, mem.ErrConfig) {
-			return statusError // a bad configuration, not a crash
+			return StatusError // a bad configuration, not a crash
 		}
-		return statusPanic
+		return StatusPanic
 	default:
-		return statusError
+		return StatusError
 	}
 }
 
 // runCells fans n independent cells across the worker pool with per-cell
-// panic recovery and the optional wall-clock deadline.
+// panic recovery, the optional wall-clock deadline, and prompt teardown
+// when Options.Ctx is canceled (no new cells start; in-flight cells stop at
+// their next stop-check poll).
 //
 // Without a journal (keys nil or Options.JournalPath empty) it preserves
 // forEach semantics exactly: stop handing out cells at the first error and
 // return the lowest-index one.
 //
-// With a journal, every cell runs (errors don't stop the sweep), each
-// outcome is appended to the journal in cell index order, cells already
-// journaled are skipped — their results replayed through replay(i, data) —
-// and the lowest-index failure (fresh or journaled) is returned at the end.
-func runCells(opt Options, n int, keys []string, fn func(i int, ctx *cellCtx) (any, error), replay func(i int, data json.RawMessage) error) error {
-	var j *journal
+// With a journal — opened under the content hash of spec, so a resume of a
+// different sweep is refused — every cell runs (errors don't stop the
+// sweep), each outcome is appended to the journal in cell index order,
+// cells already journaled are skipped — their results replayed through
+// replay(i, data) — and the lowest-index failure (fresh or journaled) is
+// returned at the end. Cells aborted by context cancellation are never
+// journaled: a resume re-runs them, exactly as it re-runs cells lost to a
+// kill.
+func runCells(opt Options, spec string, n int, keys []string, fn func(i int, ctx *cellCtx) (any, error), replay func(i int, data json.RawMessage) error) error {
+	var j *Journal
 	if opt.JournalPath != "" && keys != nil {
 		var err error
-		j, err = openJournal(opt.JournalPath, opt.Resume)
+		j, err = OpenJournal(opt.JournalPath, opt.Resume, spec)
 		if err != nil {
 			return fmt.Errorf("harness: journal %s: %w", opt.JournalPath, err)
 		}
@@ -94,25 +125,36 @@ func runCells(opt Options, n int, keys []string, fn func(i int, ctx *cellCtx) (a
 	}
 	if j == nil {
 		return forEach(opt.workerCount(), n, func(i int) error {
+			if err := opt.ctx().Err(); err != nil {
+				return fmt.Errorf("harness: sweep canceled before cell %d: %w", i, err)
+			}
 			_, err := runCell(opt, func(ctx *cellCtx) (any, error) { return fn(i, ctx) })
 			return err
 		})
 	}
 	errs := make([]error, n)
 	ferr := forEach(opt.workerCount(), n, func(i int) error {
-		if e, ok := j.done[keys[i]]; ok {
-			if e.Status == statusOK && replay != nil {
+		if err := opt.ctx().Err(); err != nil {
+			return fmt.Errorf("harness: sweep canceled before cell %d: %w", i, err)
+		}
+		if e, ok := j.Done(keys[i]); ok {
+			if e.Status == StatusOK && replay != nil {
 				if err := replay(i, e.Data); err != nil {
 					return fmt.Errorf("harness: journal %s: replaying %q: %w", opt.JournalPath, keys[i], err)
 				}
 			}
-			if e.Status != statusOK {
+			if e.Status != StatusOK {
 				errs[i] = fmt.Errorf("harness: %s: journaled %s: %s", keys[i], e.Status, e.Error)
 			}
-			return j.skip(i)
+			return j.Skip(i)
 		}
 		data, err := runCell(opt, func(ctx *cellCtx) (any, error) { return fn(i, ctx) })
-		entry := cellEntry{Key: keys[i], Status: cellStatus(err)}
+		if err != nil && errors.Is(err, core.ErrStopped) && opt.canceled() {
+			// The sweep is being torn down, not a per-cell deadline: leave
+			// no record so a resume re-runs this cell, and stop the sweep.
+			return fmt.Errorf("harness: %s: sweep canceled: %w", keys[i], err)
+		}
+		entry := Entry{Key: keys[i], Status: cellStatus(err)}
 		if err != nil {
 			entry.Error = err.Error()
 			errs[i] = fmt.Errorf("harness: %s: %w", keys[i], err)
@@ -123,7 +165,7 @@ func runCells(opt Options, n int, keys []string, fn func(i int, ctx *cellCtx) (a
 			}
 			entry.Data = raw
 		}
-		return j.write(i, entry)
+		return j.Write(i, entry)
 	})
 	if ferr != nil {
 		return ferr

@@ -99,7 +99,9 @@ func RunChaos(opt ChaosOptions) ([]ChaosCell, error) {
 	for i, sp := range specs {
 		keys[i] = fmt.Sprintf("chaos/%s/%s/%s", sp.k.Name(), sp.kind, sp.p.Name)
 	}
-	err := runCells(opt.Options, len(specs), keys, func(i int, ctx *cellCtx) (any, error) {
+	spec := fmt.Sprintf("chaos seed=%d threads=%d fabric=%s kinds=%v profiles=%d maxcycles=%d sanitize=%v cells=%v",
+		opt.Seed, opt.Threads, opt.Fabric, opt.Kinds, len(opt.Profiles), opt.MaxCycles, opt.Sanitize, keys)
+	err := runCells(opt.Options, spec, len(specs), keys, func(i int, ctx *cellCtx) (any, error) {
 		c, err := runChaosCell(ctx, specs[i].k, specs[i].kind, specs[i].p,
 			faults.MixSeed(opt.Seed, uint64(i)+0x9000), opt)
 		cells[i] = c
@@ -111,6 +113,27 @@ func RunChaos(opt ChaosOptions) ([]ChaosCell, error) {
 		return json.Unmarshal(data, &cells[i])
 	})
 	return cells, err
+}
+
+// RunChaosCell runs one (kernel × mechanism × profile × seed) cell — the
+// unit RunChaos sweeps — standalone, with the per-cell panic recovery and
+// wall-clock deadline the sweep would give it. External drivers (the simd
+// server) use it to run arbitrary cells against the resilient runner; the
+// returned ChaosCell is valid (with whatever was learned) even when err is
+// non-nil. The result is deterministic in (cell identity, seed,
+// opt.MaxCycles): worker counts, deadlines, and the simulator fast-path and
+// translation toggles never change a byte of it.
+func RunChaosCell(k kernels.Kernel, kind barrier.Kind, p faults.Profile, seed uint64, opt ChaosOptions) (ChaosCell, error) {
+	if opt.Threads == 0 {
+		opt.Threads = 8
+	}
+	cell := ChaosCell{Kernel: k.Name(), Kind: kind, Profile: p.Name}
+	_, err := runCell(opt.Options, func(ctx *cellCtx) (any, error) {
+		c, err := runChaosCell(ctx, k, kind, p, seed, opt)
+		cell = c
+		return c, err
+	})
+	return cell, err
 }
 
 // runChaosCell runs one cell through the resilient runner.

@@ -36,7 +36,11 @@ func Fig4(opt Options) ([]LatencyPoint, error) {
 		keys[i] = fmt.Sprintf("fig4/%s/%d",
 			barrier.Kinds[i%len(barrier.Kinds)], coreCounts[i/len(barrier.Kinds)])
 	}
-	err := runCells(opt, len(out), keys, func(i int, ctx *cellCtx) (any, error) {
+	// The journal's spec-hash header: everything that changes the sweep's
+	// results, nothing that doesn't (workers, deadlines, fast-path toggle).
+	spec := fmt.Sprintf("fig4 fabric=%s cores=%v k=%d m=%d maxcycles=%d sanitize=%v",
+		opt.Fabric, coreCounts, k, m, opt.MaxCycles, opt.Sanitize)
+	err := runCells(opt, spec, len(out), keys, func(i int, ctx *cellCtx) (any, error) {
 		n := coreCounts[i/len(barrier.Kinds)]
 		kind := barrier.Kinds[i%len(barrier.Kinds)]
 		cfg := ctx.Config(n)
@@ -174,7 +178,7 @@ func measureWarmBatch(lks []LoopKernel, kinds []barrier.Kind, withSeq bool, opt 
 		}
 	}
 	out := make([]uint64, len(cells))
-	err = runCells(opt, len(cells), nil, func(i int, _ *cellCtx) (any, error) {
+	err = runCells(opt, "", len(cells), nil, func(i int, _ *cellCtx) (any, error) {
 		var e error
 		if cells[i].par {
 			out[i], e = MeasureParWarm(lks[cells[i].k], cells[i].kind, opt.Cores, opt)
@@ -423,7 +427,7 @@ func Extras(opt Options) (ExtrasResult, error) {
 		barrier.KindHWNet, barrier.KindHWTree,
 	}
 	lat := make([]float64, len(kinds))
-	err := runCells(opt, len(kinds), nil, func(i int, ctx *cellCtx) (any, error) {
+	err := runCells(opt, "", len(kinds), nil, func(i int, ctx *cellCtx) (any, error) {
 		kind := kinds[i]
 		cfg := ctx.Config(opt.Cores)
 		alloc := barrier.NewAllocator(cfg.Mem)

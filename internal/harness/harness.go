@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -83,6 +84,13 @@ type Options struct {
 	// barrier sequence, or ruling the verifier out as a source of a
 	// build failure. cmd/bench exposes it as -novet.
 	NoVet bool
+	// Ctx, when non-nil, cancels the whole sweep: no new cells start
+	// after it is done, and every machine the harness builds polls it
+	// through core.Config.StopCheck, so in-flight cells stop promptly
+	// (with core.ErrStopped) instead of running to their cycle budget.
+	// The simd server threads each request's context through here;
+	// canceled cells are never journaled, so a resume re-runs them.
+	Ctx context.Context
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -106,6 +114,17 @@ func machineConfig(cores int, opt Options) core.Config {
 	cfg.NoTranslate = opt.NoTranslate
 	if opt.Sanitize {
 		cfg.Sanitize = sanitize.Default()
+	}
+	if opt.Ctx != nil {
+		done := opt.Ctx.Done()
+		cfg.StopCheck = func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		}
 	}
 	return cfg
 }

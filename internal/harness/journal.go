@@ -2,57 +2,95 @@ package harness
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"io/fs"
 	"os"
 	"sync"
 )
 
-// Cell journal statuses.
+// Cell journal statuses. A journal line records how a cell ended; resumed
+// sweeps replay StatusOK cells from their recorded data and surface the
+// others without re-simulating.
 const (
-	statusOK      = "ok"
-	statusError   = "error"
-	statusTimeout = "timeout"
-	statusPanic   = "panic"
+	StatusOK      = "ok"
+	StatusError   = "error"
+	StatusTimeout = "timeout"
+	StatusPanic   = "panic"
 )
 
-// cellEntry is one journal record: a cell's stable key, how it ended, and
-// (for completed cells) its result, so a resumed sweep can replay it
-// without re-simulating.
-type cellEntry struct {
+// The header record every journal opens with: its Spec field carries the
+// content hash of the sweep spec the journal belongs to, so a resume of a
+// different sweep is refused instead of silently replaying mismatched cells.
+const (
+	specKey    = "@spec"
+	specStatus = "spec"
+)
+
+// ErrJournalSpec marks a resume attempt against a journal written for a
+// different sweep spec.
+var ErrJournalSpec = errors.New("harness: journal belongs to a different sweep spec")
+
+// Entry is one journal record: a cell's stable key, how it ended, and (for
+// completed cells) its result, so a resumed sweep can replay it without
+// re-simulating.
+type Entry struct {
 	Key    string          `json:"key"`
-	Status string          `json:"status"` // ok | error | timeout | panic
+	Status string          `json:"status"` // ok | error | timeout | panic | spec (header)
+	Spec   string          `json:"spec,omitempty"`
 	Error  string          `json:"error,omitempty"`
 	Data   json.RawMessage `json:"data,omitempty"`
 }
 
-// journal is a crash-resilient JSONL record of a sweep. Records are written
-// strictly in cell-index order (out-of-order completions park until their
-// predecessors land) and synced line by line, so killing the process at any
-// point leaves a clean prefix of the full journal plus at most one torn
-// final line — which openJournal truncates away on resume. A resumed sweep
-// therefore appends exactly the missing suffix and the finished file is
-// byte-identical to an uninterrupted run's.
-type journal struct {
-	mu      sync.Mutex
-	f       *os.File
-	done    map[string]cellEntry // entries loaded on resume, by key
-	next    int                  // next cell index to flush
-	pending map[int][]byte       // parked out-of-order lines (nil = skip)
+// SpecHash returns the content hash a journal header records for a sweep
+// spec description. The description must capture everything that changes
+// the sweep's results (kernels, mechanisms, sizes, fabric, seeds, cycle
+// budgets) and nothing that does not (worker counts, wall-clock deadlines,
+// behaviour-invariant simulator toggles like the fast path).
+func SpecHash(spec string) string {
+	sum := sha256.Sum256([]byte(spec))
+	return "sha256:" + hex.EncodeToString(sum[:])
 }
 
-// openJournal creates (or, when resume is set, reopens) the journal at
-// path. On resume it loads every intact record and truncates a torn tail.
-func openJournal(path string, resume bool) (*journal, error) {
-	j := &journal{done: make(map[string]cellEntry), pending: make(map[int][]byte)}
+// Journal is a crash-resilient JSONL record of a sweep. The first line is a
+// header naming the sweep spec's content hash; cell records follow strictly
+// in cell-index order (out-of-order completions park until their
+// predecessors land) and are synced line by line, so killing the process at
+// any point leaves a clean prefix of the full journal plus at most one torn
+// final line — which OpenJournal truncates away on resume. A resumed sweep
+// therefore appends exactly the missing suffix and the finished file is
+// byte-identical to an uninterrupted run's.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	done    map[string]Entry // entries loaded on resume, by key
+	next    int              // next cell index to flush
+	pending map[int][]byte   // parked out-of-order lines (nil = skip)
+}
+
+// OpenJournal creates (or, when resume is set, reopens) the journal at
+// path, guarding it with the content hash of spec. On resume it verifies
+// the header against spec, loads every intact record, and truncates a torn
+// tail. Resuming a journal whose header names a different spec fails with
+// ErrJournalSpec; a journal with no header at all (or with cell records
+// before any header) is refused too, since nothing ties it to this sweep.
+func OpenJournal(path string, resume bool, spec string) (*Journal, error) {
+	j := &Journal{done: make(map[string]Entry), pending: make(map[int][]byte)}
+	hash := SpecHash(spec)
 	if !resume {
 		f, err := os.Create(path)
 		if err != nil {
 			return nil, err
 		}
 		j.f = f
+		if err := j.writeHeader(hash); err != nil {
+			f.Close()
+			return nil, err
+		}
 		return j, nil
 	}
 	data, err := os.ReadFile(path)
@@ -60,16 +98,29 @@ func openJournal(path string, resume bool) (*journal, error) {
 		return nil, err
 	}
 	valid := 0
+	first := true
 	for valid < len(data) {
 		nl := bytes.IndexByte(data[valid:], '\n')
 		if nl < 0 {
 			break // torn tail: the final line was cut mid-write
 		}
-		var e cellEntry
+		var e Entry
 		if json.Unmarshal(data[valid:valid+nl], &e) != nil || e.Key == "" {
 			break // torn or corrupt from here on
 		}
-		j.done[e.Key] = e
+		if first {
+			if e.Key != specKey || e.Status != specStatus {
+				return nil, fmt.Errorf("%w: %s has no spec header (first record %q)",
+					ErrJournalSpec, path, e.Key)
+			}
+			if e.Spec != hash {
+				return nil, fmt.Errorf("%w: %s was written for spec %s, this sweep is %s",
+					ErrJournalSpec, path, e.Spec, hash)
+			}
+			first = false
+		} else {
+			j.done[e.Key] = e
+		}
 		valid += nl + 1
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
@@ -85,11 +136,38 @@ func openJournal(path string, resume bool) (*journal, error) {
 		return nil, err
 	}
 	j.f = f
+	if first {
+		// Nothing intact, not even the header (fresh file, or a kill
+		// mid-header-write): start the journal over.
+		if err := j.writeHeader(hash); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	return j, nil
 }
 
-// write appends one record at its cell index.
-func (j *journal) write(idx int, e cellEntry) error {
+// writeHeader emits and syncs the spec-hash header line.
+func (j *Journal) writeHeader(hash string) error {
+	line, err := json.Marshal(Entry{Key: specKey, Status: specStatus, Spec: hash})
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Done returns the journaled entry for a cell key, if the journal was
+// resumed past it.
+func (j *Journal) Done(key string) (Entry, bool) {
+	e, ok := j.done[key]
+	return e, ok
+}
+
+// Write appends one record at its cell index.
+func (j *Journal) Write(idx int, e Entry) error {
 	line, err := json.Marshal(e)
 	if err != nil {
 		return err
@@ -97,13 +175,15 @@ func (j *journal) write(idx int, e cellEntry) error {
 	return j.append(idx, append(line, '\n'))
 }
 
-// skip advances past a cell whose record is already on disk (a resumed
-// cell), unblocking the writes parked behind it.
-func (j *journal) skip(idx int) error { return j.append(idx, nil) }
+// Skip advances past a cell without writing a record — either its record is
+// already on disk (a resumed cell) or it must not be journaled at all (a
+// cell aborted by cancellation, which a resume should re-run) — unblocking
+// the writes parked behind it.
+func (j *Journal) Skip(idx int) error { return j.append(idx, nil) }
 
 // append parks the line until every lower-index cell has flushed, then
 // flushes it and everything it unblocks, syncing after each line.
-func (j *journal) append(idx int, line []byte) error {
+func (j *Journal) append(idx int, line []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.pending[idx] = line
@@ -126,4 +206,4 @@ func (j *journal) append(idx int, line []byte) error {
 	}
 }
 
-func (j *journal) Close() error { return j.f.Close() }
+func (j *Journal) Close() error { return j.f.Close() }

@@ -43,14 +43,14 @@ func TestJournalKillResumeByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.SplitAfter(strings.TrimSuffix(string(wantJournal), "\n"), "\n")
-	if len(lines) != len(wantPts) {
-		t.Fatalf("journal has %d lines for %d cells", len(lines), len(wantPts))
+	if len(lines) != len(wantPts)+1 {
+		t.Fatalf("journal has %d lines for %d cells plus the spec header", len(lines), len(wantPts))
 	}
 
-	// Simulate a kill after 3 cells, mid-write of the 4th: keep 3 complete
-	// lines plus a torn tail (half of line 4, no newline).
+	// Simulate a kill after 3 cells, mid-write of the 4th: keep the header
+	// and 3 complete lines plus a torn tail (half of line 4, no newline).
 	interrupted := filepath.Join(dir, "interrupted.jsonl")
-	torn := strings.Join(lines[:3], "") + lines[3][:len(lines[3])/2]
+	torn := strings.Join(lines[:4], "") + lines[4][:len(lines[4])/2]
 	if err := os.WriteFile(interrupted, []byte(torn), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestRunCellsPanicRecovery(t *testing.T) {
 	opt.JournalPath = path
 	ran := make([]bool, 4)
 	keys := []string{"c/0", "c/1", "c/2", "c/3"}
-	err := runCells(opt, 4, keys, func(i int, _ *cellCtx) (any, error) {
+	err := runCells(opt, "panic-test", 4, keys, func(i int, _ *cellCtx) (any, error) {
 		if i == 1 {
 			panic("injected test panic")
 		}
@@ -127,11 +127,11 @@ func TestRunCellsPanicRecovery(t *testing.T) {
 	if len(entries) != 4 {
 		t.Fatalf("journal has %d entries, want 4", len(entries))
 	}
-	if entries[1].Status != statusPanic || !strings.Contains(entries[1].Error, "injected test panic") {
+	if entries[1].Status != StatusPanic || !strings.Contains(entries[1].Error, "injected test panic") {
 		t.Fatalf("cell 1 journaled as %q (%q), want panic", entries[1].Status, entries[1].Error)
 	}
 	for _, i := range []int{0, 2, 3} {
-		if entries[i].Status != statusOK {
+		if entries[i].Status != StatusOK {
 			t.Fatalf("cell %d journaled as %q, want ok", i, entries[i].Status)
 		}
 	}
@@ -142,7 +142,7 @@ func TestRunCellsPanicRecovery(t *testing.T) {
 func TestRunCellsPanicWithoutJournal(t *testing.T) {
 	opt := QuickOptions()
 	opt.Workers = 1
-	err := runCells(opt, 2, nil, func(i int, _ *cellCtx) (any, error) {
+	err := runCells(opt, "", 2, nil, func(i int, _ *cellCtx) (any, error) {
 		if i == 0 {
 			panic(fmt.Errorf("boom"))
 		}
@@ -169,7 +169,7 @@ func TestCellDeadlineJournaledAsTimeout(t *testing.T) {
 	opt.JournalPath = path
 	ranAfter := false
 	keys := []string{"dl/deadlock", "dl/after"}
-	err := runCells(opt, 2, keys, func(i int, ctx *cellCtx) (any, error) {
+	err := runCells(opt, "deadline-test", 2, keys, func(i int, ctx *cellCtx) (any, error) {
 		if i == 1 {
 			ranAfter = true
 			return "ok", nil
@@ -220,10 +220,10 @@ func TestCellDeadlineJournaledAsTimeout(t *testing.T) {
 	if len(entries) != 2 {
 		t.Fatalf("journal has %d entries, want 2", len(entries))
 	}
-	if entries[0].Status != statusTimeout || !strings.Contains(entries[0].Error, "last progress at cycle") {
+	if entries[0].Status != StatusTimeout || !strings.Contains(entries[0].Error, "last progress at cycle") {
 		t.Fatalf("deadlocked cell journaled as %q (%q), want timeout with last-progress cycle", entries[0].Status, entries[0].Error)
 	}
-	if entries[1].Status != statusOK {
+	if entries[1].Status != StatusOK {
 		t.Fatalf("follow-on cell journaled as %q, want ok", entries[1].Status)
 	}
 }
@@ -237,7 +237,7 @@ func TestJournalResumeSkipsFailedCells(t *testing.T) {
 	opt.Workers = 1
 	opt.JournalPath = path
 	keys := []string{"c/0", "c/1"}
-	if err := runCells(opt, 2, keys, func(i int, _ *cellCtx) (any, error) {
+	if err := runCells(opt, "failed-test", 2, keys, func(i int, _ *cellCtx) (any, error) {
 		if i == 0 {
 			return nil, fmt.Errorf("transient cell failure")
 		}
@@ -246,7 +246,7 @@ func TestJournalResumeSkipsFailedCells(t *testing.T) {
 		t.Fatal("first run should report the failing cell")
 	}
 	opt.Resume = true
-	err := runCells(opt, 2, keys, func(i int, _ *cellCtx) (any, error) {
+	err := runCells(opt, "failed-test", 2, keys, func(i int, _ *cellCtx) (any, error) {
 		t.Fatalf("cell %d re-ran on resume", i)
 		return nil, nil
 	}, nil)
@@ -255,19 +255,24 @@ func TestJournalResumeSkipsFailedCells(t *testing.T) {
 	}
 }
 
-func readJournal(t *testing.T, path string) []cellEntry {
+// readJournal parses a journal, checks its spec header, and returns the
+// cell entries (header excluded).
+func readJournal(t *testing.T, path string) []Entry {
 	t.Helper()
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out []cellEntry
+	var out []Entry
 	for _, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
-		var e cellEntry
+		var e Entry
 		if err := json.Unmarshal([]byte(line), &e); err != nil {
 			t.Fatalf("bad journal line %q: %v", line, err)
 		}
 		out = append(out, e)
 	}
-	return out
+	if len(out) == 0 || out[0].Key != specKey || out[0].Status != specStatus || out[0].Spec == "" {
+		t.Fatalf("journal %s does not open with a spec header", path)
+	}
+	return out[1:]
 }

@@ -58,30 +58,14 @@ func Scale(opt Options) ([]ScalePoint, error) {
 		return kernels.NewViterbi(opt.viterbiBits(), l)
 	}}
 
-	// Sequential speedup baselines, one per fabric (a 1-core machine
-	// barely exercises the fabric, but dividing by the same topology's
-	// baseline keeps each curve self-consistent).
-	seq := make([]uint64, len(fabrics))
-	seqKeys := make([]string, len(fabrics))
-	for i, f := range fabrics {
-		seqKeys[i] = fmt.Sprintf("scale/%s/seq", f)
-	}
-	err := runCells(opt, len(fabrics), seqKeys, func(i int, _ *cellCtx) (any, error) {
-		o := opt
-		o.Fabric = fabrics[i]
-		c, err := MeasureSeqWarm(lk, o)
-		if err != nil {
-			return nil, err
-		}
-		seq[i] = c
-		return c, nil
-	}, func(i int, data json.RawMessage) error {
-		return json.Unmarshal(data, &seq[i])
-	})
-	if err != nil {
-		return nil, err
-	}
-
+	// One runCells batch covers the whole sweep — the per-fabric
+	// sequential speedup baselines (a 1-core machine barely exercises
+	// the fabric, but dividing by the same topology's baseline keeps
+	// each curve self-consistent) and the (fabric, kind, cores) cells.
+	// A single batch means a single journal under one spec header: two
+	// batches against the same path would truncate each other's records.
+	// Cells record raw cycle counts; speedups divide baselines in a
+	// post-pass, so no cell depends on another's completion order.
 	type cellIdx struct{ f, k, n int }
 	var cells []cellIdx
 	for f := range fabrics {
@@ -91,13 +75,37 @@ func Scale(opt Options) ([]ScalePoint, error) {
 			}
 		}
 	}
-	out := make([]ScalePoint, len(cells))
-	keys := make([]string, len(cells))
-	for i, cl := range cells {
-		keys[i] = fmt.Sprintf("scale/%s/%s/%d", fabrics[cl.f], ScaleKinds[cl.k], coreCounts[cl.n])
+	nseq := len(fabrics)
+	keys := make([]string, nseq+len(cells))
+	for i, f := range fabrics {
+		keys[i] = fmt.Sprintf("scale/%s/seq", f)
 	}
-	err = runCells(opt, len(cells), keys, func(i int, ctx *cellCtx) (any, error) {
-		cl := cells[i]
+	for i, cl := range cells {
+		keys[nseq+i] = fmt.Sprintf("scale/%s/%s/%d", fabrics[cl.f], ScaleKinds[cl.k], coreCounts[cl.n])
+	}
+	spec := fmt.Sprintf("scale cores=%v k=%d m=%d viterbi=%d maxcycles=%d sanitize=%v",
+		coreCounts, k, m, opt.viterbiBits(), opt.MaxCycles, opt.Sanitize)
+
+	// scaleCell is one journaled measurement: barrier cycles on the
+	// latency microbenchmark plus the kernel's warm parallel cycles.
+	type scaleCell struct {
+		Barrier uint64
+		ParWarm uint64
+	}
+	seq := make([]uint64, nseq)
+	meas := make([]scaleCell, len(cells))
+	err := runCells(opt, spec, len(keys), keys, func(i int, ctx *cellCtx) (any, error) {
+		if i < nseq {
+			o := opt
+			o.Fabric = fabrics[i]
+			c, err := MeasureSeqWarm(lk, o)
+			if err != nil {
+				return nil, err
+			}
+			seq[i] = c
+			return c, nil
+		}
+		cl := cells[i-nseq]
 		fab, kind, n := fabrics[cl.f], ScaleKinds[cl.k], coreCounts[cl.n]
 
 		// Barrier latency: the Figure 4 microbenchmark on this fabric.
@@ -124,26 +132,33 @@ func Scale(opt Options) ([]ScalePoint, error) {
 			return nil, fmt.Errorf("harness: scale %s/%s/%d: %w", fab, kind, n, err)
 		}
 
-		// Kernel speedup over this fabric's sequential baseline.
+		// Kernel warm time for the speedup post-pass.
 		o := opt
 		o.Fabric = fab
 		parWarm, err := MeasureParWarm(lk, kind, n, o)
 		if err != nil {
 			return nil, fmt.Errorf("harness: scale %s/%s/%d: %w", fab, kind, n, err)
 		}
-		out[i] = ScalePoint{
-			Fabric:     fab.String(),
-			Kind:       kind,
-			Cores:      n,
-			AvgBarrier: float64(cycles) / float64(k*m),
-			Speedup:    float64(seq[cl.f]) / float64(parWarm),
-		}
-		return out[i], nil
+		meas[i-nseq] = scaleCell{Barrier: cycles, ParWarm: parWarm}
+		return meas[i-nseq], nil
 	}, func(i int, data json.RawMessage) error {
-		return json.Unmarshal(data, &out[i])
+		if i < nseq {
+			return json.Unmarshal(data, &seq[i])
+		}
+		return json.Unmarshal(data, &meas[i-nseq])
 	})
 	if err != nil {
 		return nil, err
+	}
+	out := make([]ScalePoint, len(cells))
+	for i, cl := range cells {
+		out[i] = ScalePoint{
+			Fabric:     fabrics[cl.f].String(),
+			Kind:       ScaleKinds[cl.k],
+			Cores:      coreCounts[cl.n],
+			AvgBarrier: float64(meas[i].Barrier) / float64(k*m),
+			Speedup:    float64(seq[cl.f]) / float64(meas[i].ParWarm),
+		}
 	}
 	return out, nil
 }

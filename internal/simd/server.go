@@ -1,0 +1,599 @@
+package simd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Workers bounds how many cells simulate concurrently across all
+	// sweeps (default 4). The pool is the backpressure point: admitted
+	// sweeps queue for slots instead of growing goroutines without bound.
+	Workers int
+	// MaxSweeps bounds how many sweeps may be admitted at once — running
+	// or queued for their first worker slot (default 8). A full house
+	// sheds the queued sweep with the oldest queue deadline; failing
+	// that, the request is rejected with 429 and Retry-After.
+	MaxSweeps int
+	// Limits bounds what a single spec may ask for.
+	Limits Limits
+	// CacheDir persists the content-addressed result cache; empty keeps
+	// it in memory only.
+	CacheDir string
+	// JournalDir, when non-empty, journals every sweep to
+	// <JournalDir>/<sweep-hash>.jsonl through the harness's
+	// crash-resilient journal. Resubmitting a spec after a crash resumes
+	// its journal: finished cells replay, missing cells re-run, and the
+	// completed journal is byte-identical to an uninterrupted run's.
+	JournalDir string
+	// Shards is the cell-placement ring: each entry is either "local"
+	// (run on this process) or the base URL of another simd server.
+	// Cells are assigned by content hash, so placement is deterministic.
+	// Empty means everything runs locally.
+	Shards []string
+	// ShardTimeout, ShardRetries, and ShardBackoff govern remote shard
+	// calls: each attempt gets ShardTimeout, failures retry up to
+	// ShardRetries times with ShardBackoff doubling between attempts.
+	// A shard that stays down degrades the sweep — its cells come back
+	// status "missing" with the shard named — rather than failing it.
+	ShardTimeout time.Duration
+	ShardRetries int
+	ShardBackoff time.Duration
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+// DefaultConfig returns the standard server tuning.
+func DefaultConfig() Config {
+	return Config{
+		Workers:      4,
+		MaxSweeps:    8,
+		Limits:       DefaultLimits(),
+		ShardTimeout: 30 * time.Second,
+		ShardRetries: 2,
+		ShardBackoff: 250 * time.Millisecond,
+		RetryAfter:   time.Second,
+	}
+}
+
+// ticket is one admitted sweep's seat. Until the sweep wins its first
+// worker slot it is "queued" and — if it declared a queue deadline —
+// sheddable, oldest deadline first, by a newcomer that finds the house
+// full.
+type ticket struct {
+	deadline time.Time // zero: no queue deadline, never sheddable
+	started  bool
+	cancel   context.CancelFunc
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Accepted    int64 `json:"accepted"`
+	Completed   int64 `json:"completed"`
+	Rejected    int64 `json:"rejected"` // 429s
+	Shed        int64 `json:"shed"`     // queued sweeps evicted for newcomers
+	Inflight    int   `json:"inflight"` // admitted right now
+	Workers     int   `json:"workers"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	OracleOK    int64 `json:"oracle_ok"` // recomputations confirmed byte-identical
+}
+
+// Server is the simulation service. Create with NewServer; it implements
+// http.Handler.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	slots chan struct{}
+	mux   *http.ServeMux
+	ring  []string
+
+	mu       sync.Mutex
+	tickets  map[*ticket]struct{}
+	journals map[string]*sync.Mutex // per sweep hash: serializes journal access
+	stats    Stats
+}
+
+// NewServer builds a server from cfg, filling zero fields with defaults.
+func NewServer(cfg Config) (*Server, error) {
+	def := DefaultConfig()
+	if cfg.Workers <= 0 {
+		cfg.Workers = def.Workers
+	}
+	if cfg.MaxSweeps <= 0 {
+		cfg.MaxSweeps = def.MaxSweeps
+	}
+	if cfg.Limits == (Limits{}) {
+		cfg.Limits = def.Limits
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = def.ShardTimeout
+	}
+	if cfg.ShardBackoff <= 0 {
+		cfg.ShardBackoff = def.ShardBackoff
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = def.RetryAfter
+	}
+	cache, err := NewCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    cache,
+		slots:    make(chan struct{}, cfg.Workers),
+		ring:     cfg.Shards,
+		tickets:  make(map[*ticket]struct{}),
+		journals: make(map[string]*sync.Mutex),
+	}
+	if len(s.ring) == 0 {
+		s.ring = []string{ShardLocal}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/cells", s.handleCells)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// admit seats a sweep, shedding a stale queued one if the house is full.
+func (s *Server) admit(t *ticket) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tickets) >= s.cfg.MaxSweeps {
+		// Shed oldest-deadline-first: among sweeps still queued for their
+		// first worker slot, the one whose queue deadline is nearest (or
+		// furthest past) is the likeliest to miss it anyway, so it yields
+		// its seat. Started sweeps and queued sweeps that declared no
+		// deadline are never shed.
+		var victim *ticket
+		for o := range s.tickets {
+			if o.started || o.deadline.IsZero() {
+				continue
+			}
+			if victim == nil || o.deadline.Before(victim.deadline) {
+				victim = o
+			}
+		}
+		if victim == nil {
+			s.stats.Rejected++
+			return false
+		}
+		victim.cancel()
+		delete(s.tickets, victim)
+		s.stats.Shed++
+	}
+	s.tickets[t] = struct{}{}
+	s.stats.Accepted++
+	return true
+}
+
+func (s *Server) release(t *ticket) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tickets[t]; ok {
+		delete(s.tickets, t)
+		s.stats.Completed++
+	}
+}
+
+func (s *Server) markStarted(t *ticket) {
+	s.mu.Lock()
+	t.started = true
+	s.mu.Unlock()
+}
+
+// journalLock returns the mutex serializing the journal of one sweep hash,
+// so two concurrent submissions of the same spec cannot interleave writes
+// to one file (the second waits and then resumes off the first's records).
+func (s *Server) journalLock(hash string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.journals[hash]
+	if !ok {
+		m = &sync.Mutex{}
+		s.journals[hash] = m
+	}
+	return m
+}
+
+func writeError(w http.ResponseWriter, status int, e *Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error *Error `json:"error"`
+	}{e})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	st := s.stats
+	st.Inflight = len(s.tickets)
+	st.Workers = s.cfg.Workers
+	s.mu.Unlock()
+	st.CacheHits, st.CacheMisses, st.OracleOK = s.cache.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// decodeSpec parses and normalizes a request's spec, answering 4xx itself
+// on failure.
+func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errf("bad-spec", "", "POST required"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, errf("bad-spec", "", "decoding request: %v", err))
+		return false
+	}
+	return true
+}
+
+// handleSweep admits, runs, and streams one sweep as NDJSON: an "accepted"
+// line, one "cell" line per cell in index order, then "done" — or a
+// terminal "error" line if the sweep is torn down mid-flight.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if !s.decodeSpec(w, r, &spec) {
+		return
+	}
+	sw, serr := Normalize(spec, s.cfg.Limits)
+	if serr != nil {
+		writeError(w, http.StatusBadRequest, serr)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	t := &ticket{cancel: cancel}
+	if spec.QueueDeadlineMS > 0 {
+		t.deadline = time.Now().Add(time.Duration(spec.QueueDeadlineMS) * time.Millisecond)
+	}
+	if !s.admit(t) {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests,
+			errf("overload", "", "%d sweeps admitted and none sheddable; retry later", s.cfg.MaxSweeps))
+		return
+	}
+	defer s.release(t)
+
+	// Admission probe: the sweep must win one worker slot within its queue
+	// deadline before anything streams. While it waits here it is the
+	// shedding pool's prey; once through, it is started and safe.
+	var queueC <-chan time.Time
+	if !t.deadline.IsZero() {
+		qt := time.NewTimer(time.Until(t.deadline))
+		defer qt.Stop()
+		queueC = qt.C
+	}
+	select {
+	case s.slots <- struct{}{}:
+		<-s.slots
+	case <-queueC:
+		writeError(w, http.StatusServiceUnavailable,
+			errf("overload", "queue_deadline_ms", "no worker slot within the queue deadline"))
+		return
+	case <-ctx.Done():
+		writeError(w, http.StatusServiceUnavailable,
+			errf("shed", "", "sweep shed while queued (or client gone)"))
+		return
+	}
+	s.markStarted(t)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.runSweep(ctx, sw, newStreamWriter(w))
+}
+
+// streamLine is one NDJSON response line.
+type streamLine struct {
+	Type   string  `json:"type"` // accepted | cell | done | error
+	Sweep  string  `json:"sweep,omitempty"`
+	Cells  int     `json:"cells,omitempty"`
+	Index  *int    `json:"index,omitempty"`
+	Cached bool    `json:"cached,omitempty"`   // served from the content cache
+	Replay bool    `json:"replayed,omitempty"` // served from the resumed journal
+	Shard  string  `json:"shard,omitempty"`
+	Result *Result `json:"result,omitempty"`
+	OK     int     `json:"ok,omitempty"`
+	Errors int     `json:"errors,omitempty"`
+	Miss   int     `json:"missing,omitempty"`
+	Error  *Error  `json:"error,omitempty"`
+}
+
+type streamWriter struct {
+	enc   *json.Encoder
+	flush func()
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	sw := &streamWriter{enc: json.NewEncoder(w), flush: func() {}}
+	if f, ok := w.(http.Flusher); ok {
+		sw.flush = f.Flush
+	}
+	return sw
+}
+
+func (sw *streamWriter) line(l streamLine) {
+	sw.enc.Encode(l)
+	sw.flush()
+}
+
+// outcome is one cell's terminal state on its way to the committer.
+type outcome struct {
+	idx      int
+	res      Result
+	cached   bool
+	replayed bool
+	shard    string
+	canceled bool // sweep teardown: do not journal, abort the stream
+	missing  bool // shard loss: do not journal (a resubmission retries)
+}
+
+// runSweep executes a validated sweep: cache and journal replays are free,
+// fresh cells fan out over the worker pool (and the shard ring), and the
+// committer journals and streams everything in strict cell-index order.
+func (s *Server) runSweep(ctx context.Context, sw *Sweep, out *streamWriter) {
+	var j *harness.Journal
+	// Recompute runs are verification passes, not production sweeps: they
+	// bypass the journal entirely (replaying it would defeat the point of
+	// re-simulating) and leave it untouched.
+	if s.cfg.JournalDir != "" && !sw.Spec.Recompute {
+		lock := s.journalLock(sw.Hash)
+		lock.Lock()
+		defer lock.Unlock()
+		path := filepath.Join(s.cfg.JournalDir, sw.Hash+".jsonl")
+		var err error
+		// resume=true also covers the fresh-file case: the journal starts
+		// over with just its spec header.
+		j, err = harness.OpenJournal(path, true, sw.SpecString())
+		if err != nil {
+			// ErrJournalSpec here means a damaged or foreign file: the
+			// file is named by the spec hash, so a legitimate mismatch
+			// cannot happen.
+			out.line(streamLine{Type: "error", Error: errf("internal", "", "journal: %v", err)})
+			return
+		}
+		defer j.Close()
+	}
+
+	out.line(streamLine{Type: "accepted", Sweep: sw.Hash, Cells: len(sw.Cells)})
+
+	results := make(chan outcome, len(sw.Cells))
+	var wg sync.WaitGroup
+	var remote = make(map[string][]Cell) // shard URL → its cells
+
+	for _, c := range sw.Cells {
+		c := c
+		if j != nil {
+			if e, ok := j.Done(c.Key); ok {
+				results <- s.replayOutcome(c, e)
+				continue
+			}
+		}
+		if !sw.Spec.Recompute {
+			if b, ok := s.cache.Get(c.Hash); ok {
+				if res, err := ParseResult(b); err == nil {
+					results <- outcome{idx: c.Index, res: res, cached: true}
+					continue
+				}
+			}
+		}
+		if shard := s.ring[shardIndex(c.Hash, len(s.ring))]; shard != ShardLocal {
+			remote[shard] = append(remote[shard], c)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case s.slots <- struct{}{}:
+			case <-ctx.Done():
+				results <- outcome{idx: c.Index, canceled: true}
+				return
+			}
+			defer func() { <-s.slots }()
+			res, err := RunCell(ctx, c)
+			if Canceled(ctx, err) {
+				results <- outcome{idx: c.Index, canceled: true}
+				return
+			}
+			o := outcome{idx: c.Index, res: res}
+			if res.Cacheable() {
+				if perr := s.cache.Put(c.Hash, res.Bytes()); perr != nil {
+					o.res.Status = harness.StatusError
+					o.res.Error = perr.Error()
+				}
+			}
+			results <- o
+		}()
+	}
+	for shard, cells := range remote {
+		shard, cells := shard, cells
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.runShard(ctx, sw, shard, cells, results)
+		}()
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	s.commit(ctx, sw, j, results, out)
+}
+
+// replayOutcome turns a resumed journal entry back into a cell outcome,
+// feeding ok results through the cache (an oracle check when the cache
+// already holds the hash).
+func (s *Server) replayOutcome(c Cell, e harness.Entry) outcome {
+	o := outcome{idx: c.Index, replayed: true}
+	if len(e.Data) > 0 {
+		if res, err := ParseResult(e.Data); err == nil {
+			o.res = res
+		} else {
+			o.res = Result{Key: c.Key, Hash: c.Hash, Status: harness.StatusError,
+				Error: fmt.Sprintf("journal replay: %v", err)}
+			return o
+		}
+	} else {
+		o.res = Result{Key: c.Key, Hash: c.Hash, Status: e.Status, Error: e.Error}
+	}
+	if o.res.Cacheable() {
+		if perr := s.cache.Put(c.Hash, o.res.Bytes()); perr != nil {
+			o.res.Status = harness.StatusError
+			o.res.Error = perr.Error()
+		}
+	}
+	return o
+}
+
+// commit drains cell outcomes, re-establishing cell-index order, and
+// journals + streams each one. The journal sees writes strictly in order —
+// and stops at the first canceled or missing cell's index, so a torn-down
+// or shard-degraded sweep leaves a clean journal prefix for resumption.
+func (s *Server) commit(ctx context.Context, sw *Sweep, j *harness.Journal,
+	results <-chan outcome, out *streamWriter) {
+	pending := make(map[int]outcome, len(sw.Cells))
+	next := 0
+	journalable := true // false after the first gap (canceled cell)
+	counts := struct{ ok, errs, miss int }{}
+	canceled := false
+	for o := range results {
+		pending[o.idx] = o
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			idx := cur.idx
+			switch {
+			case cur.canceled:
+				// Torn down mid-sweep: nothing past this index may be
+				// journaled (the journal must stay a clean prefix), and the
+				// stream ends with a terminal error once drained.
+				canceled = true
+				journalable = false
+			case cur.missing:
+				counts.miss++
+				// Missing cells are answered but never journaled: Skip
+				// would advance the journal past them and a resume would
+				// not re-run them. Stopping the journal here keeps the
+				// clean-prefix invariant instead.
+				journalable = false
+				if !canceled {
+					out.line(streamLine{Type: "cell", Index: &idx, Shard: cur.shard, Result: &cur.res})
+				}
+			default:
+				if j != nil && journalable && !cur.replayed {
+					e := harness.Entry{Key: cur.res.Key, Status: cur.res.Status,
+						Error: cur.res.Error, Data: cur.res.Bytes()}
+					if err := j.Write(idx, e); err != nil {
+						out.line(streamLine{Type: "error", Error: errf("internal", "", "journal write: %v", err)})
+						journalable = false
+					}
+				} else if j != nil && journalable {
+					if err := j.Skip(idx); err != nil {
+						journalable = false
+					}
+				}
+				if cur.res.Status == harness.StatusOK {
+					counts.ok++
+				} else {
+					counts.errs++
+				}
+				if !canceled {
+					out.line(streamLine{Type: "cell", Index: &idx, Cached: cur.cached,
+						Replay: cur.replayed, Shard: cur.shard, Result: &cur.res})
+				}
+			}
+			next++
+		}
+	}
+	if canceled || ctx.Err() != nil {
+		out.line(streamLine{Type: "error", Error: errf("canceled", "",
+			"sweep torn down after %d of %d cells", next-len(pending), len(sw.Cells))})
+		return
+	}
+	out.line(streamLine{Type: "done", Sweep: sw.Hash, Cells: len(sw.Cells),
+		OK: counts.ok, Errors: counts.errs, Miss: counts.miss})
+}
+
+// handleCells is the shard-internal endpoint: run an explicit subset of a
+// sweep's cells and return their results as a JSON array. It shares the
+// worker pool (so shard traffic is backpressured with everything else) but
+// keeps no journal — the coordinating server owns the sweep's durability.
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	var req CellsRequest
+	if !s.decodeSpec(w, r, &req) {
+		return
+	}
+	sw, serr := Normalize(req.Spec, s.cfg.Limits)
+	if serr != nil {
+		writeError(w, http.StatusBadRequest, serr)
+		return
+	}
+	for _, i := range req.Indices {
+		if i < 0 || i >= len(sw.Cells) {
+			writeError(w, http.StatusBadRequest,
+				errf("bad-spec", "indices", "cell index %d out of range [0, %d)", i, len(sw.Cells)))
+			return
+		}
+	}
+	ctx := r.Context()
+	out := make([]Result, len(req.Indices))
+	var wg sync.WaitGroup
+	for oi, i := range req.Indices {
+		oi, c := oi, sw.Cells[i]
+		if !sw.Spec.Recompute {
+			if b, ok := s.cache.Get(c.Hash); ok {
+				if res, err := ParseResult(b); err == nil {
+					out[oi] = res
+					continue
+				}
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case s.slots <- struct{}{}:
+			case <-ctx.Done():
+				out[oi] = Result{Key: c.Key, Hash: c.Hash, Status: harness.StatusError,
+					Error: "shard request canceled"}
+				return
+			}
+			defer func() { <-s.slots }()
+			res, err := RunCell(ctx, c)
+			if !Canceled(ctx, err) && res.Cacheable() {
+				if perr := s.cache.Put(c.Hash, res.Bytes()); perr != nil {
+					res.Status = harness.StatusError
+					res.Error = perr.Error()
+				}
+			}
+			out[oi] = res
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return // client gone; nothing to answer
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

@@ -52,4 +52,10 @@ go test -run Sanitizer -count=1 .
 echo "== go test (journal kill-resume and deadlines) =="
 go test -run 'TestJournal|TestRunCells|TestCellDeadline' -count=1 ./internal/harness
 
+echo "== go test -race (simd server: overload, cancel/resume, shards) =="
+go test -race -count=1 ./internal/simd
+
+echo "== simd smoke (boot, kill -9 mid-sweep, resume byte-identical, cache oracle) =="
+sh scripts/simd_smoke.sh
+
 echo "ok"

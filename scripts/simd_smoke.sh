@@ -1,0 +1,120 @@
+#!/bin/sh
+# simd_smoke.sh — end-to-end crash-resilience smoke for the simd server.
+#
+# Boots cmd/simd, runs a reference sweep to completion, then re-runs it on
+# a fresh server that gets SIGKILLed mid-sweep, restarts the server over
+# the same journal/cache directories, resubmits, and asserts that both the
+# client-visible result bytes and the on-disk journal are byte-identical
+# to the uninterrupted run's. Finishes with the cache checks: an identical
+# resubmission must serve from cache byte-identically, and a recompute
+# pass with the simulator fast path and translation cache disabled must
+# re-simulate to the same bytes (the content-addressed cache acting as a
+# regression oracle).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/simd-smoke.XXXXXX")"
+SRV_PID=""
+cleanup() {
+	[ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build =="
+go build -o "$WORK/bin/" ./cmd/simd ./cmd/bench
+
+# The smoke sweep: viterbi x three seeds x a fault-free and a chaos
+# profile on the mesh fabric — six cells of a few hundred milliseconds
+# each at one worker, so the mid-sweep kill below reliably lands while
+# cells are still running.
+SPEC='{"kernels":["viterbi"],"n":96,"loops":8,"mechanisms":["filter-d"],"fabric":"mesh","threads":4,"seeds":[1,2,3],"chaos":["none","spurious-fill"],"max_cycles":100000000}'
+CELLS=6
+
+# boot <journal-dir> <cache-dir>: starts a server, sets SRV_PID and URL.
+boot() {
+	rm -f "$WORK/addr"
+	"$WORK/bin/simd" -addr 127.0.0.1:0 -addrfile "$WORK/addr" \
+		-workers 1 -journal "$1" -cache "$2" 2>>"$WORK/server.log" &
+	SRV_PID=$!
+	i=0
+	while [ ! -f "$WORK/addr" ]; do
+		i=$((i + 1))
+		[ $i -gt 100 ] && { echo "server did not come up" >&2; exit 1; }
+		sleep 0.1
+	done
+	URL="$(cat "$WORK/addr")"
+}
+
+stop() {
+	kill "$1" 2>/dev/null || true
+	wait "$1" 2>/dev/null || true
+	SRV_PID=""
+}
+
+echo "== reference run (uninterrupted) =="
+boot "$WORK/ref-journal" "$WORK/ref-cache"
+"$WORK/bin/bench" -server "$URL" -spec "$SPEC" >"$WORK/ref.out" 2>"$WORK/ref.err"
+stop "$SRV_PID"
+[ "$(wc -l <"$WORK/ref.out")" -eq "$CELLS" ] || {
+	echo "reference run produced $(wc -l <"$WORK/ref.out") results, want $CELLS" >&2
+	cat "$WORK/ref.err" >&2
+	exit 1
+}
+REF_JOURNAL="$(echo "$WORK"/ref-journal/*.jsonl)"
+
+echo "== kill -9 mid-sweep =="
+boot "$WORK/journal" "$WORK/cache"
+"$WORK/bin/bench" -server "$URL" -spec "$SPEC" >"$WORK/killed.out" 2>"$WORK/killed.err" &
+CLIENT_PID=$!
+# Wait for the first streamed result, then kill the server dead.
+i=0
+while [ ! -s "$WORK/killed.out" ]; do
+	i=$((i + 1))
+	[ $i -gt 200 ] && { echo "no results before kill window closed" >&2; exit 1; }
+	sleep 0.05
+done
+kill -9 "$SRV_PID"
+SRV_PID=""
+wait "$CLIENT_PID" 2>/dev/null || true # the client loses its stream; that is the point
+
+JOURNAL="$(echo "$WORK"/journal/*.jsonl)"
+DONE_LINES="$(wc -l <"$JOURNAL")"
+# Header + a strict prefix of the cells: the kill landed mid-sweep.
+if [ "$DONE_LINES" -ge $((CELLS + 1)) ]; then
+	echo "journal already complete ($DONE_LINES lines) — kill landed too late" >&2
+	exit 1
+fi
+echo "   killed with $DONE_LINES of $((CELLS + 1)) journal lines on disk"
+
+echo "== restart + resume =="
+boot "$WORK/journal" "$WORK/cache"
+"$WORK/bin/bench" -server "$URL" -spec "$SPEC" >"$WORK/resumed.out" 2>"$WORK/resumed.err"
+cmp "$WORK/ref.out" "$WORK/resumed.out" || {
+	echo "resumed results differ from the uninterrupted run" >&2
+	exit 1
+}
+cmp "$REF_JOURNAL" "$JOURNAL" || {
+	echo "resumed journal differs from the uninterrupted run" >&2
+	exit 1
+}
+
+echo "== cache: identical resubmission is served byte-identically =="
+"$WORK/bin/bench" -server "$URL" -spec "$SPEC" >"$WORK/cached.out" 2>"$WORK/cached.err"
+cmp "$WORK/ref.out" "$WORK/cached.out"
+grep -q "replayed" "$WORK/cached.err" || {
+	echo "resubmission did not replay from the journal" >&2
+	exit 1
+}
+
+echo "== oracle: -nofastpath recompute matches the cached bytes =="
+ORACLE_SPEC="$(printf '%s' "$SPEC" | sed 's/}$/,"recompute":true,"nofastpath":true,"notranslate":true}/')"
+"$WORK/bin/bench" -server "$URL" -spec "$ORACLE_SPEC" >"$WORK/oracle.out" 2>"$WORK/oracle.err"
+cmp "$WORK/ref.out" "$WORK/oracle.out" || {
+	echo "perturbed simulator (nofastpath+notranslate) diverged from cached bytes" >&2
+	exit 1
+}
+stop "$SRV_PID"
+
+echo "ok"
