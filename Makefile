@@ -18,14 +18,17 @@ check:
 
 # chaos runs the fault-injection differential matrix plus short fuzz
 # smokes of the assembler (the surface the chaos kernels are built through),
-# the static verifier (which must never panic on arbitrary programs), and
-# the translation-cache differential (arbitrary programs must retire
-# identically with the frontend cache on and off).
+# the static verifier (which must never panic on arbitrary programs), the
+# translation-cache differential (arbitrary programs must retire
+# identically with the frontend cache on and off), and the filter FSM
+# (arbitrary inval/fill/evict/reprogram sequences either follow Figure 3 or
+# fault with attribution).
 chaos:
 	$(GO) test -run Chaos -count=1 -v .
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s -run '^$$' ./internal/asm
 	$(GO) test -fuzz=FuzzVet -fuzztime=10s -run '^$$' ./internal/vet
 	$(GO) test -fuzz=FuzzTranslateDiff -fuzztime=10s -run '^$$' ./internal/cpu
+	$(GO) test -fuzz=FuzzFilterFSM -fuzztime=10s -run '^$$' ./internal/filter
 
 # simd-smoke boots the simd simulation server, SIGKILLs it mid-sweep, and
 # asserts the resumed sweep (and its journal) is byte-identical to an

@@ -54,6 +54,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master seed for the chaos fault-injection matrix (replays byte-identically)")
 	noverify := flag.Bool("noverify", false, "skip cross-checking kernel results against the Go references")
 	workers := flag.Int("workers", 0, "experiment-cell goroutines (0 = one per CPU, 1 = sequential)")
+	filtercap := flag.Int("filtercap", 0, "per-bank barrier-filter table entry capacity (0 = default; figure cells that overflow it fail with an attributed capacity error, chaos cells degrade to the software barrier)")
 	nofastpath := flag.Bool("nofastpath", false, "disable the quiescent-core simulator fast path (differential debugging)")
 	notranslate := flag.Bool("notranslate", false, "disable the basic-block translation cache (differential debugging)")
 	sanitize := flag.Bool("sanitize", false, "run the online invariant sanitizer on every machine (behaviour-invariant; violations abort the cell with an attributed report)")
@@ -80,6 +81,7 @@ func main() {
 	}
 	opt.Verify = !*noverify
 	opt.Workers = *workers
+	opt.FilterCap = *filtercap
 	opt.NoFastPath = *nofastpath
 	opt.NoTranslate = *notranslate
 	opt.Sanitize = *sanitize

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/filter"
 )
 
 // ErrUnrecoverable marks an attempt failure the degradation engine must not
@@ -178,6 +179,12 @@ func RunResilient(cfg core.Config, nthreads int, requested Kind, pol FallbackPol
 		m := core.NewMachine(cfg)
 		m.Load(prog)
 		if err := gen.Install(m, prog); err != nil {
+			if errors.Is(err, filter.ErrNoCapacity) {
+				// The filter table is full: a capacity spill is the
+				// designed degradation, not corruption — let the plan
+				// fall through to the software barrier.
+				return 0, fmt.Errorf("installing %s: %w", kind, err)
+			}
 			return 0, fmt.Errorf("%w: installing %s: %v", ErrUnrecoverable, kind, err)
 		}
 		if hooks.OnMachine != nil {

@@ -147,6 +147,54 @@ func TestResilientDegradesOnFilterTimeout(t *testing.T) {
 	}
 }
 
+// TestResilientDegradesOnCapacitySpill: with a filter-table capacity too
+// small for even one barrier, every hardware install overflows. The spill
+// must be recoverable — the run degrades to the software fallback and
+// completes with correct results — and the report must attribute the
+// degradation to capacity, never surface as ErrUnrecoverable.
+func TestResilientDegradesOnCapacitySpill(t *testing.T) {
+	const nthreads = 4
+	cfg := core.DefaultConfig(nthreads)
+	cfg.Mem.FilterCap = 1 // a 4-thread filter can never be allocated
+
+	build := func(gen Generator) (*asm.Program, error) {
+		return BuildProgram(gen, func(b *asm.Builder) {
+			gen.EmitBarrier(b)
+			b.LA(4, "done")
+			b.SLLI(6, 10, 3)
+			b.ADD(6, 4, 6)
+			b.LI(5, 1)
+			b.ST(5, 6, 0)
+			b.AlignData(64)
+			b.DataLabel("done")
+			b.Space(64)
+		})
+	}
+	hooks := AttemptHooks{
+		Verify: func(m *core.Machine, prog *asm.Program) error {
+			done := prog.MustSymbol("done")
+			for tid := 0; tid < nthreads; tid++ {
+				if got := m.Sys.Mem.ReadUint64(done + uint64(tid*8)); got != 1 {
+					return fmt.Errorf("thread %d done=%d, want 1", tid, got)
+				}
+			}
+			return nil
+		},
+	}
+	res, err := RunResilient(cfg, nthreads, KindFilterD, DefaultFallbackPolicy(2_000_000), build, hooks)
+	if err != nil {
+		t.Fatalf("capacity spill must be recoverable: %v\n%s", err, res.Report())
+	}
+	if !res.Degraded || res.Kind != KindSWCentral {
+		t.Fatalf("expected degradation to sw-central, got kind=%v degraded=%v", res.Kind, res.Degraded)
+	}
+	for _, a := range res.Attempts[:len(res.Attempts)-1] {
+		if !strings.Contains(a.Err, "capacity") {
+			t.Fatalf("attempt %d error %q not attributed to capacity", a.Try, a.Err)
+		}
+	}
+}
+
 // TestResilientVerifyFailureIsUnrecoverable: corruption detected by the
 // verify hook must abort, not retry — a retry would mask it.
 func TestResilientVerifyFailureIsUnrecoverable(t *testing.T) {

@@ -176,6 +176,7 @@ func NewMachine(cfg Config) *Machine {
 	m.Net = hwnet.New(cfg.CPU.HWBarrierWireLat)
 	for b := 0; b < cfg.Mem.L2Banks; b++ {
 		h := filter.NewBankFilters(cfg.FilterSlotsPerBank)
+		h.Cap = cfg.Mem.FilterCap
 		m.Hooks = append(m.Hooks, h)
 		m.Sys.Banks[b].SetHook(h)
 	}
@@ -268,6 +269,25 @@ func (m *Machine) InstallFilter(f *filter.Filter) error {
 // RemoveFilter swaps a filter out of its bank.
 func (m *Machine) RemoveFilter(f *filter.Filter) {
 	m.Hooks[m.Cfg.Mem.BankOf(f.ArrivalBase)].Remove(f)
+}
+
+// RetireFilter tears a filter down for good: its entries are evicted and
+// its tags move to the bank's retired list, where stale fills and invals
+// keep getting error-coded responses (barrier teardown, §3.3.3).
+func (m *Machine) RetireFilter(f *filter.Filter) {
+	m.Hooks[m.Cfg.Mem.BankOf(f.ArrivalBase)].Retire(f)
+}
+
+// DropParkedFills discards every parked fill issued by the given physical
+// core across all banks. The OS calls it when descheduling a core whose
+// MSHRs have been squashed — a later release would be dropped as stale, so
+// the filter forgets the fill rather than servicing a ghost.
+func (m *Machine) DropParkedFills(phys int) int {
+	n := 0
+	for _, h := range m.Hooks {
+		n += h.DropParked(phys)
+	}
+	return n
 }
 
 // StartThread resets core tid to run at entry with thread id tid of

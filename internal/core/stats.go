@@ -67,13 +67,33 @@ func (m *Machine) StatsReport() *sim.Stats {
 	set("filter.fills_released", released)
 	set("filter.error_responses", faults)
 
-	var timeouts, misuse uint64
+	var timeouts, misuse, spills, evictErrs, droppedFills uint64
 	for _, h := range m.Hooks {
 		timeouts += h.TimeoutReleases()
 		misuse += h.MisuseFaults()
+		spills += h.Spills
+		evictErrs += h.EvictErrors()
+		for _, f := range h.Filters() {
+			droppedFills += f.DroppedFills
+		}
+		for _, f := range h.Retired() {
+			droppedFills += f.DroppedFills
+		}
 	}
 	set("filter.timeout_releases", timeouts)
 	set("filter.misuse_faults", misuse)
+	// Capacity/eviction counters are only emitted when the virtualized
+	// filter table actually acted, so runs that never spill or evict keep
+	// reports byte-identical to pre-capacity ones (golden differentials).
+	if spills > 0 {
+		set("filter.overflow_spills", spills)
+	}
+	if evictErrs > 0 {
+		set("filter.evict_errors", evictErrs)
+	}
+	if droppedFills > 0 {
+		set("filter.desched_dropped_fills", droppedFills)
+	}
 
 	set("l3.hits", m.Sys.L3Cache().Hits)
 	set("l3.misses_to_dram", m.Sys.L3Cache().Misses)

@@ -48,6 +48,18 @@ type Profile struct {
 	SpuriousFillEvery uint64
 	MisuseEvery       uint64
 
+	// EvictEvery forcibly deallocates a random live filter entry (soft
+	// error in the table's valid bits, or an aggressive OS reclaiming
+	// entries under pressure). The victim's later arrival, exit, or fill
+	// hits the Evicted state and faults attributably.
+	EvictEvery uint64
+
+	// FilterCapOverride, when positive, shrinks every bank's filter-table
+	// entry capacity for the cell (applied by the harness when building
+	// the machine config): an allocation flood that must spill to the
+	// software barrier instead of wedging.
+	FilterCapOverride int
+
 	// StateFlipEvery injects soft errors into L1D tag/state arrays: a
 	// random valid Shared line is silently promoted to Modified. The
 	// caches hold no data, so the flip cannot corrupt results — it creates
@@ -69,7 +81,7 @@ func (p Profile) Active() bool {
 	return p.FillDelayP > 0 || p.InvalDelayP > 0 || p.ReorderP > 0 ||
 		p.RespDelayP > 0 || p.AckDropP > 0 ||
 		p.SpuriousFillEvery > 0 || p.MisuseEvery > 0 || p.PreemptEvery > 0 ||
-		p.StateFlipEvery > 0
+		p.StateFlipEvery > 0 || p.EvictEvery > 0 || p.FilterCapOverride > 0
 }
 
 // WantsPreemption reports whether the harness must drive a preemption plan.
@@ -88,6 +100,9 @@ func Profiles() []Profile {
 		{Name: "filter-misuse", MisuseEvery: 800},
 		{Name: "preempt", PreemptEvery: 10_000, PreemptGap: 2_000},
 		{Name: "state-flip", StateFlipEvery: 2_000},
+		{Name: "alloc-flood", FilterCapOverride: 1},
+		{Name: "forced-evict", EvictEvery: 6_000},
+		{Name: "migrate-storm", PreemptEvery: 3_000, PreemptGap: 400},
 		{Name: "monsoon", FillDelayP: 0.02, FillDelayMin: 1, FillDelayMax: 200,
 			ReorderP: 0.02, RespDelayP: 0.02, RespDelayMax: 200, AckDropP: 0.004,
 			SpuriousFillEvery: 1500, MisuseEvery: 2500},
@@ -163,8 +178,8 @@ type Injector struct {
 
 	rngReq, rngResp, rngAck, rngSched *sim.Rand
 
-	nextSpurious, nextMisuse, nextFlip uint64
-	nextID                             uint64
+	nextSpurious, nextMisuse, nextFlip, nextEvict uint64
+	nextID                                        uint64
 
 	records []Record
 	total   uint64
@@ -172,6 +187,7 @@ type Injector struct {
 	// Per-site counters.
 	FillDelays, InvalDelays, RespDelays, Reorders     uint64
 	AckDrops, SpuriousFills, MisuseInvals, StateFlips uint64
+	ForcedEvicts                                      uint64
 }
 
 var _ mem.ChaosHook = (*Injector)(nil)
@@ -190,6 +206,7 @@ func New(p Profile, seed uint64, sys *mem.System, cores int) *Injector {
 		nextSpurious: ^uint64(0),
 		nextMisuse:   ^uint64(0),
 		nextFlip:     ^uint64(0),
+		nextEvict:    ^uint64(0),
 		nextID:       spuriousIDBase,
 	}
 	if p.SpuriousFillEvery > 0 {
@@ -200,6 +217,9 @@ func New(p Profile, seed uint64, sys *mem.System, cores int) *Injector {
 	}
 	if p.StateFlipEvery > 0 {
 		in.nextFlip = 1 + in.gap(p.StateFlipEvery)
+	}
+	if p.EvictEvery > 0 {
+		in.nextEvict = 1 + in.gap(p.EvictEvery)
 	}
 	sys.SetChaosHook(in)
 	return in
@@ -267,6 +287,7 @@ func (in *Injector) Summary() string {
 	add(in.SpuriousFills, "spurious fills")
 	add(in.MisuseInvals, "misuse invals")
 	add(in.StateFlips, "state flips")
+	add(in.ForcedEvicts, "forced evictions")
 	if len(parts) == 0 {
 		return fmt.Sprintf("injector %q: nothing injected", in.P.Name)
 	}
@@ -332,6 +353,10 @@ func (in *Injector) Tick(now uint64) {
 		in.injectFlip(now)
 		in.nextFlip = now + in.gap(in.P.StateFlipEvery)
 	}
+	if now >= in.nextEvict {
+		in.injectEvict(now)
+		in.nextEvict = now + in.gap(in.P.EvictEvery)
+	}
 }
 
 // NextEvent implements mem.ChaosHook.
@@ -344,6 +369,9 @@ func (in *Injector) NextEvent(now uint64) (event uint64, ok bool) {
 	}
 	if in.P.StateFlipEvery > 0 && (!ok || in.nextFlip < event) {
 		event, ok = in.nextFlip, true
+	}
+	if in.P.EvictEvery > 0 && (!ok || in.nextEvict < event) {
+		event, ok = in.nextEvict, true
 	}
 	if ok && event < now {
 		event = now
@@ -391,6 +419,29 @@ func (in *Injector) injectMisuse(now uint64) {
 	in.MisuseInvals++
 	in.record(now, "filter.misuse", core, f.ArrivalAddr(t),
 		fmt.Sprintf("duplicate arrival for thread %d in state %s", t, st))
+}
+
+// injectEvict forcibly deallocates one live filter entry — a soft error in
+// the table's valid bits, or the OS reclaiming an entry under capacity
+// pressure. Parked fills on the victim come back as error fills
+// immediately; its later arrival, exit, or re-issued fill hits the Evicted
+// state and gets an error-coded response. Either way the run faults
+// attributably and the degradation engine retries or falls back — the
+// barrier can wedge only as far as the hardware timeout.
+func (in *Injector) injectEvict(now uint64) {
+	if len(in.filters) == 0 {
+		return
+	}
+	f := in.filters[in.rngSched.Intn(len(in.filters))]
+	t := in.rngSched.Intn(f.NumThreads)
+	st := f.State(t)
+	if st == filter.Evicted {
+		return
+	}
+	_ = f.EvictThread(t) // t is in range by construction
+	in.ForcedEvicts++
+	in.record(now, "filter.evict", -1, f.ArrivalAddr(t),
+		fmt.Sprintf("forced eviction of thread %d in state %s", t, st))
 }
 
 // injectFlip promotes one random valid Shared line in one core's L1D to

@@ -1,19 +1,40 @@
 package filter
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/mem"
 )
 
+// ErrNoCapacity is returned by Add when installing a filter would exceed
+// the bank's entry capacity. Allocations that hit it are expected to spill
+// to the software barrier path and be attributed as filter.overflow_spills
+// — capacity pressure degrades, it never wedges.
+var ErrNoCapacity = errors.New("filter table capacity exhausted")
+
+// maxRetired bounds the retired-filter list per bank; the oldest retiree
+// is forgotten first. Eight matches the default slot count: a tag can stay
+// stale-detectable for at least one full generation of replacements.
+const maxRetired = 8
+
 // BankFilters aggregates the barrier filters hosted by one L2 bank
-// controller (the hardware holds up to Slots of them) and implements
-// mem.BankHook. An invalidation can be meaningful to two filters at once —
-// in the ping-pong construction one barrier's arrival line is its twin's
-// exit line — so invalidations are shown to every matching filter.
+// controller (the hardware holds up to Slots of them, and at most Cap
+// table entries across all of them) and implements mem.BankHook. An
+// invalidation can be meaningful to two filters at once — in the ping-pong
+// construction one barrier's arrival line is its twin's exit line — so
+// invalidations are shown to every matching filter.
 type BankFilters struct {
-	Slots   int
+	Slots int
+	// Cap bounds the total table entries (one per thread per filter)
+	// the bank can hold; 0 means unbounded.
+	Cap     int
 	filters []*Filter
+	retired []*Filter
+
+	// Spills counts allocations refused for entry capacity (the
+	// filter.overflow_spills statistic).
+	Spills uint64
 }
 
 var _ mem.BankHook = (*BankFilters)(nil)
@@ -23,11 +44,17 @@ func NewBankFilters(slots int) *BankFilters {
 	return &BankFilters{Slots: slots}
 }
 
-// Add installs a filter, failing when the bank's slots are exhausted (the
-// OS then falls back to a software barrier, §3.3.1).
+// Add installs a filter, failing when the bank's slots are exhausted or
+// when its entry capacity would overflow (the OS then falls back to a
+// software barrier, §3.3.1).
 func (b *BankFilters) Add(f *Filter) error {
 	if len(b.filters) >= b.Slots {
 		return fmt.Errorf("filter: bank has no free filter slots (%d in use)", b.Slots)
+	}
+	if b.Cap > 0 && b.Entries()+f.NumThreads > b.Cap {
+		b.Spills++
+		return fmt.Errorf("%w: bank holds %d of %d entries, filter %s needs %d",
+			ErrNoCapacity, b.Entries(), b.Cap, f.Name, f.NumThreads)
 	}
 	b.filters = append(b.filters, f)
 	return nil
@@ -43,13 +70,60 @@ func (b *BankFilters) Remove(f *Filter) {
 	}
 }
 
+// Retire tears a filter down for good (barrier teardown): every entry is
+// evicted — parked fills are error-released — and the filter moves to the
+// bank's retired list, where its tags keep answering stale invals and
+// fills with error-coded responses instead of silently ignoring them.
+func (b *BankFilters) Retire(f *Filter) {
+	b.Remove(f)
+	for t := 0; t < f.NumThreads; t++ {
+		_ = f.EvictThread(t) // in range by construction
+	}
+	b.retired = append(b.retired, f)
+	if len(b.retired) > maxRetired {
+		b.retired = b.retired[len(b.retired)-maxRetired:]
+	}
+}
+
 // InUse returns the number of occupied slots.
 func (b *BankFilters) InUse() int { return len(b.filters) }
 
-// OnInval shows an invalidation to every filter that recognizes the
-// address, as arrival or exit.
-func (b *BankFilters) OnInval(now uint64, addr uint64, core int) (fault bool) {
+// Entries returns the occupied table entries across the live filters (a
+// filter consumes one entry per participating thread). Retired filters no
+// longer hold entries — only tags.
+func (b *BankFilters) Entries() int {
+	n := 0
 	for _, f := range b.filters {
+		n += f.NumThreads
+	}
+	return n
+}
+
+// OnInval shows an invalidation to every live filter that recognizes the
+// address, as arrival or exit. When no live filter matches, the retired
+// list is consulted: an inval for a deallocated filter's lines is a stale
+// tag, and every entry there is Evicted, so the FSM answers it with an
+// error-coded response.
+func (b *BankFilters) OnInval(now uint64, addr uint64, core int) (fault bool) {
+	matched := false
+	for _, f := range b.filters {
+		if t, ok := f.MatchExit(addr); ok {
+			matched = true
+			if f.onExitInval(t) {
+				fault = true
+			}
+		}
+		if t, ok := f.MatchArrival(addr); ok {
+			matched = true
+			if f.onArrivalInval(now, t) {
+				fault = true
+			}
+		}
+	}
+	if matched {
+		return fault
+	}
+	for _, f := range b.retired {
 		if t, ok := f.MatchExit(addr); ok {
 			if f.onExitInval(t) {
 				fault = true
@@ -64,9 +138,16 @@ func (b *BankFilters) OnInval(now uint64, addr uint64, core int) (fault bool) {
 	return fault
 }
 
-// OnFill consults the filter owning the arrival line, if any.
+// OnFill consults the filter owning the arrival line, if any. Live filters
+// take precedence; a fill matching only a retired filter's tag hits an
+// Evicted entry and gets an error-coded response.
 func (b *BankFilters) OnFill(now uint64, t mem.Txn) (park, fault bool) {
 	for _, f := range b.filters {
+		if tid, ok := f.MatchArrival(t.Addr); ok {
+			return f.onFill(now, tid, t)
+		}
+	}
+	for _, f := range b.retired {
 		if tid, ok := f.MatchArrival(t.Addr); ok {
 			return f.onFill(now, tid, t)
 		}
@@ -74,11 +155,14 @@ func (b *BankFilters) OnFill(now uint64, t mem.Txn) (park, fault bool) {
 	return false, false
 }
 
-// PopReleased round-robins over the filters' release queues.
+// PopReleased round-robins over the filters' release queues, including
+// retired filters still draining evict-time error releases.
 func (b *BankFilters) PopReleased(now uint64) (mem.Txn, bool, bool) {
-	for _, f := range b.filters {
-		if t, errFill, ok := f.popReleased(now); ok {
-			return t, errFill, ok
+	for _, fs := range [2][]*Filter{b.filters, b.retired} {
+		for _, f := range fs {
+			if t, errFill, ok := f.popReleased(now); ok {
+				return t, errFill, ok
+			}
 		}
 	}
 	return mem.Txn{}, false, false
@@ -89,20 +173,24 @@ func (b *BankFilters) PopReleased(now uint64) (mem.Txn, bool, bool) {
 // could spontaneously produce work (a queued release, or a parked fill
 // hitting its timeout). ok=false when no filter will act without new input.
 func (b *BankFilters) NextEvent(now uint64) (event uint64, ok bool) {
-	for _, f := range b.filters {
-		if t, o := f.nextEvent(now); o && (!ok || t < event) {
-			event, ok = t, true
+	for _, fs := range [2][]*Filter{b.filters, b.retired} {
+		for _, f := range fs {
+			if t, o := f.nextEvent(now); o && (!ok || t < event) {
+				event, ok = t, true
+			}
 		}
 	}
 	return event, ok
 }
 
 // LastError reports the most recent protocol error across the bank's
-// filters.
+// filters, live and retired.
 func (b *BankFilters) LastError() string {
-	for _, f := range b.filters {
-		if f.lastErr != "" {
-			return f.lastErr
+	for _, fs := range [2][]*Filter{b.filters, b.retired} {
+		for _, f := range fs {
+			if f.lastErr != "" {
+				return f.lastErr
+			}
 		}
 	}
 	return ""
@@ -112,20 +200,51 @@ func (b *BankFilters) LastError() string {
 // injection).
 func (b *BankFilters) Filters() []*Filter { return b.filters }
 
-// TimeoutReleases sums the hosted filters' timeout-release counters.
+// Retired returns the retired filters whose tags still answer stale
+// accesses (diagnostics).
+func (b *BankFilters) Retired() []*Filter { return b.retired }
+
+// TimeoutReleases sums the filters' timeout-release counters.
 func (b *BankFilters) TimeoutReleases() uint64 {
 	var n uint64
-	for _, f := range b.filters {
-		n += f.Timeouts
+	for _, fs := range [2][]*Filter{b.filters, b.retired} {
+		for _, f := range fs {
+			n += f.Timeouts
+		}
 	}
 	return n
 }
 
-// MisuseFaults sums the hosted filters' protocol-error counters.
+// MisuseFaults sums the filters' protocol-error counters.
 func (b *BankFilters) MisuseFaults() uint64 {
 	var n uint64
+	for _, fs := range [2][]*Filter{b.filters, b.retired} {
+		for _, f := range fs {
+			n += f.Errors
+		}
+	}
+	return n
+}
+
+// EvictErrors sums the evict-attributed error responses (stale-tag fills
+// and invals, evict-time error releases) across live and retired filters.
+func (b *BankFilters) EvictErrors() uint64 {
+	var n uint64
+	for _, fs := range [2][]*Filter{b.filters, b.retired} {
+		for _, f := range fs {
+			n += f.EvictErrors
+		}
+	}
+	return n
+}
+
+// DropParked discards parked fills issued by the given physical core
+// across the bank's live filters (OS deschedule; retired filters hold no
+// parked fills). Returns the number of fills dropped.
+func (b *BankFilters) DropParked(core int) int {
+	n := 0
 	for _, f := range b.filters {
-		n += f.Errors
+		n += f.DropParked(core)
 	}
 	return n
 }

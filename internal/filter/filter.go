@@ -20,6 +20,12 @@
 // error-coded responses that fault the offending core. A configurable
 // hardware timeout releases parked fills with an error code so that a
 // mis-sized barrier cannot starve a core forever.
+//
+// Beyond Figure 3, entries support an Evicted state modelling deallocation
+// (barrier teardown or a forced capacity eviction): an evicted entry
+// answers every subsequent invalidation or fill with an error-coded
+// response — a stale tag is a protocol error, never a silent drop or a
+// panic — until the OS reprograms it back to Waiting.
 package filter
 
 import (
@@ -35,6 +41,7 @@ const (
 	Waiting   ThreadState = iota // waiting-on-arrival
 	Blocking                     // blocked-until-release
 	Servicing                    // service-until-exit
+	Evicted                      // entry deallocated; stale accesses get error responses
 )
 
 func (s ThreadState) String() string {
@@ -45,6 +52,8 @@ func (s ThreadState) String() string {
 		return "Blocking"
 	case Servicing:
 		return "Servicing"
+	case Evicted:
+		return "Evicted"
 	}
 	return "?"
 }
@@ -53,6 +62,17 @@ func (s ThreadState) String() string {
 type parked struct {
 	txn      mem.Txn
 	parkedAt uint64
+	seq      uint64 // unique park id, links the fill to its expiry entry
+}
+
+// expiryEnt indexes one parked fill for earliest-expiry timeout tracking.
+// Parks happen in nondecreasing cycle order, so appending keeps the queue
+// sorted by park time; entries whose fill has since been released, dropped,
+// or evicted are discarded lazily when they reach the head.
+type expiryEnt struct {
+	at     uint64
+	seq    uint64
+	thread int
 }
 
 // Filter is one barrier's state table: arrival/exit tags, T thread entries
@@ -81,8 +101,12 @@ type Filter struct {
 	releaseQ []releaseEnt
 	lastErr  string
 
+	expiry  []expiryEnt // parked fills in park order, for exact timeout expiry
+	parkSeq uint64
+
 	// Statistics.
 	Arrivals, Openings, ParkedFills, ServicedInBlock, Errors, Timeouts uint64
+	Evictions, EvictErrors, Reprograms, DroppedFills                   uint64
 }
 
 type releaseEnt struct {
@@ -198,6 +222,9 @@ func (f *Filter) onArrivalInval(now uint64, t int) (fault bool) {
 			return f.fail("arrival inval for thread %d already Blocking", t)
 		}
 		return false
+	case Evicted:
+		f.EvictErrors++
+		return f.fail("arrival inval for thread %d on an evicted entry", t)
 	default:
 		return f.fail("arrival inval for thread %d in state %s", t, f.states[t])
 	}
@@ -209,12 +236,18 @@ func (f *Filter) open(now uint64) {
 	f.Openings++
 	f.arrivedCounter = 0
 	for t := range f.states {
+		if f.states[t] == Evicted {
+			continue // a deallocated entry does not rejoin the barrier
+		}
 		f.states[t] = Servicing
 		for _, p := range f.pending[t] {
 			f.releaseQ = append(f.releaseQ, releaseEnt{txn: p.txn})
 		}
 		f.pending[t] = f.pending[t][:0]
 	}
+	// Every parked fill was just released (evicted entries park nothing),
+	// so the whole expiry queue is dead.
+	f.expiry = f.expiry[:0]
 	_ = now
 }
 
@@ -222,6 +255,10 @@ func (f *Filter) open(now uint64) {
 func (f *Filter) onExitInval(t int) (fault bool) {
 	if !f.valid[t] {
 		return f.fail("exit inval for unregistered thread %d", t)
+	}
+	if f.states[t] == Evicted {
+		f.EvictErrors++
+		return f.fail("exit inval for thread %d on an evicted entry", t)
 	}
 	if f.states[t] != Servicing {
 		return f.fail("exit inval for thread %d in state %s", t, f.states[t])
@@ -238,25 +275,40 @@ func (f *Filter) onFill(now uint64, t int, txn mem.Txn) (park, fault bool) {
 	switch f.states[t] {
 	case Blocking:
 		f.ParkedFills++
-		f.pending[t] = append(f.pending[t], parked{txn: txn, parkedAt: now})
+		f.park(t, txn, now)
 		return true, false
 	case Servicing:
 		f.ServicedInBlock++
 		return false, false
+	case Evicted:
+		// Stale tag: the entry was deallocated while a fill was in
+		// flight. Every fill kind — demand, prefetch, instruction —
+		// gets an error-coded response, never a park.
+		f.EvictErrors++
+		return false, f.fail("fill for thread %d on an evicted entry (stale tag)", t)
 	default: // Waiting
 		if txn.Prefetch || txn.Kind == mem.GetI {
 			// Hardware prefetches and instruction fetches are
 			// inherently speculative (wrong-path fetch can touch an
 			// arrival line); they are filtered, never faulted, so
 			// they can neither open nor observe the barrier early.
-			f.pending[t] = append(f.pending[t], parked{txn: txn, parkedAt: now})
+			f.park(t, txn, now)
 			return true, false
 		}
 		return false, f.fail("fill for thread %d in state Waiting (load before invalidate?)", t)
 	}
 }
 
+// park withholds a fill for thread t and indexes it for timeout expiry.
+func (f *Filter) park(t int, txn mem.Txn, now uint64) {
+	f.parkSeq++
+	f.pending[t] = append(f.pending[t], parked{txn: txn, parkedAt: now, seq: f.parkSeq})
+	f.expiry = append(f.expiry, expiryEnt{at: now, seq: f.parkSeq, thread: t})
+}
+
 // popReleased yields one ready-to-service fill, honouring the timeout.
+// Timeout expiry walks the park-ordered expiry queue instead of rescanning
+// every parked fill: the head is the earliest park still possibly live.
 func (f *Filter) popReleased(now uint64) (mem.Txn, bool, bool) {
 	if len(f.releaseQ) > 0 {
 		r := f.releaseQ[0]
@@ -264,22 +316,39 @@ func (f *Filter) popReleased(now uint64) (mem.Txn, bool, bool) {
 		return r.txn, r.err, true
 	}
 	if f.Timeout > 0 {
-		for t := range f.pending {
-			for i, p := range f.pending[t] {
-				if now-p.parkedAt >= f.Timeout {
-					f.pending[t] = append(f.pending[t][:i], f.pending[t][i+1:]...)
-					f.Timeouts++
-					return p.txn, true, true
-				}
+		for len(f.expiry) > 0 {
+			e := f.expiry[0]
+			if now-e.at < f.Timeout {
+				break
+			}
+			f.expiry = f.expiry[1:]
+			if txn, ok := f.takeParked(e.thread, e.seq); ok {
+				f.Timeouts++
+				return txn, true, true
 			}
 		}
 	}
 	return mem.Txn{}, false, false
 }
 
+// takeParked removes and returns thread t's parked fill with the given park
+// id; ok=false when it has already been released, dropped, or evicted.
+func (f *Filter) takeParked(t int, seq uint64) (mem.Txn, bool) {
+	for i, p := range f.pending[t] {
+		if p.seq == seq {
+			txn := p.txn
+			f.pending[t] = append(f.pending[t][:i], f.pending[t][i+1:]...)
+			return txn, true
+		}
+	}
+	return mem.Txn{}, false
+}
+
 // nextEvent returns the earliest cycle at which popReleased could yield a
 // fill without any new invalidation arriving: immediately when the release
-// queue is non-empty, or at the earliest parked fill's timeout expiry.
+// queue is non-empty, or at the earliest live parked fill's timeout expiry.
+// Dead expiry entries at the head are discarded as a side effect, which is
+// invisible to callers.
 func (f *Filter) nextEvent(now uint64) (event uint64, ok bool) {
 	if len(f.releaseQ) > 0 {
 		return now, true
@@ -287,14 +356,91 @@ func (f *Filter) nextEvent(now uint64) (event uint64, ok bool) {
 	if f.Timeout == 0 {
 		return 0, false
 	}
-	for t := range f.pending {
-		for i := range f.pending[t] {
-			if e := f.pending[t][i].parkedAt + f.Timeout; !ok || e < event {
-				event, ok = e, true
-			}
+	for len(f.expiry) > 0 {
+		e := f.expiry[0]
+		if f.parkedAlive(e.thread, e.seq) {
+			return e.at + f.Timeout, true
+		}
+		f.expiry = f.expiry[1:]
+	}
+	return 0, false
+}
+
+// parkedAlive reports whether thread t still holds the parked fill with the
+// given park id.
+func (f *Filter) parkedAlive(t int, seq uint64) bool {
+	for _, p := range f.pending[t] {
+		if p.seq == seq {
+			return true
 		}
 	}
-	return event, ok
+	return false
+}
+
+// EvictThread deallocates thread t's entry (barrier teardown or a forced
+// capacity eviction): parked fills are released with an error code so the
+// issuing core faults instead of starving, an arrival already signalled is
+// rescinded from the arrived-counter, and the entry moves to Evicted,
+// where every later inval or fill is answered with an error-coded response
+// until ReprogramThread revalidates it. Evicting an already-evicted entry
+// is a no-op — hardware deallocation is idempotent.
+func (f *Filter) EvictThread(t int) error {
+	if t < 0 || t >= f.NumThreads {
+		return fmt.Errorf("filter %s: evict: thread %d out of range", f.Name, t)
+	}
+	if f.states[t] == Evicted {
+		return nil
+	}
+	if f.states[t] == Blocking {
+		f.arrivedCounter--
+	}
+	for _, p := range f.pending[t] {
+		f.releaseQ = append(f.releaseQ, releaseEnt{txn: p.txn, err: true})
+		f.EvictErrors++
+	}
+	f.pending[t] = f.pending[t][:0]
+	f.states[t] = Evicted
+	f.Evictions++
+	return nil
+}
+
+// ReprogramThread revalidates an Evicted entry for a new epoch: the thread
+// restarts in Waiting as if freshly registered. Reprogramming a live entry
+// is a protocol error (it would silently discard barrier state).
+func (f *Filter) ReprogramThread(t int) error {
+	if t < 0 || t >= f.NumThreads {
+		return fmt.Errorf("filter %s: reprogram: thread %d out of range", f.Name, t)
+	}
+	if f.states[t] != Evicted {
+		f.fail("reprogram of thread %d in state %s", t, f.states[t])
+		return fmt.Errorf("%s", f.lastErr)
+	}
+	f.states[t] = Waiting
+	f.valid[t] = true
+	f.Reprograms++
+	return nil
+}
+
+// DropParked silently discards parked fills issued by the given physical
+// core (OS deschedule, §3.3.3): the core's MSHRs were squashed, so a later
+// release would be dropped as stale anyway. The thread's arrival, if
+// already signalled, stays in force — the rescheduled thread re-issues the
+// load and parks again. Returns the number of fills dropped.
+func (f *Filter) DropParked(core int) int {
+	n := 0
+	for t := range f.pending {
+		kept := f.pending[t][:0]
+		for _, p := range f.pending[t] {
+			if p.txn.Core == core {
+				n++
+				continue
+			}
+			kept = append(kept, p)
+		}
+		f.pending[t] = kept
+	}
+	f.DroppedFills += uint64(n)
+	return n
 }
 
 // PendingFor returns how many fills are parked for thread t (tests).

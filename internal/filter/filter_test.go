@@ -332,7 +332,8 @@ func TestBankFiltersPingPongRouting(t *testing.T) {
 }
 
 func TestStateStrings(t *testing.T) {
-	if Waiting.String() != "Waiting" || Blocking.String() != "Blocking" || Servicing.String() != "Servicing" {
+	if Waiting.String() != "Waiting" || Blocking.String() != "Blocking" ||
+		Servicing.String() != "Servicing" || Evicted.String() != "Evicted" {
 		t.Fatal("state strings")
 	}
 }

@@ -149,6 +149,11 @@ func runChaosCell(ctx *cellCtx, k kernels.Kernel, kind barrier.Kind, p faults.Pr
 	// The paper's hardware timeout stays armed under chaos: it is the
 	// last line of defense turning starvation into an attributable fault.
 	cfg.FilterTimeout = 100_000
+	if p.FilterCapOverride > 0 {
+		// Allocation-flood cells shrink the per-bank filter table so the
+		// install path itself must spill to the software barrier.
+		cfg.Mem.FilterCap = p.FilterCapOverride
+	}
 
 	cell := ChaosCell{Kernel: k.Name(), Kind: kind, Profile: p.Name}
 	var lastInj *faults.Injector

@@ -51,6 +51,10 @@ type Options struct {
 	// path. Results are keyed by cell index, never completion order, so
 	// every table and figure is bit-identical across worker counts.
 	Workers int
+	// FilterCap overrides the per-bank filter-table entry capacity
+	// (mem.Config.FilterCap); 0 keeps the default. cmd/bench exposes it
+	// as -filtercap.
+	FilterCap int
 	// NoFastPath disables the simulator's quiescent-core fast path
 	// (differential testing; see core.Config.NoFastPath).
 	NoFastPath bool
@@ -110,6 +114,9 @@ func QuickOptions() Options {
 func machineConfig(cores int, opt Options) core.Config {
 	cfg := core.DefaultConfig(cores)
 	cfg.Mem.Fabric = opt.Fabric
+	if opt.FilterCap > 0 {
+		cfg.Mem.FilterCap = opt.FilterCap
+	}
 	cfg.NoFastPath = opt.NoFastPath
 	cfg.NoTranslate = opt.NoTranslate
 	if opt.Sanitize {

@@ -72,6 +72,12 @@ type Config struct {
 
 	FilterBW int // parked fills released per bank per cycle (paper: 1)
 
+	// FilterCap bounds the barrier-filter table entries per L2 bank (one
+	// entry per thread per filter): the hardware table is finite, and an
+	// allocation that would overflow it spills to the software barrier
+	// path instead. 0 means unbounded.
+	FilterCap int
+
 	// GrantHoldCycles protects a just-granted exclusive line from being
 	// stolen by another core's conflicting request until this many cycles
 	// after the fill was delivered, giving the owner time to perform one
@@ -104,6 +110,7 @@ func DefaultConfig(cores int) Config {
 		OwnerFetchPenalty:     6,
 		SharerInvalPenalty:    2,
 		FilterBW:              1,
+		FilterCap:             1024,
 		GrantHoldCycles:       16,
 		LinkLat:               1,
 		MeshLinkBytesPerCycle: 32,

@@ -55,6 +55,9 @@ func (c *Config) Validate() error {
 	if c.DataBusBytesPerCycle <= 0 {
 		return fmt.Errorf("mem: data bus width %dB/cycle is not positive: %w", c.DataBusBytesPerCycle, ErrConfig)
 	}
+	if c.FilterCap < 0 {
+		return fmt.Errorf("mem: filter table capacity %d is negative: %w", c.FilterCap, ErrConfig)
+	}
 	if err := checkGeometry("L1", c.L1Size, c.L1Assoc, c.LineBytes); err != nil {
 		return err
 	}

@@ -75,11 +75,13 @@ func (h *Handle) Filters() []*filter.Filter {
 // time, before any code is generated — mirroring the paper's flow where a
 // request "will receive a handle to a filter barrier if one is available".
 type Manager struct {
-	m         *core.Machine
-	alloc     *barrier.Allocator
-	nextID    int
-	slotsFree []int
-	handles   map[int]*Handle
+	m           *core.Machine
+	alloc       *barrier.Allocator
+	nextID      int
+	slotsFree   []int
+	entriesFree []int // per-bank free table entries; -1 when unbounded
+	handles     map[int]*Handle
+	spills      uint64
 }
 
 // NewManager creates the barrier library for one machine.
@@ -89,8 +91,14 @@ func NewManager(m *core.Machine) *Manager {
 		alloc:   barrier.NewAllocator(m.Cfg.Mem),
 		handles: make(map[int]*Handle),
 	}
+	cap := m.Cfg.Mem.FilterCap
 	for b := 0; b < m.Cfg.Mem.L2Banks; b++ {
 		mgr.slotsFree = append(mgr.slotsFree, m.Cfg.FilterSlotsPerBank-m.Hooks[b].InUse())
+		if cap > 0 {
+			mgr.entriesFree = append(mgr.entriesFree, cap-m.Hooks[b].Entries())
+		} else {
+			mgr.entriesFree = append(mgr.entriesFree, -1)
+		}
 	}
 	return mgr
 }
@@ -100,23 +108,38 @@ func (mgr *Manager) Allocator() *barrier.Allocator { return mgr.alloc }
 
 // Register creates a barrier of the requested kind for nthreads threads.
 // Filter barriers are placed in an L2 bank with enough free filter slots
-// (entry/exit barriers need one, ping-pong pairs need two); when every bank
-// is full, the request is granted as the centralized software fallback
-// (§3.3.1).
+// (entry/exit barriers need one, ping-pong pairs need two) and enough free
+// table entries (one per thread per filter); when every bank is full, the
+// request is granted as the centralized software fallback (§3.3.1). A
+// fallback forced by entry capacity — a bank had a free slot but not the
+// entries — is counted as an overflow spill.
 func (mgr *Manager) Register(kind barrier.Kind, nthreads int) (*Handle, error) {
 	granted := kind
 	bank := -1
 	if need := barrier.SlotsNeeded(kind); need > 0 {
+		entryNeed := need * nthreads
+		entryStarved := false
 		for b := range mgr.slotsFree {
-			if mgr.slotsFree[b] >= need {
-				bank = b
-				break
+			if mgr.slotsFree[b] < need {
+				continue
 			}
+			if mgr.entriesFree[b] >= 0 && mgr.entriesFree[b] < entryNeed {
+				entryStarved = true
+				continue
+			}
+			bank = b
+			break
 		}
 		if bank < 0 {
 			granted = barrier.KindSWCentral
+			if entryStarved {
+				mgr.spills++
+			}
 		} else {
 			mgr.slotsFree[bank] -= need
+			if mgr.entriesFree[bank] >= 0 {
+				mgr.entriesFree[bank] -= entryNeed
+			}
 		}
 	}
 	var gen barrier.Generator
@@ -154,10 +177,20 @@ func (mgr *Manager) SwapOut(h *Handle) {
 	for _, f := range h.Filters() {
 		mgr.m.RemoveFilter(f)
 	}
-	if h.Bank >= 0 {
-		mgr.slotsFree[h.Bank] += barrier.SlotsNeeded(h.Granted)
-	}
+	mgr.refund(h)
 	h.swappedOut = true
+}
+
+// refund returns a barrier's slots and entries to its bank's budget.
+func (mgr *Manager) refund(h *Handle) {
+	if h.Bank < 0 {
+		return
+	}
+	need := barrier.SlotsNeeded(h.Granted)
+	mgr.slotsFree[h.Bank] += need
+	if mgr.entriesFree[h.Bank] >= 0 {
+		mgr.entriesFree[h.Bank] += need * h.NThreads
+	}
 }
 
 // SwapIn reinstalls a swapped-out barrier's filters, possibly failing if
@@ -170,6 +203,9 @@ func (mgr *Manager) SwapIn(h *Handle) error {
 	if h.Bank >= 0 && mgr.slotsFree[h.Bank] < need {
 		return fmt.Errorf("osmodel: bank %d has no free filter slots to swap barrier %d back in", h.Bank, h.ID)
 	}
+	if h.Bank >= 0 && mgr.entriesFree[h.Bank] >= 0 && mgr.entriesFree[h.Bank] < need*h.NThreads {
+		return fmt.Errorf("osmodel: bank %d has no free filter entries to swap barrier %d back in", h.Bank, h.ID)
+	}
 	for _, f := range h.Filters() {
 		if err := mgr.m.InstallFilter(f); err != nil {
 			return err
@@ -177,18 +213,65 @@ func (mgr *Manager) SwapIn(h *Handle) error {
 	}
 	if h.Bank >= 0 {
 		mgr.slotsFree[h.Bank] -= need
+		if mgr.entriesFree[h.Bank] >= 0 {
+			mgr.entriesFree[h.Bank] -= need * h.NThreads
+		}
 	}
 	h.swappedOut = false
 	return nil
 }
 
-// Close releases a barrier handle and its hardware.
+// Close releases a barrier handle and its hardware for good. Unlike
+// SwapOut — which parks the filters for a later SwapIn — Close retires
+// them: every entry is evicted and the tags stay behind in the bank's
+// retired list, answering stale fills and invalidations with error-coded
+// responses instead of silently ignoring them.
 func (mgr *Manager) Close(h *Handle) {
-	mgr.SwapOut(h)
+	if !h.swappedOut {
+		for _, f := range h.Filters() {
+			mgr.m.RetireFilter(f)
+		}
+		mgr.refund(h)
+		h.swappedOut = true
+	}
 	delete(mgr.handles, h.ID)
+}
+
+// EvictThread deallocates thread t's entry in every filter of the barrier
+// (OS-driven: teardown of one participant, or making room under capacity
+// pressure). Later accesses through the stale entry get error-coded
+// responses until ReprogramThread.
+func (mgr *Manager) EvictThread(h *Handle, t int) error {
+	for _, f := range h.Filters() {
+		if err := f.EvictThread(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReprogramThread revalidates thread t's evicted entries so the thread can
+// rejoin the barrier in the Waiting state.
+func (mgr *Manager) ReprogramThread(h *Handle, t int) error {
+	for _, f := range h.Filters() {
+		if err := f.ReprogramThread(t); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // FreeSlots reports the free filter slots in each bank.
 func (mgr *Manager) FreeSlots() []int {
 	return append([]int(nil), mgr.slotsFree...)
 }
+
+// FreeEntries reports the free filter-table entries in each bank (-1 when
+// the capacity is unbounded).
+func (mgr *Manager) FreeEntries() []int {
+	return append([]int(nil), mgr.entriesFree...)
+}
+
+// OverflowSpills counts registrations that fell back to the software
+// barrier because of entry capacity (not slot) exhaustion.
+func (mgr *Manager) OverflowSpills() uint64 { return mgr.spills }

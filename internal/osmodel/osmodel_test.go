@@ -8,6 +8,7 @@ import (
 	"repro/internal/barrier"
 	"repro/internal/core"
 	"repro/internal/filter"
+	"repro/internal/mem"
 )
 
 func TestRegisterGrantsFilters(t *testing.T) {
@@ -104,6 +105,145 @@ func TestRegistrationAndAddresses(t *testing.T) {
 	cfg := m.Cfg.Mem
 	if cfg.BankOf(a0) != cfg.BankOf(a2) || cfg.BankOf(a0) != cfg.BankOf(e0) {
 		t.Fatal("barrier lines do not map to one bank")
+	}
+}
+
+func TestRegisterSpillsWhenEntriesExhausted(t *testing.T) {
+	// Slots are plentiful, but the per-bank entry capacity only fits one
+	// 8-thread barrier per bank: the fifth registration (4 banks) must
+	// fall back to software and be counted as an overflow spill.
+	cfg := core.DefaultConfig(8)
+	cfg.Mem.FilterCap = 8
+	m := core.NewMachine(cfg)
+	mgr := NewManager(m)
+	for i := 0; i < m.Cfg.Mem.L2Banks; i++ {
+		h, err := mgr.Register(barrier.KindFilterD, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Granted != barrier.KindFilterD {
+			t.Fatalf("barrier %d: granted %v, want filter-d", i, h.Granted)
+		}
+	}
+	for b, free := range mgr.FreeEntries() {
+		if free != 0 {
+			t.Fatalf("bank %d has %d free entries, want 0", b, free)
+		}
+	}
+	h, err := mgr.Register(barrier.KindFilterD, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Granted != barrier.KindSWCentral {
+		t.Fatalf("granted %v, want sw-central entry-capacity fallback", h.Granted)
+	}
+	if mgr.OverflowSpills() != 1 {
+		t.Fatalf("OverflowSpills=%d, want 1", mgr.OverflowSpills())
+	}
+	// A small barrier still fits nowhere (8-entry banks are full), but
+	// closing one frees its entries for reuse.
+	first := func() *Handle {
+		for _, hh := range mgr.handles {
+			if hh.Granted == barrier.KindFilterD {
+				return hh
+			}
+		}
+		return nil
+	}
+	victim := first()
+	if victim == nil {
+		t.Fatal("no hardware handle to close")
+	}
+	mgr.Close(victim)
+	h2, err := mgr.Register(barrier.KindFilterD, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Granted != barrier.KindFilterD {
+		t.Fatalf("granted %v after Close freed entries, want filter-d", h2.Granted)
+	}
+	// Unbounded capacity never spills.
+	cfg2 := core.DefaultConfig(8)
+	cfg2.Mem.FilterCap = 0
+	mgr2 := NewManager(core.NewMachine(cfg2))
+	for b, free := range mgr2.FreeEntries() {
+		if free != -1 {
+			t.Fatalf("bank %d entries %d, want -1 (unbounded)", b, free)
+		}
+	}
+}
+
+func TestCloseRetiresFilters(t *testing.T) {
+	m := core.NewMachine(core.DefaultConfig(4))
+	mgr := NewManager(m)
+	h, err := mgr.Register(barrier.KindFilterD, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := barrier.BuildProgram(h.Gen, func(b *asm.Builder) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(prog)
+	if err := h.Gen.Install(m, prog); err != nil {
+		t.Fatal(err)
+	}
+	f := h.Filters()[0]
+	bank := h.Bank
+	slotsBefore := mgr.FreeSlots()[bank]
+	mgr.Close(h)
+	if mgr.FreeSlots()[bank] != slotsBefore+1 {
+		t.Fatal("Close did not refund the slot")
+	}
+	if m.Hooks[bank].InUse() != 0 {
+		t.Fatal("Close left the filter live")
+	}
+	if len(m.Hooks[bank].Retired()) != 1 {
+		t.Fatal("Close did not retire the filter")
+	}
+	// A stale fill against the closed barrier's tag is answered with an
+	// error-coded response, not silently ignored.
+	park, fault := m.Hooks[bank].OnFill(0, mem.Txn{Kind: mem.GetS, Addr: f.ArrivalAddr(0), Core: 0})
+	if park || !fault {
+		t.Fatalf("stale fill after Close: park=%v fault=%v", park, fault)
+	}
+	if m.Hooks[bank].EvictErrors() == 0 {
+		t.Fatal("stale-tag error not counted")
+	}
+	// Closing twice is harmless.
+	mgr.Close(h)
+}
+
+func TestEvictAndReprogramThroughManager(t *testing.T) {
+	m := core.NewMachine(core.DefaultConfig(4))
+	mgr := NewManager(m)
+	h, err := mgr.Register(barrier.KindFilterD, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := barrier.BuildProgram(h.Gen, func(b *asm.Builder) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(prog)
+	if err := h.Gen.Install(m, prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.EvictThread(h, 2); err != nil {
+		t.Fatal(err)
+	}
+	if h.Filters()[0].State(2) != filter.Evicted {
+		t.Fatal("manager eviction did not reach the filter")
+	}
+	if err := mgr.ReprogramThread(h, 2); err != nil {
+		t.Fatal(err)
+	}
+	if h.Filters()[0].State(2) != filter.Waiting {
+		t.Fatal("manager reprogram did not restart the entry")
+	}
+	// Reprogramming a live entry surfaces the protocol error.
+	if err := mgr.ReprogramThread(h, 2); err == nil {
+		t.Fatal("reprogram of a live entry must fail")
 	}
 }
 

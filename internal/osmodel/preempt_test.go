@@ -10,6 +10,123 @@ import (
 	"repro/internal/filter"
 )
 
+// TestMigrateBlockedMidBarrier is the regression for migration-safe filter
+// state: a thread in Blocking WITH a fill already parked at the filter is
+// migrated to another core. The deschedule must silently drop the parked
+// fill (the old core's MSHRs are squashed — servicing it later would go to
+// nobody), the arrival must stay in force, and the thread must re-issue and
+// re-park on the new core so the barrier completes with no protocol error.
+func TestMigrateBlockedMidBarrier(t *testing.T) {
+	const nthreads = 2
+	cfg := core.DefaultConfig(3) // 2 threads + a spare core to migrate to
+	m := core.NewMachine(cfg)
+	mgr := NewManager(m)
+	h, err := mgr.Register(barrier.KindFilterD, nthreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Thread 0 spins on a flag so thread 1 reaches the barrier alone and
+	// blocks there. Done markers live at flag+64+8*tid.
+	prog, err := barrier.BuildProgram(h.Gen, func(b *asm.Builder) {
+		b.LA(4, "flag")
+		wait := b.NewLabel("wait")
+		go1 := b.NewLabel("go1")
+		b.BNEZ(10, go1)
+		b.Label(wait)
+		b.LD(5, 4, 0)
+		b.BEQZ(5, wait)
+		b.Label(go1)
+		h.Gen.EmitBarrier(b)
+		b.SLLI(6, 10, 3)
+		b.ADD(6, 4, 6)
+		b.LI(5, 1)
+		b.ST(5, 6, 64)
+		b.AlignData(64)
+		b.DataLabel("flag")
+		b.Space(192)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(prog)
+	if err := h.Gen.Install(m, prog); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < nthreads; tid++ {
+		if err := h.RegisterThread(tid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := h.Filters()[0]
+
+	sched := NewScheduler(m)
+	for tid := 0; tid < nthreads; tid++ {
+		if err := sched.StartThread(tid, tid, prog.Entry, nthreads); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Run until thread 1 is Blocking with its stall fill parked, then wait
+	// for the store buffer to drain so the migration can proceed.
+	for i := 0; i < 200_000 && f.PendingFor(1) == 0; i++ {
+		m.Step()
+	}
+	if f.State(1) != filter.Blocking || f.PendingFor(1) != 1 {
+		t.Fatalf("setup: state=%v pending=%d, want Blocking with 1 parked fill",
+			f.State(1), f.PendingFor(1))
+	}
+	for i := 0; i < 10_000 && !sched.Drained(1); i++ {
+		m.Step()
+	}
+
+	if err := sched.Migrate(1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The parked fill was dropped silently — not error-released — and the
+	// arrival was not rescinded.
+	if f.PendingFor(1) != 0 {
+		t.Fatalf("parked fill survived the migration (pending=%d)", f.PendingFor(1))
+	}
+	if f.DroppedFills != 1 {
+		t.Fatalf("DroppedFills=%d, want 1", f.DroppedFills)
+	}
+	if f.EvictErrors != 0 {
+		t.Fatalf("migration produced %d error releases; the drop must be silent", f.EvictErrors)
+	}
+	if f.State(1) != filter.Blocking || f.ArrivedCount() != 1 {
+		t.Fatalf("arrival rescinded by migration: state=%v arrived=%d",
+			f.State(1), f.ArrivedCount())
+	}
+
+	// The thread re-issues its stall load on core 2 and parks afresh.
+	for i := 0; i < 200_000 && f.PendingFor(1) == 0; i++ {
+		m.Step()
+	}
+	if f.PendingFor(1) == 0 {
+		t.Fatal("migrated thread did not re-block at the filter")
+	}
+
+	// Release thread 0: the barrier opens and both threads complete.
+	flag := prog.MustSymbol("flag")
+	m.Sys.Mem.WriteUint64(flag, 1)
+	if _, err := m.Run(5_000_000); err != nil {
+		t.Fatalf("run to completion: %v", err)
+	}
+	for tid := 0; tid < nthreads; tid++ {
+		if got := m.Sys.Mem.ReadUint64(flag + 64 + uint64(tid*8)); got != 1 {
+			t.Fatalf("thread %d did not pass the barrier (done=%d)", tid, got)
+		}
+	}
+	if f.Openings != 1 {
+		t.Fatalf("filter openings = %d, want 1", f.Openings)
+	}
+	if f.Errors != 0 {
+		t.Fatalf("filter errors = %d (%s)", f.Errors, f.LastError())
+	}
+}
+
 // TestPreemptBetweenArrivalAndStallFill pins down the narrowest §3.3.3
 // window: a thread whose arrival invalidation has already reached the filter
 // (state Blocking) but whose stall-fill request is still in flight — here

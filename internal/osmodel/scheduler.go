@@ -69,6 +69,11 @@ func (s *Scheduler) Deschedule(tid int) error {
 	if err != nil {
 		return err
 	}
+	// The core's MSHRs were just squashed: any fill parked for it in a
+	// barrier filter would be released to nobody, so the OS deallocates
+	// those parked fills now. The thread's arrival stays in force — on
+	// reschedule its re-issued load parks afresh (§3.3.3).
+	s.m.DropParkedFills(s.m.PhysicalOf(t.core))
 	t.PC, t.Regs = pc, regs
 	s.onCore[t.core] = -1
 	t.core = -1

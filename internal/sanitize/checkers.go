@@ -119,12 +119,42 @@ func (s *Sanitizer) checkFilters(now uint64) {
 //     (Blocking) — only speculative fills (prefetch, wrong-path ifetch) may
 //     park in Waiting;
 //   - an open (Servicing) thread entry holds no parked fill: a released
-//     slot must not still be blocking a core.
+//     slot must not still be blocking a core;
+//   - occupancy never exceeds the bank's entry capacity, no two live
+//     filters' arrival tags overlap, and an Evicted (deallocated) entry
+//     withholds nothing.
 func (s *Sanitizer) checkBankFilters(now uint64, b int) {
 	if b < 0 || b >= len(s.hooks) || s.hooks[b] == nil {
 		return
 	}
-	for slot, f := range s.hooks[b].Filters() {
+	h := s.hooks[b]
+	if h.Cap > 0 && h.Entries() > h.Cap {
+		s.record(Violation{
+			Cycle: now, Checker: "filter", Invariant: "filter.capacity-exceeded",
+			Addr: 0, Core: -1, Bank: b, Slot: -1, Thread: -1,
+			Detail: fmt.Sprintf("bank holds %d table entries over its capacity %d (an allocation bypassed the spill path)", h.Entries(), h.Cap),
+		})
+	}
+	live := h.Filters()
+	for slot, f := range live {
+		// Tag consistency: no other live filter may claim any of this
+		// filter's arrival lines — ambiguous ownership would route fills
+		// nondeterministically. (Arrival/exit overlap is legal: the
+		// ping-pong twins alias on purpose.)
+		for _, g := range live[slot+1:] {
+			for t := 0; t < f.NumThreads; t++ {
+				if gt, ok := g.MatchArrival(f.ArrivalAddr(t)); ok {
+					s.record(Violation{
+						Cycle: now, Checker: "filter", Invariant: "filter.tag-overlap",
+						Addr: f.ArrivalAddr(t), Core: -1, Bank: b, Slot: slot, Thread: t,
+						Detail: fmt.Sprintf("barriers %q (thread %d) and %q (thread %d) both claim the arrival line", f.Name, t, g.Name, gt),
+					})
+					break
+				}
+			}
+		}
+	}
+	for slot, f := range live {
 		blocking, registered := 0, 0
 		for t := 0; t < f.NumThreads; t++ {
 			if !f.Registered(t) {
@@ -167,6 +197,12 @@ func (s *Sanitizer) checkBankFilters(now uint64, b int) {
 						Detail: fmt.Sprintf("barrier %q withholds a demand fill (%s) for a thread that has not arrived", f.Name, p.Txn.Kind),
 					})
 				}
+			case filter.Evicted:
+				s.record(Violation{
+					Cycle: now, Checker: "filter", Invariant: "filter.parked-evicted",
+					Addr: p.Txn.Addr, Core: p.Txn.Core, Bank: b, Slot: slot, Thread: p.Thread,
+					Detail: fmt.Sprintf("barrier %q withholds a fill for a deallocated (Evicted) entry — eviction must error-release parked fills", f.Name),
+				})
 			}
 		}
 	}

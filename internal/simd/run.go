@@ -77,6 +77,7 @@ func RunCell(ctx context.Context, c Cell) (Result, error) {
 			MaxCycles:    c.MaxCycles,
 			Fabric:       c.Fabric,
 			Workers:      1,
+			FilterCap:    c.FilterCap,
 			NoFastPath:   c.NoFastPath,
 			NoTranslate:  c.NoTranslate,
 			Sanitize:     c.Sanitize,

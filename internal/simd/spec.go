@@ -67,6 +67,11 @@ type Spec struct {
 	MaxCycles uint64 `json:"max_cycles,omitempty"`
 	// Sanitize runs the online invariant sanitizer on every machine.
 	Sanitize bool `json:"sanitize,omitempty"`
+	// FilterCap overrides the per-bank barrier-filter table entry
+	// capacity (0 = the machine default). Allocations that overflow it
+	// spill to the software barrier and are attributed as
+	// filter.overflow_spills, so shrinking it changes result bytes.
+	FilterCap int `json:"filtercap,omitempty"`
 
 	// The fields below never change a result byte, so they are excluded
 	// from both the sweep hash and every cell hash.
@@ -129,6 +134,7 @@ type Cell struct {
 	Seed      uint64
 	MaxCycles uint64
 	Sanitize  bool
+	FilterCap int
 
 	// Runtime knobs, never part of Hash.
 	Deadline    time.Duration
@@ -149,6 +155,7 @@ type cellID struct {
 	Seed      uint64 `json:"seed"`
 	MaxCycles uint64 `json:"max_cycles"`
 	Sanitize  bool   `json:"sanitize"`
+	FilterCap int    `json:"filtercap"`
 }
 
 // Sweep is a validated, normalized spec with its cells expanded.
@@ -213,6 +220,9 @@ func Normalize(spec Spec, lim Limits) (*Sweep, *Error) {
 	if spec.DeadlineMS < 0 || spec.QueueDeadlineMS < 0 {
 		return nil, errf("bad-spec", "deadline_ms", "deadlines must be non-negative")
 	}
+	if spec.FilterCap < 0 {
+		return nil, errf("bad-spec", "filtercap", "filtercap %d is negative", spec.FilterCap)
+	}
 	if spec.Fabric == "" {
 		spec.Fabric = interconnect.KindBus.String()
 	}
@@ -251,6 +261,9 @@ func Normalize(spec Spec, lim Limits) (*Sweep, *Error) {
 	for _, n := range cores {
 		cfg := core.DefaultConfig(n)
 		cfg.Mem.Fabric = fabric
+		if spec.FilterCap > 0 {
+			cfg.Mem.FilterCap = spec.FilterCap
+		}
 		if err := cfg.Validate(); err != nil {
 			return nil, errf("bad-machine", "threads", "%d-core %s machine: %v", n, fabric, err)
 		}
@@ -302,6 +315,7 @@ func Normalize(spec Spec, lim Limits) (*Sweep, *Error) {
 						Kind: kind, Fabric: fabric,
 						Threads: spec.Threads, Profile: p, Seed: seed,
 						MaxCycles: spec.MaxCycles, Sanitize: spec.Sanitize,
+						FilterCap:  spec.FilterCap,
 						Deadline:   deadline,
 						NoFastPath: spec.NoFastPath, NoTranslate: spec.NoTranslate,
 					}
@@ -310,6 +324,7 @@ func Normalize(spec Spec, lim Limits) (*Sweep, *Error) {
 						Mechanism: spec.Mechanisms[ki], Fabric: spec.Fabric,
 						Threads: c.Threads, Profile: p.Name, Seed: seed,
 						MaxCycles: c.MaxCycles, Sanitize: c.Sanitize,
+						FilterCap: c.FilterCap,
 					})
 					sw.Cells = append(sw.Cells, c)
 				}
@@ -327,8 +342,10 @@ func Normalize(spec Spec, lim Limits) (*Sweep, *Error) {
 		Chaos      []string `json:"chaos"`
 		MaxCycles  uint64   `json:"max_cycles"`
 		Sanitize   bool     `json:"sanitize"`
+		FilterCap  int      `json:"filtercap"`
 	}{spec.Kernels, spec.N, spec.Loops, spec.Mechanisms, spec.Fabric,
-		spec.Threads, spec.Seeds, spec.Chaos, spec.MaxCycles, spec.Sanitize})
+		spec.Threads, spec.Seeds, spec.Chaos, spec.MaxCycles, spec.Sanitize,
+		spec.FilterCap})
 	return sw, nil
 }
 

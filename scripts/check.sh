@@ -33,6 +33,9 @@ go test -race -run 'TestForEach|TestParallelFig4Deterministic' ./internal/harnes
 go test -race ./internal/vet ./internal/asm
 go test -race ./internal/interconnect ./internal/mem
 
+echo "== go test -race (filter tables, OS model, barrier degradation) =="
+go test -race ./internal/filter ./internal/osmodel ./internal/barrier
+
 echo "== go test -race (translation cache: counters, invalidation, fuzz seeds) =="
 go test -race -run TestTranslate ./internal/cpu
 go test -race -run FuzzTranslateDiff ./internal/cpu
