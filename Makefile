@@ -22,13 +22,16 @@ check:
 # translation-cache differential (arbitrary programs must retire
 # identically with the frontend cache on and off), and the filter FSM
 # (arbitrary inval/fill/evict/reprogram sequences either follow Figure 3 or
-# fault with attribution).
+# fault with attribution), and the hbcheck differential smoke (the dynamic
+# happens-before oracle must agree with srvet: shipped kernels replay
+# race-free, misuse-corpus races are caught at runtime).
 chaos:
 	$(GO) test -run Chaos -count=1 -v .
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s -run '^$$' ./internal/asm
 	$(GO) test -fuzz=FuzzVet -fuzztime=10s -run '^$$' ./internal/vet
 	$(GO) test -fuzz=FuzzTranslateDiff -fuzztime=10s -run '^$$' ./internal/cpu
 	$(GO) test -fuzz=FuzzFilterFSM -fuzztime=10s -run '^$$' ./internal/filter
+	$(GO) test -short -run TestHBCheck -count=1 ./internal/harness
 
 # simd-smoke boots the simd simulation server, SIGKILLs it mid-sweep, and
 # asserts the resumed sweep (and its journal) is byte-identical to an

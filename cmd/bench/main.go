@@ -58,6 +58,7 @@ func main() {
 	nofastpath := flag.Bool("nofastpath", false, "disable the quiescent-core simulator fast path (differential debugging)")
 	notranslate := flag.Bool("notranslate", false, "disable the basic-block translation cache (differential debugging)")
 	sanitize := flag.Bool("sanitize", false, "run the online invariant sanitizer on every machine (behaviour-invariant; violations abort the cell with an attributed report)")
+	hbcheck := flag.Bool("hbcheck", false, "run the dynamic happens-before race checker on every machine (behaviour-invariant; a detected data race aborts the cell with a located report)")
 	journal := flag.String("journal", "", "append per-cell JSONL records for the journaling sweeps (fig4, chaos) to this file")
 	resume := flag.Bool("resume", false, "skip cells already recorded in -journal (crash recovery for interrupted sweeps)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget per experiment cell (0 = none); cells over budget are journaled as timed out and the sweep continues")
@@ -85,6 +86,7 @@ func main() {
 	opt.NoFastPath = *nofastpath
 	opt.NoTranslate = *notranslate
 	opt.Sanitize = *sanitize
+	opt.HBCheck = *hbcheck
 	opt.JournalPath = *journal
 	opt.Resume = *resume
 	opt.CellDeadline = *deadline

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,68 @@ import (
 	"repro/internal/vet"
 )
 
+// jsonDiag is one diagnostic in -json output: the machine-readable triple
+// tooling needs (stable code, mark-level position, phase id) plus the raw
+// address and message.
+type jsonDiag struct {
+	Code  string `json:"code"`
+	Addr  string `json:"addr"`
+	Pos   string `json:"pos"`
+	Phase int    `json:"phase"` // barrier-delimited phase id, -1 if n/a
+	Msg   string `json:"msg"`
+}
+
+// jsonPhase is one phase certificate in -json output.
+type jsonPhase struct {
+	ID        int    `json:"id"`
+	Insts     int    `json:"insts"`
+	Stores    int    `json:"stores"`
+	Loads     int    `json:"loads"`
+	Certified bool   `json:"certified"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+// jsonReport is one vetted program in -json output.
+type jsonReport struct {
+	Program string      `json:"program"`
+	OK      bool        `json:"ok"`
+	Error   string      `json:"error,omitempty"` // build/assemble failure
+	Diags   []jsonDiag  `json:"diagnostics,omitempty"`
+	Phases  []jsonPhase `json:"phases,omitempty"`
+}
+
+// toJSONReport converts an analysis report; the Pos field is already the
+// asm.Program mark-level location the analyses attach.
+func toJSONReport(what string, r *vet.Report) jsonReport {
+	out := jsonReport{Program: what, OK: len(r.Diags) == 0}
+	for _, d := range r.Diags {
+		out.Diags = append(out.Diags, jsonDiag{
+			Code:  string(d.Code),
+			Addr:  fmt.Sprintf("%#x", d.Addr),
+			Pos:   d.Pos,
+			Phase: d.Phase,
+			Msg:   d.Msg,
+		})
+	}
+	for _, p := range r.Phases {
+		out.Phases = append(out.Phases, jsonPhase{
+			ID: p.ID, Insts: p.Insts, Stores: p.Stores, Loads: p.Loads,
+			Certified: p.Certified, Reason: p.Reason,
+		})
+	}
+	return out
+}
+
+// emitJSON writes the collected reports as an indented JSON array.
+func emitJSON(reports []jsonReport) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reports); err != nil {
+		fmt.Fprintln(os.Stderr, "srvet:", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	kernel := flag.String("kernel", "", "kernel to vet (see -list); empty with -all vets every kernel")
 	all := flag.Bool("all", false, "vet every registered kernel (the CI gate)")
@@ -38,7 +101,13 @@ func main() {
 	loops := flag.Int("loops", 0, "kernel loop/repeat count (0 = kernel default)")
 	corpus := flag.Bool("corpus", false, "run the seeded misuse corpus and require every diagnostic to fire")
 	verbose := flag.Bool("v", false, "print every program checked, not just failures")
+	jsonOut := flag.Bool("json", false, "emit a JSON array of per-program reports (diagnostics with code/pos/phase, phase certificates) instead of text")
 	flag.Parse()
+
+	var reports *[]jsonReport
+	if *jsonOut {
+		reports = &[]jsonReport{}
+	}
 
 	switch {
 	case *list:
@@ -49,7 +118,11 @@ func main() {
 	case *corpus:
 		os.Exit(runCorpus())
 	case flag.NArg() == 1:
-		os.Exit(vetFile(flag.Arg(0), *barriers, *threads))
+		code := vetFile(flag.Arg(0), *barriers, *threads, reports)
+		if reports != nil {
+			emitJSON(*reports)
+		}
+		os.Exit(code)
 	case flag.NArg() > 1:
 		fmt.Fprintln(os.Stderr, "usage: srvet [flags] [prog.s]")
 		os.Exit(2)
@@ -72,13 +145,16 @@ func main() {
 
 	bad := 0
 	for _, name := range names {
-		bad += vetKernel(name, kinds, *threads, *n, *loops, *barriers == "", *verbose)
+		bad += vetKernel(name, kinds, *threads, *n, *loops, *barriers == "", *verbose, reports)
+	}
+	if reports != nil {
+		emitJSON(*reports)
 	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "srvet: %d program(s) failed\n", bad)
 		os.Exit(1)
 	}
-	if *verbose {
+	if *verbose && reports == nil {
 		fmt.Println("srvet: all programs clean")
 	}
 }
@@ -102,24 +178,35 @@ func parseKinds(s string) ([]barrier.Kind, error) {
 
 // vetKernel checks one kernel's sequential build (when seq is set) and its
 // parallel build under each mechanism, returning the number of failing
-// programs.
-func vetKernel(name string, kinds []barrier.Kind, threads, n, loops int, seq, verbose bool) int {
+// programs. With out non-nil, results accumulate there as JSON reports
+// instead of printing.
+func vetKernel(name string, kinds []barrier.Kind, threads, n, loops int, seq, verbose bool, out *[]jsonReport) int {
 	bad := 0
-	report := func(what string, ds []vet.Diagnostic) {
-		if len(ds) == 0 {
-			if verbose {
+	report := func(what string, r *vet.Report) {
+		if out != nil {
+			*out = append(*out, toJSONReport(what, r))
+		}
+		if len(r.Diags) == 0 {
+			if verbose && out == nil {
 				fmt.Printf("ok   %s\n", what)
 			}
 			return
 		}
 		bad++
-		fmt.Printf("FAIL %s: %d diagnostic(s)\n", what, len(ds))
-		for _, d := range ds {
+		if out != nil {
+			return
+		}
+		fmt.Printf("FAIL %s: %d diagnostic(s)\n", what, len(r.Diags))
+		for _, d := range r.Diags {
 			fmt.Printf("  %s\n", d)
 		}
 	}
 	fail := func(what string, err error) {
 		bad++
+		if out != nil {
+			*out = append(*out, jsonReport{Program: what, Error: err.Error()})
+			return
+		}
 		fmt.Printf("FAIL %s: %v\n", what, err)
 	}
 
@@ -134,7 +221,7 @@ func vetKernel(name string, kinds []barrier.Kind, threads, n, loops int, seq, ve
 		if err != nil {
 			fail(what, err)
 		} else {
-			report(what, vet.Check(p, vet.Options{Threads: 1}))
+			report(what, vet.Analyze(p, vet.Options{Threads: 1}))
 		}
 	}
 	for _, kind := range kinds {
@@ -149,7 +236,7 @@ func vetKernel(name string, kinds []barrier.Kind, threads, n, loops int, seq, ve
 		if err != nil {
 			// Mechanism constraints (e.g. sw-tree needs a power of two)
 			// are not program bugs.
-			if verbose {
+			if verbose && out == nil {
 				fmt.Printf("skip %s: %v\n", what, err)
 			}
 			continue
@@ -159,15 +246,16 @@ func vetKernel(name string, kinds []barrier.Kind, threads, n, loops int, seq, ve
 			fail(what, err)
 			continue
 		}
-		report(what, vet.Check(p, vet.Options{Threads: threads}))
+		report(what, vet.Analyze(p, vet.Options{Threads: threads}))
 	}
 	return bad
 }
 
 // vetFile assembles a source file and vets it. With -barrier, the
 // `barrier` pseudo-instruction is expanded exactly as cmd/cmpsim does, so
-// the program cmpsim would run is the program that gets vetted.
-func vetFile(path, barriers string, threads int) int {
+// the program cmpsim would run is the program that gets vetted. With out
+// non-nil, the result accumulates there as a JSON report.
+func vetFile(path, barriers string, threads int, out *[]jsonReport) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "srvet:", err)
@@ -205,11 +293,18 @@ func vetFile(path, barriers string, threads int) int {
 			return 1
 		}
 	}
-	ds := vet.Check(p, vet.Options{Threads: threads})
-	for _, d := range ds {
+	r := vet.Analyze(p, vet.Options{Threads: threads})
+	if out != nil {
+		*out = append(*out, toJSONReport(path, r))
+		if len(r.Diags) > 0 {
+			return 1
+		}
+		return 0
+	}
+	for _, d := range r.Diags {
 		fmt.Println(d)
 	}
-	if len(ds) > 0 {
+	if len(r.Diags) > 0 {
 		return 1
 	}
 	fmt.Printf("ok   %s\n", path)

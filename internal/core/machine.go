@@ -12,6 +12,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cpu"
 	"repro/internal/filter"
+	"repro/internal/hbcheck"
 	"repro/internal/hwnet"
 	"repro/internal/mem"
 	"repro/internal/sanitize"
@@ -86,6 +87,14 @@ type Config struct {
 	// sanitize.Violation as their error (unless Sanitize.KeepGoing).
 	Sanitize *sanitize.Config
 
+	// HB attaches the dynamic happens-before race checker (package
+	// hbcheck) to every core's committed memory-access stream and to the
+	// filter tables' barrier events (nil = off). Like the sanitizer, the
+	// checker is read-only: a race-free run is bit-identical with it on
+	// or off; on a race Run/RunUntil stop with a located report (unless
+	// HB.KeepGoing). A zero SyncBase defaults to BarrierRegion.
+	HB *hbcheck.Config
+
 	// StopCheck, when non-nil, is polled periodically inside Run/RunUntil;
 	// returning true aborts the simulation with an error wrapping
 	// ErrStopped that carries the last-progress cycle. The harness uses it
@@ -135,6 +144,10 @@ type Machine struct {
 	sanNext  uint64 // next full-pass check cycle
 	sanErr   error  // first violation, when not KeepGoing
 	stopTick uint64 // StopCheck polling divider
+
+	// Happens-before checker state (nil when Cfg.HB is nil).
+	hb    *hbcheck.Checker
+	hbErr error // first race, when not KeepGoing
 }
 
 // ticker is one physical core's per-cycle unit.
@@ -216,6 +229,19 @@ func NewMachine(cfg Config) *Machine {
 		// the one cache: they all fetch from the same physical memory.
 		for _, c := range m.Cores {
 			c.AttachTranslator(m.trans)
+		}
+	}
+	if cfg.HB != nil {
+		hcfg := *cfg.HB
+		if hcfg.SyncBase == 0 {
+			hcfg.SyncBase = BarrierRegion
+		}
+		m.hb = hbcheck.New(hcfg, len(m.Cores))
+		for _, c := range m.Cores {
+			c.SetMemObserver(m.hb)
+		}
+		for _, h := range m.Hooks {
+			h.SetObserver(m.hb)
 		}
 	}
 	if cfg.Sanitize != nil {
@@ -374,6 +400,68 @@ func (m *Machine) sanPoll() bool {
 	return m.sanErr != nil
 }
 
+// hbLatch promotes the happens-before checker's first race into the
+// machine's stop-the-run error (no-op under KeepGoing). Races are detected
+// synchronously at the offending access, so there is no periodic pass —
+// only this cheap latch.
+func (m *Machine) hbLatch() {
+	if m.hb == nil || m.hbErr != nil || m.Cfg.HB.KeepGoing {
+		return
+	}
+	if r, ok := m.hb.First(); ok {
+		m.hbErr = fmt.Errorf("core: data race: %s", m.describeRace(r))
+	}
+}
+
+// hbPoll latches a detected race and reports whether the run must stop.
+func (m *Machine) hbPoll() bool {
+	if m.hb == nil {
+		return false
+	}
+	m.hbLatch()
+	return m.hbErr != nil
+}
+
+// describeRace renders a race with label-level PC attribution, mirroring
+// the deadlock-report wording.
+func (m *Machine) describeRace(r hbcheck.Race) string {
+	loc := func(pc uint64) string {
+		s := fmt.Sprintf("%#x", pc)
+		if m.prog != nil {
+			if l := m.prog.Locate(pc); l != s {
+				s = fmt.Sprintf("%#x(%s)", pc, l)
+			}
+		}
+		return s
+	}
+	kind := func(w bool) string {
+		if w {
+			return "store"
+		}
+		return "load"
+	}
+	return fmt.Sprintf("addr %#x: core%d %s at pc %s unordered with core%d %s at pc %s (cycle %d)",
+		r.Addr, r.Thread, kind(r.Write), loc(r.PC), r.PrevThread, kind(r.PrevWrite), loc(r.PrevPC), r.Cycle)
+}
+
+// HBRaces returns the happens-before checker's recorded races, each with a
+// located rendering (nil when the checker is off).
+func (m *Machine) HBRaces() []hbcheck.Race {
+	if m.hb == nil {
+		return nil
+	}
+	return m.hb.Races()
+}
+
+// HBRaceReports renders every recorded race with label-level attribution.
+func (m *Machine) HBRaceReports() []string {
+	var out []string
+	for _, r := range m.HBRaces() {
+		out = append(out, m.describeRace(r))
+	}
+	return out
+}
+
 // stopPoll rate-limits the external StopCheck to one call per 1024 loop
 // iterations.
 func (m *Machine) stopPoll() bool {
@@ -413,6 +501,9 @@ func (m *Machine) Run(maxCycles uint64) (uint64, error) {
 		if m.sanPoll() {
 			break
 		}
+		if m.hbPoll() {
+			break
+		}
 		if m.stopPoll() {
 			return m.now - start, fmt.Errorf("%w (last progress at cycle %d)", ErrStopped, m.now)
 		}
@@ -446,11 +537,15 @@ func (m *Machine) Run(maxCycles uint64) (uint64, error) {
 		m.Step()
 	}
 	m.sanLatch()
+	m.hbLatch()
 	if m.faultErr != nil {
 		return m.now - start, m.faultErr
 	}
 	if m.sanErr != nil {
 		return m.now - start, m.sanErr
+	}
+	if m.hbErr != nil {
+		return m.now - start, m.hbErr
 	}
 	for _, c := range m.Cores {
 		if c.Fault != nil {
@@ -501,6 +596,9 @@ func (m *Machine) RunUntil(target uint64) error {
 		if m.sanPoll() {
 			break
 		}
+		if m.hbPoll() {
+			break
+		}
 		if m.stopPoll() {
 			return fmt.Errorf("%w (last progress at cycle %d)", ErrStopped, m.now)
 		}
@@ -524,11 +622,15 @@ func (m *Machine) RunUntil(target uint64) error {
 		m.Step()
 	}
 	m.sanLatch()
+	m.hbLatch()
 	if m.faultErr != nil {
 		return m.faultErr
 	}
 	if m.sanErr != nil {
 		return m.sanErr
+	}
+	if m.hbErr != nil {
+		return m.hbErr
 	}
 	for _, c := range m.Cores {
 		if c.Fault != nil {

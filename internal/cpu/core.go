@@ -86,13 +86,15 @@ func (e *entry) isCacheOp() bool {
 
 func (e *entry) serializing() bool { return e.isSer }
 
-// sbEntry is one post-commit store-buffer slot.
+// sbEntry is one post-commit store-buffer slot. pc is carried only for
+// observer attribution (hbcheck race reports).
 type sbEntry struct {
 	cacheOp bool
 	icache  bool
 	addr    uint64
 	size    int
 	val     uint64
+	pc      uint64
 	token   *mem.InvalToken
 }
 
@@ -139,6 +141,10 @@ type Core struct {
 	memOps     int
 
 	sb []sbEntry
+
+	// obs, when non-nil, receives the committed memory-access stream (see
+	// observer.go). Read-only: it never changes core behaviour.
+	obs MemObserver
 
 	// LL/SC reservation.
 	llAddr  uint64
@@ -518,12 +524,15 @@ func (c *Core) commitStage(now uint64) {
 			if len(c.sb) >= c.Cfg.SBSize {
 				return // store buffer full; retry next cycle
 			}
-			c.sb = pushQueue(c.sb, &c.sbBack, 2*c.Cfg.SBSize, sbEntry{addr: e.addr, size: e.info.MemBytes, val: e.storeVal})
+			c.sb = pushQueue(c.sb, &c.sbBack, 2*c.Cfg.SBSize, sbEntry{addr: e.addr, size: e.info.MemBytes, val: e.storeVal, pc: e.pc})
 		case e.isCacheOp():
 			if len(c.sb) >= c.Cfg.SBSize {
 				return
 			}
 			c.sb = pushQueue(c.sb, &c.sbBack, 2*c.Cfg.SBSize, sbEntry{cacheOp: true, icache: e.in.Op == isa.ICBI, addr: e.addr})
+		}
+		if c.obs != nil && e.isLoad() {
+			c.obs.OnCommitLoad(now, c.ID, e.pc, e.addr, e.info.MemBytes)
 		}
 		if e.dest >= 0 {
 			c.regs[e.dest] = e.result
@@ -604,10 +613,16 @@ func (c *Core) trySerializing(now uint64, e *entry) bool {
 		}
 		if !c.hwbarSent {
 			c.bnet.Arrive(now, c.ID, int(e.in.Imm))
+			if c.obs != nil {
+				c.obs.OnHWBar(now, c.ID, int(e.in.Imm), false)
+			}
 			c.hwbarSent = true
 			return false
 		}
 		if c.bnet.TryRelease(now, c.ID, int(e.in.Imm)) {
+			if c.obs != nil {
+				c.obs.OnHWBar(now, c.ID, int(e.in.Imm), true)
+			}
 			// One cycle to check and reset the local status register.
 			e.doneAt = now + 1
 			e.issued = true
@@ -642,6 +657,9 @@ func (c *Core) drainStoreBuffer(now uint64) {
 	switch c.l1d.WriteState(h.addr) {
 	case mem.Modified:
 		c.sys.Mem.Write(h.addr, h.size, h.val)
+		if c.obs != nil {
+			c.obs.OnPerformStore(now, c.ID, h.pc, h.addr, h.size)
+		}
 		c.notifySiblingsOfWrite(c.lineOf(h.addr))
 		c.StoresDrained++
 		c.sb = c.sb[1:]
@@ -1023,6 +1041,9 @@ func (c *Core) tryIssueSC(now uint64, e *entry) bool {
 	switch c.l1d.WriteState(addr) {
 	case mem.Modified:
 		c.sys.Mem.Write(addr, 8, e.src[1].val)
+		if c.obs != nil {
+			c.obs.OnPerformStore(now, c.ID, e.pc, addr, 8)
+		}
 		c.notifySiblingsOfWrite(c.lineOf(addr))
 		if Trace {
 			tracef("[%d] core%d SC OK pc=%#x addr=%#x val=%d\n", now, c.ID, e.pc, addr, e.src[1].val)

@@ -1,0 +1,22 @@
+package cpu
+
+// MemObserver receives the core's committed memory-access stream and its
+// dedicated-network barrier events. It is a read-only seam (the sanitize /
+// hbcheck discipline): implementations must not mutate machine state, so a
+// run is bit-identical with an observer attached or not.
+//
+// The stream is reported at the points where the access is architecturally
+// final: loads at commit (wrong-path loads never commit), stores when they
+// perform to memory (the post-commit store buffer drain, or SC success —
+// both are beyond misprediction recovery), HWBAR at the arrival signal and
+// at the successful release check. core is the logical core id (the thread
+// id under the SPMD launch convention).
+type MemObserver interface {
+	OnCommitLoad(now uint64, core int, pc, addr uint64, size int)
+	OnPerformStore(now uint64, core int, pc, addr uint64, size int)
+	OnHWBar(now uint64, core, id int, release bool)
+}
+
+// SetMemObserver attaches o to this core's commit/perform stream (nil
+// detaches). The machine calls it once per logical core at construction.
+func (c *Core) SetMemObserver(o MemObserver) { c.obs = o }

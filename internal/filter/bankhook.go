@@ -31,6 +31,7 @@ type BankFilters struct {
 	Cap     int
 	filters []*Filter
 	retired []*Filter
+	obs     SyncObserver
 
 	// Spills counts allocations refused for entry capacity (the
 	// filter.overflow_spills statistic).
@@ -56,8 +57,21 @@ func (b *BankFilters) Add(f *Filter) error {
 		return fmt.Errorf("%w: bank holds %d of %d entries, filter %s needs %d",
 			ErrNoCapacity, b.Entries(), b.Cap, f.Name, f.NumThreads)
 	}
+	f.obs = b.obs
 	b.filters = append(b.filters, f)
 	return nil
+}
+
+// SetObserver attaches o to every filter the bank hosts now or later (nil
+// detaches). Retired filters are included: a stale-tag arrival can still
+// reach their FSMs, and the observer must not silently miss it.
+func (b *BankFilters) SetObserver(o SyncObserver) {
+	b.obs = o
+	for _, fs := range [2][]*Filter{b.filters, b.retired} {
+		for _, f := range fs {
+			f.obs = o
+		}
+	}
 }
 
 // Remove swaps a filter out (OS barrier swap, §3.3.3).

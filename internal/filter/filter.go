@@ -58,6 +58,17 @@ func (s ThreadState) String() string {
 	return "?"
 }
 
+// SyncObserver receives the filter FSM's barrier-ordering events: one
+// arrival invalidation accepted per thread, and one opening when the last
+// arrival releases the barrier. It is a read-only seam (the sanitize /
+// hbcheck discipline): implementations must not mutate filter or machine
+// state. Timeout and evict releases are deliberately NOT reported — they
+// are protocol errors, not synchronization.
+type SyncObserver interface {
+	OnBarrierArrive(f *Filter, now uint64, thread int)
+	OnBarrierOpen(f *Filter, now uint64)
+}
+
 // parked is one withheld fill request.
 type parked struct {
 	txn      mem.Txn
@@ -103,6 +114,9 @@ type Filter struct {
 
 	expiry  []expiryEnt // parked fills in park order, for exact timeout expiry
 	parkSeq uint64
+
+	// obs, when non-nil, receives arrival/open events (see SyncObserver).
+	obs SyncObserver
 
 	// Statistics.
 	Arrivals, Openings, ParkedFills, ServicedInBlock, Errors, Timeouts uint64
@@ -160,6 +174,10 @@ func (f *Filter) InitServicing() {
 	}
 }
 
+// SetObserver attaches o to this filter's arrival/open event stream (nil
+// detaches).
+func (f *Filter) SetObserver(o SyncObserver) { f.obs = o }
+
 // State returns thread t's automaton state (test/diagnostic use).
 func (f *Filter) State(t int) ThreadState { return f.states[t] }
 
@@ -213,6 +231,11 @@ func (f *Filter) onArrivalInval(now uint64, t int) (fault bool) {
 		f.states[t] = Blocking
 		f.arrivedCounter++
 		f.Arrivals++
+		if f.obs != nil {
+			// Before a possible open, so the last arriver's clock is
+			// part of the release the open distributes.
+			f.obs.OnBarrierArrive(f, now, t)
+		}
 		if f.arrivedCounter == f.NumThreads {
 			f.open(now)
 		}
@@ -248,7 +271,9 @@ func (f *Filter) open(now uint64) {
 	// Every parked fill was just released (evicted entries park nothing),
 	// so the whole expiry queue is dead.
 	f.expiry = f.expiry[:0]
-	_ = now
+	if f.obs != nil {
+		f.obs.OnBarrierOpen(f, now)
+	}
 }
 
 // onExitInval applies an exit-address invalidation for thread t.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/barrier"
 	"repro/internal/core"
+	"repro/internal/hbcheck"
 	"repro/internal/interconnect"
 	"repro/internal/kernels"
 	"repro/internal/mem"
@@ -68,6 +69,13 @@ type Options struct {
 	// bit-identical; the only new outcome is a structured violation
 	// report when an invariant is actually broken.
 	Sanitize bool
+	// HBCheck attaches the dynamic happens-before race checker (package
+	// hbcheck) to every machine the harness builds. Like the sanitizer it
+	// is behaviour-invariant on clean runs; a detected race stops the
+	// cell with a located report. It is the dynamic half of the soundness
+	// differential: programs the static verifier passes must replay
+	// race-free under it. cmd/bench exposes it as -hbcheck.
+	HBCheck bool
 	// JournalPath, when non-empty, makes the journaling sweeps (Fig4,
 	// RunChaos) append one JSONL record per finished cell, synced line by
 	// line so a killed process leaves at most a torn final line.
@@ -121,6 +129,9 @@ func machineConfig(cores int, opt Options) core.Config {
 	cfg.NoTranslate = opt.NoTranslate
 	if opt.Sanitize {
 		cfg.Sanitize = sanitize.Default()
+	}
+	if opt.HBCheck {
+		cfg.HB = &hbcheck.Config{}
 	}
 	if opt.Ctx != nil {
 		done := opt.Ctx.Done()
@@ -176,11 +187,12 @@ func RunSeq(k kernels.Kernel, opt Options) (uint64, error) {
 }
 
 // RunPar runs a kernel's parallel build with the given barrier mechanism
-// and thread count and returns the cycle count.
+// (any of the core or extra kinds) and thread count and returns the cycle
+// count.
 func RunPar(k kernels.Kernel, kind barrier.Kind, nthreads int, opt Options) (uint64, error) {
 	cfg := machineConfig(nthreads, opt)
 	alloc := barrier.NewAllocator(cfg.Mem)
-	gen, err := barrier.New(kind, nthreads, alloc)
+	gen, err := barrier.NewExtra(kind, nthreads, alloc)
 	if err != nil {
 		return 0, err
 	}

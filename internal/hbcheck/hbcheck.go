@@ -1,0 +1,337 @@
+// Package hbcheck is the dynamic happens-before oracle for the static
+// verifier (package vet): a vector-clock data-race checker driven by the
+// simulator's committed memory-access stream and by the barrier-ordering
+// events of the filter tables and the dedicated barrier network.
+//
+// The checker mirrors the sanitizer's read-only observer discipline: it
+// never touches machine state, so a race-free run is bit-identical with the
+// checker on or off. Loads are observed at commit (wrong-path loads never
+// commit), stores when they perform (the post-commit store buffer and SC
+// are never wrong-path), so the observed stream is exactly the memory
+// order the coherence protocol serialized.
+//
+// Happens-before edges come from three synchronization sources:
+//
+//   - Filter barriers: every arrival invalidation joins the arriving
+//     thread's clock into the filter's accumulator (release); when the last
+//     arrival opens the barrier, the accumulator joins into every
+//     participating thread's clock (acquire). Timeout and evict releases
+//     deliberately get no credit — they are protocol errors, not
+//     synchronization.
+//   - HWBAR: arrivals accumulate per barrier id; a successful release
+//     acquires the episode's accumulated clock. Episodes are delimited by
+//     the first release after a full arrival round, so back-to-back
+//     invocations do not leak order across episodes.
+//   - Software barriers: any store to the barrier data region
+//     (addr >= SyncBase) is a release on its 8-byte cell and any load from
+//     it an acquire, the standard interpretation of LL/SC spin protocols.
+//     Accesses there are exempt from race checking — the region is
+//     synchronization by construction.
+//
+// Everything else is checked FastTrack-style per byte: a write must
+// happen-after every previous access to the byte, a read must happen-after
+// the previous write. A violation is recorded as a Race; the machine
+// (package core) stops the run on the first one unless KeepGoing is set.
+package hbcheck
+
+import (
+	"fmt"
+
+	"repro/internal/filter"
+)
+
+// Config configures a Checker.
+type Config struct {
+	// SyncBase is the lowest address of the synchronization region:
+	// accesses at or above it carry release/acquire semantics on their
+	// 8-byte cell instead of being race-checked. The machine defaults it
+	// to core.BarrierRegion.
+	SyncBase uint64
+	// KeepGoing records every race instead of stopping the run at the
+	// first one.
+	KeepGoing bool
+	// MaxRaces bounds the recorded races (0 = 32). Further races only
+	// bump the dropped counter.
+	MaxRaces int
+}
+
+// Race is one happens-before violation: two accesses to the same byte from
+// different threads, at least one a write, with no ordering between them.
+// Prev is the earlier access in simulation time.
+type Race struct {
+	Cycle      uint64 // cycle the second access was observed
+	Addr       uint64 // first conflicting byte
+	Thread     int    // second access
+	PC         uint64
+	Write      bool
+	PrevThread int // first access
+	PrevPC     uint64
+	PrevWrite  bool
+}
+
+func acc(write bool) string {
+	if write {
+		return "store"
+	}
+	return "load"
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("race on %#x: core%d %s at pc %#x unordered with core%d %s at pc %#x (cycle %d)",
+		r.Addr, r.Thread, acc(r.Write), r.PC, r.PrevThread, acc(r.PrevWrite), r.PrevPC, r.Cycle)
+}
+
+// access is one recorded epoch: the owning thread's clock component at the
+// access, plus the pc for attribution.
+type access struct {
+	clk uint64
+	pc  uint64
+}
+
+// cell is the per-byte shadow: the last write and the last read per thread
+// since that write.
+type cell struct {
+	wTid int
+	w    access
+	r    []access // indexed by thread; clk 0 = no read
+}
+
+// barAcc accumulates the arriving threads' clocks of one filter barrier
+// between openings.
+type barAcc struct {
+	acc []uint64
+}
+
+// hwAcc tracks one HWBAR id. cur accumulates the current episode's
+// arrivals; the first release of an episode snapshots cur into open (every
+// participant has arrived by then, and none can re-arrive before its own
+// release), so later next-episode arrivals cannot leak into this episode's
+// acquires.
+type hwAcc struct {
+	cur, open []uint64
+	arrived   int // arrivals accumulated in cur
+	expect    int // releases outstanding this episode
+	released  int
+}
+
+// Checker is the vector-clock race detector. It implements cpu.MemObserver
+// and filter.SyncObserver; all methods are read-only with respect to the
+// simulated machine.
+type Checker struct {
+	cfg    Config
+	clocks [][]uint64 // per-thread vector clocks
+	sync   map[uint64][]uint64
+	bars   map[*filter.Filter]*barAcc
+	hw     map[int]*hwAcc
+	shadow map[uint64]*cell
+
+	races   []Race
+	seen    map[[5]uint64]bool
+	Dropped uint64 // races beyond MaxRaces (or duplicates of a seen pair)
+}
+
+// New builds a checker for nthreads logical cores.
+func New(cfg Config, nthreads int) *Checker {
+	if cfg.MaxRaces <= 0 {
+		cfg.MaxRaces = 32
+	}
+	c := &Checker{
+		cfg:    cfg,
+		clocks: make([][]uint64, nthreads),
+		sync:   map[uint64][]uint64{},
+		bars:   map[*filter.Filter]*barAcc{},
+		hw:     map[int]*hwAcc{},
+		shadow: map[uint64]*cell{},
+		seen:   map[[5]uint64]bool{},
+	}
+	for t := range c.clocks {
+		c.clocks[t] = make([]uint64, nthreads)
+		c.clocks[t][t] = 1
+	}
+	return c
+}
+
+// Races returns the recorded happens-before violations in detection order.
+func (c *Checker) Races() []Race { return c.races }
+
+// First returns the first recorded race.
+func (c *Checker) First() (Race, bool) {
+	if len(c.races) == 0 {
+		return Race{}, false
+	}
+	return c.races[0], true
+}
+
+// RaceCount returns the number of recorded races (cheap poll for the run
+// loop).
+func (c *Checker) RaceCount() int { return len(c.races) }
+
+// Err returns the first race as an error, nil when the run is clean.
+func (c *Checker) Err() error {
+	if len(c.races) == 0 {
+		return nil
+	}
+	return fmt.Errorf("hbcheck: %s", c.races[0])
+}
+
+func joinInto(dst, src []uint64) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+func zero(v []uint64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+func (c *Checker) record(r Race) {
+	key := [5]uint64{uint64(r.Thread), r.PC, uint64(r.PrevThread), r.PrevPC, 0}
+	if r.Write {
+		key[4] |= 1
+	}
+	if r.PrevWrite {
+		key[4] |= 2
+	}
+	if c.seen[key] || len(c.races) >= c.cfg.MaxRaces {
+		c.Dropped++
+		return
+	}
+	c.seen[key] = true
+	c.races = append(c.races, r)
+}
+
+// --- cpu.MemObserver -----------------------------------------------------
+
+// OnCommitLoad observes a committed load.
+func (c *Checker) OnCommitLoad(now uint64, core int, pc, addr uint64, size int) {
+	if core < 0 || core >= len(c.clocks) {
+		return
+	}
+	if addr >= c.cfg.SyncBase {
+		if vc, ok := c.sync[addr&^7]; ok {
+			joinInto(c.clocks[core], vc)
+		}
+		return
+	}
+	for i := 0; i < size; i++ {
+		c.checkByte(now, core, pc, addr+uint64(i), false)
+	}
+}
+
+// OnPerformStore observes a store performing to memory (store-buffer drain
+// or SC success).
+func (c *Checker) OnPerformStore(now uint64, core int, pc, addr uint64, size int) {
+	if core < 0 || core >= len(c.clocks) {
+		return
+	}
+	if addr >= c.cfg.SyncBase {
+		key := addr &^ 7
+		vc := c.sync[key]
+		if vc == nil {
+			vc = make([]uint64, len(c.clocks))
+			c.sync[key] = vc
+		}
+		ct := c.clocks[core]
+		joinInto(vc, ct)
+		ct[core]++
+		return
+	}
+	for i := 0; i < size; i++ {
+		c.checkByte(now, core, pc, addr+uint64(i), true)
+	}
+}
+
+// OnHWBar observes a dedicated-network barrier event: an arrival, or a
+// successful release.
+func (c *Checker) OnHWBar(now uint64, core, id int, release bool) {
+	if core < 0 || core >= len(c.clocks) {
+		return
+	}
+	h := c.hw[id]
+	if h == nil {
+		h = &hwAcc{cur: make([]uint64, len(c.clocks)), open: make([]uint64, len(c.clocks))}
+		c.hw[id] = h
+	}
+	ct := c.clocks[core]
+	if !release {
+		joinInto(h.cur, ct)
+		ct[core]++
+		h.arrived++
+		return
+	}
+	if h.released == 0 {
+		copy(h.open, h.cur)
+		zero(h.cur)
+		h.expect = h.arrived
+		h.arrived = 0
+	}
+	joinInto(ct, h.open)
+	h.released++
+	if h.released >= h.expect {
+		h.released = 0
+	}
+}
+
+// --- filter.SyncObserver -------------------------------------------------
+
+// OnBarrierArrive observes thread's arrival invalidation reaching f.
+func (c *Checker) OnBarrierArrive(f *filter.Filter, now uint64, thread int) {
+	if thread < 0 || thread >= len(c.clocks) {
+		return
+	}
+	b := c.bars[f]
+	if b == nil {
+		b = &barAcc{acc: make([]uint64, len(c.clocks))}
+		c.bars[f] = b
+	}
+	ct := c.clocks[thread]
+	joinInto(b.acc, ct)
+	ct[thread]++
+}
+
+// OnBarrierOpen observes f releasing: every participating thread acquires
+// the accumulated arrival clocks.
+func (c *Checker) OnBarrierOpen(f *filter.Filter, now uint64) {
+	b := c.bars[f]
+	if b == nil {
+		return
+	}
+	for t := 0; t < f.NumThreads && t < len(c.clocks); t++ {
+		joinInto(c.clocks[t], b.acc)
+	}
+	zero(b.acc)
+}
+
+// --- shadow memory -------------------------------------------------------
+
+func (c *Checker) checkByte(now uint64, t int, pc, addr uint64, write bool) {
+	cl := c.shadow[addr]
+	if cl == nil {
+		cl = &cell{wTid: -1, r: make([]access, len(c.clocks))}
+		c.shadow[addr] = cl
+	}
+	ct := c.clocks[t]
+	if cl.wTid >= 0 && cl.wTid != t && cl.w.clk > ct[cl.wTid] {
+		c.record(Race{Cycle: now, Addr: addr, Thread: t, PC: pc, Write: write,
+			PrevThread: cl.wTid, PrevPC: cl.w.pc, PrevWrite: true})
+	}
+	if !write {
+		cl.r[t] = access{clk: ct[t], pc: pc}
+		return
+	}
+	for u := range cl.r {
+		if u != t && cl.r[u].clk > ct[u] {
+			c.record(Race{Cycle: now, Addr: addr, Thread: t, PC: pc, Write: true,
+				PrevThread: u, PrevPC: cl.r[u].pc, PrevWrite: false})
+		}
+	}
+	cl.wTid = t
+	cl.w = access{clk: ct[t], pc: pc}
+	for u := range cl.r {
+		cl.r[u] = access{}
+	}
+}

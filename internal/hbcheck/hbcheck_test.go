@@ -1,0 +1,190 @@
+package hbcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/filter"
+)
+
+const syncBase = 0x0F00_0000
+
+func newChecker(threads int) *Checker {
+	return New(Config{SyncBase: syncBase, KeepGoing: true}, threads)
+}
+
+func TestUnsyncedStoreStoreRaces(t *testing.T) {
+	c := newChecker(2)
+	c.OnPerformStore(10, 0, 0x10000, 0x1000, 8)
+	c.OnPerformStore(20, 1, 0x10004, 0x1000, 8)
+	if c.RaceCount() == 0 {
+		t.Fatal("unsynchronized store/store pair not reported")
+	}
+	r, _ := c.First()
+	if r.Thread != 1 || r.PrevThread != 0 || !r.Write || !r.PrevWrite {
+		t.Fatalf("wrong attribution: %+v", r)
+	}
+	if !strings.Contains(r.String(), "core1 store") {
+		t.Fatalf("String() lost the access kind: %s", r)
+	}
+}
+
+func TestUnsyncedStoreLoadRaces(t *testing.T) {
+	c := newChecker(2)
+	c.OnPerformStore(10, 0, 0x10000, 0x2000, 8)
+	c.OnCommitLoad(20, 1, 0x10004, 0x2000, 8)
+	if c.RaceCount() == 0 {
+		t.Fatal("store/load pair not reported")
+	}
+	// Load-then-store in the other order must race too.
+	c2 := newChecker(2)
+	c2.OnCommitLoad(10, 1, 0x10004, 0x2000, 8)
+	c2.OnPerformStore(20, 0, 0x10000, 0x2000, 8)
+	if c2.RaceCount() == 0 {
+		t.Fatal("load/store pair not reported")
+	}
+}
+
+func TestSameThreadNeverRaces(t *testing.T) {
+	c := newChecker(2)
+	c.OnPerformStore(10, 0, 0x10000, 0x3000, 8)
+	c.OnCommitLoad(20, 0, 0x10004, 0x3000, 8)
+	c.OnPerformStore(30, 0, 0x10008, 0x3000, 8)
+	if c.RaceCount() != 0 {
+		t.Fatalf("same-thread accesses reported as races: %v", c.Races())
+	}
+}
+
+func TestDisjointBytesDoNotRace(t *testing.T) {
+	c := newChecker(2)
+	c.OnPerformStore(10, 0, 0x10000, 0x4000, 8)
+	c.OnPerformStore(20, 1, 0x10004, 0x4008, 8)
+	if c.RaceCount() != 0 {
+		t.Fatalf("disjoint stores reported as races: %v", c.Races())
+	}
+}
+
+// TestFilterBarrierOrders drives the filter-barrier release/acquire rules:
+// a store before the barrier does not race a load after it.
+func TestFilterBarrierOrders(t *testing.T) {
+	f := filter.New("b", 0x0F10_0000, 0x0F20_0000, 64, 2)
+	c := newChecker(2)
+	c.OnPerformStore(10, 0, 0x10000, 0x5000, 8)
+	c.OnBarrierArrive(f, 20, 0)
+	c.OnBarrierArrive(f, 21, 1)
+	c.OnBarrierOpen(f, 21)
+	c.OnCommitLoad(30, 1, 0x10004, 0x5000, 8)
+	if c.RaceCount() != 0 {
+		t.Fatalf("barrier-ordered accesses reported as races: %v", c.Races())
+	}
+	// A second round: the accumulator must have reset, yet ordering still
+	// holds transitively through the new episode.
+	c.OnPerformStore(40, 1, 0x10008, 0x5000, 8)
+	c.OnBarrierArrive(f, 50, 0)
+	c.OnBarrierArrive(f, 51, 1)
+	c.OnBarrierOpen(f, 51)
+	c.OnPerformStore(60, 0, 0x1000c, 0x5000, 8)
+	if c.RaceCount() != 0 {
+		t.Fatalf("second-episode ordering lost: %v", c.Races())
+	}
+}
+
+// TestFilterBarrierDoesNotOrderLaterWork: accesses after the open on two
+// threads are still concurrent.
+func TestFilterBarrierDoesNotOrderLaterWork(t *testing.T) {
+	f := filter.New("b", 0x0F10_0000, 0x0F20_0000, 64, 2)
+	c := newChecker(2)
+	c.OnBarrierArrive(f, 20, 0)
+	c.OnBarrierArrive(f, 21, 1)
+	c.OnBarrierOpen(f, 21)
+	c.OnPerformStore(30, 0, 0x10000, 0x6000, 8)
+	c.OnPerformStore(40, 1, 0x10004, 0x6000, 8)
+	if c.RaceCount() == 0 {
+		t.Fatal("post-barrier concurrent stores not reported")
+	}
+}
+
+// TestHWBarEpisodes: HWBAR arrivals/releases order cross-thread accesses,
+// and a fast thread arriving at the next episode before a slow thread's
+// release does not corrupt the slow thread's acquire.
+func TestHWBarEpisodes(t *testing.T) {
+	c := newChecker(2)
+	c.OnPerformStore(10, 0, 0x10000, 0x7000, 8)
+	c.OnHWBar(20, 0, 3, false)
+	c.OnHWBar(21, 1, 3, false)
+	c.OnHWBar(22, 0, 3, true)
+	// Thread 0 races ahead and arrives at the next episode before thread 1
+	// has released the first.
+	c.OnPerformStore(23, 0, 0x10004, 0x7008, 8)
+	c.OnHWBar(24, 0, 3, false)
+	c.OnHWBar(25, 1, 3, true)
+	c.OnCommitLoad(30, 1, 0x10008, 0x7000, 8)
+	if c.RaceCount() != 0 {
+		t.Fatalf("hwbar-ordered accesses reported as races: %v", c.Races())
+	}
+	// Thread 1's release acquired episode 1 only: thread 0's post-release
+	// store at 0x7008 is NOT ordered before it.
+	c.OnPerformStore(40, 1, 0x1000c, 0x7008, 8)
+	if c.RaceCount() == 0 {
+		t.Fatal("episode leak: next-episode arrival ordered into the previous episode's release")
+	}
+}
+
+// TestSyncCellReleaseAcquire: a software-barrier flag store/load pair in
+// the sync region transfers ordering and is itself exempt from checking.
+func TestSyncCellReleaseAcquire(t *testing.T) {
+	c := newChecker(2)
+	c.OnPerformStore(10, 0, 0x10000, 0x8000, 8)
+	c.OnPerformStore(20, 0, 0x10004, syncBase+0x40, 8) // release flag
+	c.OnCommitLoad(30, 1, 0x10008, syncBase+0x40, 8)   // acquire flag
+	c.OnCommitLoad(40, 1, 0x1000c, 0x8000, 8)
+	if c.RaceCount() != 0 {
+		t.Fatalf("sync-cell-ordered accesses reported as races: %v", c.Races())
+	}
+	// Without the acquiring load, the same data access races.
+	c2 := newChecker(2)
+	c2.OnPerformStore(10, 0, 0x10000, 0x8000, 8)
+	c2.OnPerformStore(20, 0, 0x10004, syncBase+0x40, 8)
+	c2.OnCommitLoad(40, 1, 0x1000c, 0x8000, 8)
+	if c2.RaceCount() == 0 {
+		t.Fatal("unacquired access not reported")
+	}
+}
+
+func TestDedupAndCap(t *testing.T) {
+	c := New(Config{SyncBase: syncBase, KeepGoing: true, MaxRaces: 2}, 2)
+	for i := 0; i < 10; i++ {
+		// Same pc pair every time: one recorded race, nine dropped.
+		c.OnPerformStore(uint64(10+i), 0, 0x10000, 0x9000+uint64(16*i), 8)
+		c.OnPerformStore(uint64(20+i), 1, 0x10004, 0x9000+uint64(16*i), 8)
+	}
+	if got := c.RaceCount(); got != 1 {
+		t.Fatalf("dedup failed: %d races for one static pair", got)
+	}
+	// Distinct pc pairs: capped at MaxRaces.
+	for i := 0; i < 10; i++ {
+		c.OnPerformStore(uint64(100+i), 0, 0x20000+uint64(8*i), 0xa000+uint64(16*i), 8)
+		c.OnPerformStore(uint64(200+i), 1, 0x30000+uint64(8*i), 0xa000+uint64(16*i), 8)
+	}
+	if got := c.RaceCount(); got != 2 {
+		t.Fatalf("cap failed: %d races recorded with MaxRaces=2", got)
+	}
+	if c.Dropped == 0 {
+		t.Fatal("dropped counter not bumped")
+	}
+}
+
+// TestWriteSubsumesReads: after an ordered write, earlier reads no longer
+// conflict with later writes (the FastTrack read-reset rule).
+func TestWriteSubsumesReads(t *testing.T) {
+	f := filter.New("b", 0x0F10_0000, 0x0F20_0000, 64, 2)
+	c := newChecker(2)
+	c.OnCommitLoad(10, 1, 0x10000, 0xb000, 8)
+	c.OnBarrierArrive(f, 20, 0)
+	c.OnBarrierArrive(f, 21, 1)
+	c.OnBarrierOpen(f, 21)
+	c.OnPerformStore(30, 0, 0x10004, 0xb000, 8)
+	if c.RaceCount() != 0 {
+		t.Fatalf("ordered read/write pair reported: %v", c.Races())
+	}
+}

@@ -17,6 +17,7 @@ var registry = map[string]func(n, loops int) Kernel{
 	"autcor":     func(n, loops int) Kernel { return NewAutcor(defInt(n, 256), 8, defInt(loops, 1)) },
 	"viterbi":    func(n, loops int) Kernel { return NewViterbi(defInt(n, 48), defInt(loops, 1)) },
 	"coarse":     func(n, loops int) Kernel { return NewCoarseGrain(defInt(loops, 4), defInt(n, 64)) },
+	"skewed":     func(n, loops int) Kernel { return NewSkewed(defInt(n, 24), defInt(loops, 2)) },
 	"microbench": func(n, loops int) Kernel {
 		mb := NewMicrobench()
 		mb.K = defInt(n, mb.K)

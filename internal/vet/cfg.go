@@ -12,6 +12,7 @@ import (
 func (u *unit) buildCFG() []Diagnostic {
 	u.succs = make([][]int, len(u.insts))
 	badBranch := make([]bool, len(u.insts))
+	badTarget := make([]uint64, len(u.insts))
 	fallsOff := make([]bool, len(u.insts))
 	for i, in := range u.insts {
 		addr := u.addrOf(i)
@@ -32,7 +33,7 @@ func (u *unit) buildCFG() []Diagnostic {
 				if ti, ok := u.idxOf(t); ok {
 					u.succs[i] = append(u.succs[i], ti)
 				} else {
-					badBranch[i] = true
+					badBranch[i], badTarget[i] = true, t
 				}
 			}
 			fall()
@@ -41,7 +42,7 @@ func (u *unit) buildCFG() []Diagnostic {
 			if ti, ok := u.idxOf(t); ok {
 				u.succs[i] = append(u.succs[i], ti)
 			} else {
-				badBranch[i] = true
+				badBranch[i], badTarget[i] = true, t
 			}
 			if in.Rd == isa.RegRA {
 				// A linked call: the callee returns to the fall-through.
@@ -74,7 +75,8 @@ func (u *unit) buildCFG() []Diagnostic {
 			ds = append(ds, u.diag(CodeBadOpcode, i, "reachable word does not decode"))
 		}
 		if badBranch[i] {
-			ds = append(ds, u.diag(CodeBadBranch, i, "%s targets an address outside the text segment", in))
+			ds = append(ds, u.diag(CodeBadBranch, i,
+				"%s targets %s, outside the text segment", in, u.locateAddr(badTarget[i])))
 		}
 		if fallsOff[i] {
 			ds = append(ds, u.diag(CodeFallOffEnd, i, "execution can run past the end of the text segment without halt"))

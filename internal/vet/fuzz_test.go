@@ -26,6 +26,15 @@ func FuzzVet(f *testing.F) {
 		"sc t0, t1, 0(a0)\nhwbar 3\nhalt",
 		"li t0, -2147483648\nhalt",
 		"nop\nnop\nnop",
+		// Data-dependent loop bounds: the widening/narrowing paths. A
+		// loaded bound, a masked bound, a strided partition walked to a
+		// masked end, nested data-bounded loops, and a countdown whose
+		// counter is itself reloaded each iteration.
+		"li t0, 0x1000000\nld t1, 0(t0)\nli t2, 0\nlp: addi t2, t2, 1\nblt t2, t1, lp\nhalt",
+		"li t0, 0x1000000\nld t1, 0(t0)\nandi t1, t1, 63\nlp: st zero, 0(t0)\naddi t0, t0, 8\naddi t1, t1, -1\nbnez t1, lp\nhalt",
+		"li t0, 64\nmul t0, t0, a0\nli t1, 0x1000200\nadd t0, t0, t1\nld t2, 0(t1)\nandi t2, t2, 48\nadd t2, t0, t2\nlp: st a0, 0(t0)\naddi t0, t0, 8\nblt t0, t2, lp\nhalt",
+		"li t0, 0x1000000\nld t1, 0(t0)\nli t2, 0\no: li t3, 0\ni: addi t3, t3, 1\nblt t3, t1, i\naddi t2, t2, 1\nblt t2, t1, o\nhalt",
+		"li t0, 0x1000000\nlp: ld t1, 0(t0)\nandi t1, t1, 7\nbnez t1, lp\nhalt",
 	}
 	for _, s := range seeds {
 		f.Add(s, 4)

@@ -23,12 +23,34 @@ type unit struct {
 	roots     []int // entry + resolved stall-stub roots
 
 	// Protocol-pass working state: whether the program invalidates cache
-	// lines at all (gates the stall-load checks), the fence-delimited
-	// interval index of each instruction, and the inferred filter regions
-	// (invalidation targets) from the collection rounds.
+	// lines at all (gates the stall-load checks) and the inferred filter
+	// regions (invalidation targets) from the collection rounds.
 	hasInval bool
-	interval []int
 	regions  []av
+
+	// Phase slicing (phase.go): the canonical phase id of each reachable
+	// instruction (-1 when unassigned), whether that phase contains a
+	// stub-rooted path (its accesses conflict with every phase), and the
+	// per-phase certificates.
+	phase     []int
+	phaseAny  []bool
+	phaseInfo []PhaseInfo
+
+	// stats counts fixpoint work for the convergence-bound tests and the
+	// widened-domain cost guard (deterministic, unlike wall clock).
+	stats struct {
+		seeds  int // ascending state changes accepted at an instruction
+		widens int // changes that went through the widening operator
+		visits int // ascending work-list pops
+
+		// The narrowing post-pass accounts separately so the cost guard
+		// can bound the ascending domain and the decreasing refinement
+		// each on their own terms.
+		narrowing bool // a narrow round is running (routes the counters)
+		nseeds    int  // state changes accepted while re-growing resets
+		nvisits   int  // narrowing work-list pops (both directions)
+		narrows   int  // state decreases accepted by narrowOnce
+	}
 
 	// entryIdx is the instruction index of the program entry.
 	entryIdx int
@@ -83,7 +105,26 @@ func (u *unit) idxOf(addr uint64) (int, bool) {
 func (u *unit) diag(code Code, i int, format string, args ...any) Diagnostic {
 	addr := u.addrOf(i)
 	return Diagnostic{
-		Code: code, Addr: addr, Pos: u.p.Locate(addr),
+		Code: code, Addr: addr, Pos: u.p.Locate(addr), Phase: u.phaseAt(i),
 		Msg: fmt.Sprintf(format, args...),
 	}
+}
+
+// phaseAt returns instruction i's phase id, or -1 when phases have not been
+// computed (structural passes) or the instruction has none.
+func (u *unit) phaseAt(i int) int {
+	if u.phase == nil || i < 0 || i >= len(u.phase) {
+		return -1
+	}
+	return u.phase[i]
+}
+
+// locateAddr renders an arbitrary address with its nearest label, matching
+// the wording core.Machine uses in deadlock reports ("0x10008(bar+1)"), so
+// diagnostics about computed targets stay navigable.
+func (u *unit) locateAddr(a uint64) string {
+	if loc := u.p.Locate(a); loc != fmt.Sprintf("%#x", a) {
+		return fmt.Sprintf("%#x(%s)", a, loc)
+	}
+	return fmt.Sprintf("%#x", a)
 }

@@ -63,8 +63,16 @@ const (
 	CodeStoreToArrival Code = "store-to-arrival-line"
 	// CodeCrossPartitionStore: a store provably escapes the thread's own
 	// data partition (or aims all threads at one shared address without a
-	// thread-id guard) between barriers — a static data race.
+	// thread-id guard) within one barrier-delimited phase — a static data
+	// race.
 	CodeCrossPartitionStore Code = "cross-partition-store"
+	// CodeDynPartitionOverlap: two stores with data-dependent but bounded
+	// addresses (dynamic partitions) can write overlapping bytes from
+	// distinct threads within one phase.
+	CodeDynPartitionOverlap Code = "dyn-partition-overlap"
+	// CodeStoreLoadRace: a store and a load with exact addresses touch
+	// overlapping bytes from distinct threads within one phase.
+	CodeStoreLoadRace Code = "store-load-race"
 	// CodeMissingIFlush: an I-cache arrival invalidation is not followed
 	// by an IFLUSH before the stall jump, so prefetched stub instructions
 	// may let the thread run through the barrier.
@@ -83,10 +91,11 @@ const (
 
 // Diagnostic is one finding, attributed to an instruction.
 type Diagnostic struct {
-	Code Code
-	Addr uint64 // instruction address
-	Pos  string // label+offset position from the program's marks
-	Msg  string
+	Code  Code
+	Addr  uint64 // instruction address
+	Pos   string // label+offset position from the program's marks
+	Phase int    // barrier-delimited phase id, -1 when not applicable
+	Msg   string
 }
 
 func (d Diagnostic) String() string {
@@ -111,6 +120,12 @@ type Options struct {
 	// LineBytes is the cache line size filter regions are granular to
 	// (default 64).
 	LineBytes int
+
+	// AffineOnly restores the v1 exact-affine domain: joins collapse any
+	// disagreement to Top and the interval rules (masking, bound
+	// narrowing, widening) are disabled. Kept as the cost/precision
+	// baseline for the benchmark guard and differential tests.
+	AffineOnly bool
 }
 
 func (o Options) withDefaults() Options {
@@ -139,20 +154,44 @@ func (o Options) withDefaults() Options {
 // quadratic in an attacker-chosen count.
 const maxThreads = 1024
 
+// Report is the full analysis result: the diagnostics plus the per-phase
+// race certificates (advisory; a clean Diags slice is the gate, the
+// certificates say how much of the phase structure was actually proved).
+type Report struct {
+	Diags  []Diagnostic
+	Phases []PhaseInfo
+}
+
 // Check vets a linked program and returns its diagnostics, most severe
 // first (stable order: by code class, then address). A nil or empty result
 // means the program passed every check.
 func Check(p *asm.Program, opt Options) []Diagnostic {
+	return Analyze(p, opt).Diags
+}
+
+// Analyze vets a linked program and returns the diagnostics together with
+// the phase certificates.
+func Analyze(p *asm.Program, opt Options) *Report {
+	r, _ := analyzeUnit(p, opt)
+	return r
+}
+
+// analyzeUnit is Analyze exposing the analysis unit (same-package tests:
+// convergence counters, phase maps).
+func analyzeUnit(p *asm.Program, opt Options) (*Report, *unit) {
 	opt = opt.withDefaults()
 	u, ds := newUnit(p, opt)
 	if u == nil {
-		return ds
+		for i := range ds {
+			ds[i].Phase = -1
+		}
+		return &Report{Diags: ds}, nil
 	}
 	ds = append(ds, u.buildCFG()...)
 	ds = append(ds, u.checkUseBeforeDef()...)
 	ds = append(ds, u.checkProtocol()...)
 	ds = append(ds, u.checkDeadCode()...)
-	return sortDiags(dedup(ds))
+	return &Report{Diags: sortDiags(dedup(ds)), Phases: u.phaseInfo}, u
 }
 
 // diagRank orders codes for reporting (protocol violations first).
@@ -160,7 +199,8 @@ var diagRank = map[Code]int{
 	CodeNoText: 0, CodeBadOpcode: 1, CodeBadBranch: 2, CodeFallOffEnd: 3,
 	CodeMissingFence: 4, CodeWrongSlotInval: 5, CodeLoadBeforeInval: 6,
 	CodeStoreToArrival: 7, CodeMissingIFlush: 8, CodeCrossPartitionStore: 9,
-	CodeUseBeforeDef: 10, CodeDeadCode: 11,
+	CodeDynPartitionOverlap: 10, CodeStoreLoadRace: 11,
+	CodeUseBeforeDef: 12, CodeDeadCode: 13,
 }
 
 func sortDiags(ds []Diagnostic) []Diagnostic {

@@ -30,8 +30,11 @@ go run ./cmd/srvet -corpus >/dev/null
 
 echo "== go test -race (parallel harness, verifier, fabrics) =="
 go test -race -run 'TestForEach|TestParallelFig4Deterministic' ./internal/harness
-go test -race ./internal/vet ./internal/asm
+go test -race ./internal/vet ./internal/asm ./internal/hbcheck
 go test -race ./internal/interconnect ./internal/mem
+
+echo "== hbcheck differential smoke (dynamic oracle agrees with srvet) =="
+go test -short -run TestHBCheck -count=1 ./internal/harness
 
 echo "== go test -race (filter tables, OS model, barrier degradation) =="
 go test -race ./internal/filter ./internal/osmodel ./internal/barrier
