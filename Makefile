@@ -16,21 +16,26 @@ bench:
 check:
 	sh scripts/check.sh
 
-# chaos runs the fault-injection differential matrix plus short fuzz
-# smokes of the assembler (the surface the chaos kernels are built through),
-# the static verifier (which must never panic on arbitrary programs), the
-# translation-cache differential (arbitrary programs must retire
-# identically with the frontend cache on and off), and the filter FSM
-# (arbitrary inval/fill/evict/reprogram sequences either follow Figure 3 or
-# fault with attribution), and the hbcheck differential smoke (the dynamic
-# happens-before oracle must agree with srvet: shipped kernels replay
-# race-free, misuse-corpus races are caught at runtime).
+# chaos runs the fault-injection differential matrix (TestChaos* includes
+# the lock-kernel cells: forced lock evictions and holder preemption on the
+# lock-protected reduction) plus short fuzz smokes of the assembler (the
+# surface the chaos kernels are built through), the static verifier (which
+# must never panic on arbitrary programs), the translation-cache
+# differential (arbitrary programs must retire identically with the
+# frontend cache on and off), the filter FSM (arbitrary
+# inval/fill/evict/reprogram sequences either follow Figure 3 or fault with
+# attribution), the lock FSM (same contract for acquire/release/evict
+# sequences: FIFO grants, single holder, error-coded eviction), and the
+# hbcheck differential smoke (the dynamic happens-before oracle must agree
+# with srvet: shipped kernels replay race-free, misuse-corpus races are
+# caught at runtime).
 chaos:
 	$(GO) test -run Chaos -count=1 -v .
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s -run '^$$' ./internal/asm
 	$(GO) test -fuzz=FuzzVet -fuzztime=10s -run '^$$' ./internal/vet
 	$(GO) test -fuzz=FuzzTranslateDiff -fuzztime=10s -run '^$$' ./internal/cpu
 	$(GO) test -fuzz=FuzzFilterFSM -fuzztime=10s -run '^$$' ./internal/filter
+	$(GO) test -fuzz=FuzzLockFSM -fuzztime=10s -run '^$$' ./internal/filter
 	$(GO) test -short -run TestHBCheck -count=1 ./internal/harness
 
 # simd-smoke boots the simd simulation server, SIGKILLs it mid-sweep, and

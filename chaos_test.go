@@ -11,8 +11,10 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/barrier"
 	"repro/internal/faults"
 	"repro/internal/harness"
+	"repro/internal/kernels"
 )
 
 func TestChaosDifferential(t *testing.T) {
@@ -52,6 +54,50 @@ func TestChaosDifferential(t *testing.T) {
 	}
 	t.Logf("chaos matrix: %d cells, %d identical, %d degraded, %d fault",
 		len(cells), outcomes["identical"], outcomes["degraded"], outcomes["fault"])
+}
+
+// TestChaosLockKernel points the injectors at the hardware lock: the
+// lock-protected reduction runs under the lock-targeting chaos profiles, and
+// every cell must land on the same two-outcome contract as the barrier
+// matrix — results identical to the fault-free run (directly or degraded),
+// or a clean attributed fault. A forced lock eviction may fault the victim's
+// next acquire or free the lock for the next waiter, but it must never
+// silently break mutual exclusion (corruption fails the cell inside
+// RunChaosCell) and never wedge past the budget.
+func TestChaosLockKernel(t *testing.T) {
+	opt := harness.DefaultChaosOptions()
+	opt.Seed = 11
+	// Long enough (~100k+ cycles) that the scheduled lock evictor, whose
+	// mean gap is 6k cycles, fires many times per attempt.
+	k := kernels.NewLockReduce(256, 64)
+	for _, name := range []string{"none", "lock-evict", "lock-preempt", "forced-evict", "alloc-flood"} {
+		p, ok := faults.ProfileByName(name)
+		if !ok {
+			t.Fatalf("unknown profile %q", name)
+		}
+		cell, err := harness.RunChaosCell(k, barrier.KindFilterD, p, faults.MixSeed(opt.Seed, 0xA0), opt)
+		if err != nil {
+			t.Errorf("%s: chaos contract violated: %v", name, err)
+			continue
+		}
+		switch cell.Outcome {
+		case "identical":
+		case "degraded", "fault":
+			if cell.Report == "" {
+				t.Errorf("%s: %s outcome with no attribution", name, cell.Outcome)
+			}
+		default:
+			t.Errorf("%s: unknown outcome %q", name, cell.Outcome)
+		}
+		if name == "none" && (cell.Outcome != "identical" || cell.Injected != 0) {
+			t.Errorf("none: baseline cell not clean: outcome=%s injected=%d", cell.Outcome, cell.Injected)
+		}
+		if name == "lock-evict" && cell.Injected == 0 {
+			t.Errorf("lock-evict: no lock evictions injected — the lock source is not wired")
+		}
+		t.Logf("%s: outcome=%s attempts=%d injected=%d cycles=%d",
+			name, cell.Outcome, cell.Attempts, cell.Injected, cell.Cycles)
+	}
 }
 
 func chaosRender(t *testing.T, opt harness.ChaosOptions) []byte {

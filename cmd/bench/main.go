@@ -48,7 +48,7 @@ func parseInts(s string) ([]int, error) {
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig10,ocean,extras,chaos,scale,all")
 	full := flag.Bool("full", false, "paper-faithful sizes (slow); default is quick sizes with the same shapes")
-	fabric := flag.String("fabric", "bus", "interconnect fabric for every machine: bus, xbar (crossbar), or mesh")
+	fabric := flag.String("fabric", "bus", "interconnect fabric for every machine: bus, xbar (crossbar), mesh, or optical")
 	cores := flag.Int("cores", 0, "core count for the kernel experiments (0 = the paper's 16)")
 	scalecores := flag.String("scalecores", "", "comma-separated core counts for -exp scale (default 4,8,16,32,64)")
 	seed := flag.Uint64("seed", 1, "master seed for the chaos fault-injection matrix (replays byte-identically)")
@@ -123,9 +123,23 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// Validate every requested experiment name upfront: a typo in a list
+	// ("-exp table1,fgi4") must fail loudly, not silently skip the cell.
+	validExps := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
+		"ocean", "extras", "chaos", "scale", "all"}
+	valid := map[string]bool{}
+	for _, e := range validExps {
+		valid[e] = true
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(e)] = true
+		name := strings.TrimSpace(e)
+		if !valid[name] {
+			fmt.Fprintf(os.Stderr, "-exp: unknown experiment %q (valid: %s)\n",
+				name, strings.Join(validExps, ", "))
+			os.Exit(2)
+		}
+		want[name] = true
 	}
 	all := want["all"]
 	ran := 0

@@ -187,6 +187,15 @@ func RunResilient(cfg core.Config, nthreads int, requested Kind, pol FallbackPol
 			}
 			return 0, fmt.Errorf("%w: installing %s: %v", ErrUnrecoverable, kind, err)
 		}
+		if _, err := InstallLocks(m, prog); err != nil {
+			if errors.Is(err, filter.ErrNoCapacity) {
+				// Same spill rule as the filters: a software-barrier
+				// attempt installs no filter entries, freeing the bank's
+				// sync table for the locks the program still needs.
+				return 0, fmt.Errorf("installing locks for %s: %w", kind, err)
+			}
+			return 0, fmt.Errorf("%w: installing locks for %s: %v", ErrUnrecoverable, kind, err)
+		}
 		if hooks.OnMachine != nil {
 			hooks.OnMachine(try, kind, m, gen)
 		}

@@ -26,6 +26,9 @@ func Launch(m *core.Machine, gen Generator, prog *asm.Program, nthreads int) err
 	if err := gen.Install(m, prog); err != nil {
 		return fmt.Errorf("barrier: installing %s: %w", gen.Kind(), err)
 	}
+	if _, err := InstallLocks(m, prog); err != nil {
+		return err
+	}
 	m.StartSPMD(prog.Entry, nthreads)
 	return nil
 }

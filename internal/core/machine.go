@@ -35,6 +35,11 @@ const (
 	// BarrierRegion is where the OS allocates barrier data lines
 	// (D-cache arrival lines, exit lines, software barrier state).
 	BarrierRegion = 0x0F00_0000
+	// LockRegion is where the OS allocates hardware lock lines (one line
+	// per participating thread per lock; see internal/barrier/locks.go).
+	// It sits inside the sync-address space above BarrierRegion, so the
+	// happens-before checker's SyncBase exemption covers both regions.
+	LockRegion = 0x0F80_0000
 )
 
 // StackTop returns the initial stack pointer for a thread.
@@ -290,6 +295,31 @@ func (m *Machine) InstallFilter(f *filter.Filter) error {
 	f.Strict = m.Cfg.FilterStrict
 	f.Timeout = m.Cfg.FilterTimeout
 	return m.Hooks[m.Cfg.Mem.BankOf(f.ArrivalBase)].Add(f)
+}
+
+// InstallLock places a hardware lock into the bank its lock lines map to,
+// under the same slot and entry-capacity accounting as barrier filters. It
+// fails (ErrNoCapacity on entry pressure) when the bank cannot host it; the
+// caller is expected to spill to a software lock.
+func (m *Machine) InstallLock(l *filter.Lock) error {
+	l.Strict = m.Cfg.FilterStrict
+	l.Timeout = m.Cfg.FilterTimeout
+	return m.Hooks[m.Cfg.Mem.BankOf(l.Base)].AddLock(l)
+}
+
+// RetireLock tears a lock down for good under the same migration-safe
+// retire path as barrier filters.
+func (m *Machine) RetireLock(l *filter.Lock) {
+	m.Hooks[m.Cfg.Mem.BankOf(l.Base)].RetireLock(l)
+}
+
+// Locks enumerates the hardware locks installed across the banks.
+func (m *Machine) Locks() []*filter.Lock {
+	var out []*filter.Lock
+	for _, h := range m.Hooks {
+		out = append(out, h.Locks()...)
+	}
+	return out
 }
 
 // RemoveFilter swaps a filter out of its bank.
@@ -571,6 +601,11 @@ func (m *Machine) describePCs() string {
 			if slot, f, thread, ok := h.BlockedOn(phys); ok {
 				blocked = fmt.Sprintf(" blocked on barrier %q (bank %d slot %d, thread entry %d)",
 					f.Name, b, slot, thread)
+				break
+			}
+			if slot, l, thread, ok := h.BlockedOnLock(phys); ok {
+				blocked = fmt.Sprintf(" blocked on lock %q (bank %d slot %d, thread entry %d, holder %d)",
+					l.Name, b, slot, thread, l.Holder())
 				break
 			}
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/filter"
 	"repro/internal/sim"
 )
 
@@ -93,6 +94,49 @@ func (m *Machine) StatsReport() *sim.Stats {
 	}
 	if droppedFills > 0 {
 		set("filter.desched_dropped_fills", droppedFills)
+	}
+
+	// Hardware-lock counters live in their own sync.lock.* namespace: the
+	// filter.* keys above are pinned byte-for-byte by the golden
+	// differentials and stay barrier-only (the bank-level fills_* counters
+	// do include lock traffic — they count at the hook, which cannot tell
+	// primitive kinds apart; see DESIGN.md §15). The whole block is only
+	// emitted when locks are installed, so lock-free runs stay identical.
+	var lks []*filter.Lock
+	for _, h := range m.Hooks {
+		lks = append(lks, h.Locks()...)
+		lks = append(lks, h.RetiredLocks()...)
+	}
+	if len(lks) > 0 {
+		var acq, grants, rels, lparked, inHold, ltimeouts, lmisuse, levict, ldropped uint64
+		for _, l := range lks {
+			acq += l.Acquires
+			grants += l.Grants
+			rels += l.Releases
+			lparked += l.ParkedFills
+			inHold += l.ServicedInHold
+			ltimeouts += l.Timeouts
+			lmisuse += l.Errors
+			levict += l.EvictErrors
+			ldropped += l.DroppedFills
+		}
+		set("sync.lock.acquires", acq)
+		set("sync.lock.grants", grants)
+		set("sync.lock.releases", rels)
+		set("sync.lock.parked_fills", lparked)
+		set("sync.lock.serviced_in_hold", inHold)
+		if ltimeouts > 0 {
+			set("sync.lock.timeout_releases", ltimeouts)
+		}
+		if lmisuse > 0 {
+			set("sync.lock.misuse_faults", lmisuse)
+		}
+		if levict > 0 {
+			set("sync.lock.evict_errors", levict)
+		}
+		if ldropped > 0 {
+			set("sync.lock.desched_dropped_fills", ldropped)
+		}
 	}
 
 	set("l3.hits", m.Sys.L3Cache().Hits)

@@ -54,6 +54,13 @@ type Profile struct {
 	// hits the Evicted state and faults attributably.
 	EvictEvery uint64
 
+	// LockEvictEvery forcibly deallocates a random live lock table entry —
+	// the lock-side twin of EvictEvery. Evicting the holder frees the lock
+	// and grants the next waiter (a deallocated holder must not wedge the
+	// queue); the victim's later acquire, release, or fill hits the
+	// Evicted state and faults attributably.
+	LockEvictEvery uint64
+
 	// FilterCapOverride, when positive, shrinks every bank's filter-table
 	// entry capacity for the cell (applied by the harness when building
 	// the machine config): an allocation flood that must spill to the
@@ -81,7 +88,8 @@ func (p Profile) Active() bool {
 	return p.FillDelayP > 0 || p.InvalDelayP > 0 || p.ReorderP > 0 ||
 		p.RespDelayP > 0 || p.AckDropP > 0 ||
 		p.SpuriousFillEvery > 0 || p.MisuseEvery > 0 || p.PreemptEvery > 0 ||
-		p.StateFlipEvery > 0 || p.EvictEvery > 0 || p.FilterCapOverride > 0
+		p.StateFlipEvery > 0 || p.EvictEvery > 0 || p.LockEvictEvery > 0 ||
+		p.FilterCapOverride > 0
 }
 
 // WantsPreemption reports whether the harness must drive a preemption plan.
@@ -102,6 +110,8 @@ func Profiles() []Profile {
 		{Name: "state-flip", StateFlipEvery: 2_000},
 		{Name: "alloc-flood", FilterCapOverride: 1},
 		{Name: "forced-evict", EvictEvery: 6_000},
+		{Name: "lock-evict", LockEvictEvery: 6_000},
+		{Name: "lock-preempt", PreemptEvery: 8_000, PreemptGap: 1_500},
 		{Name: "migrate-storm", PreemptEvery: 3_000, PreemptGap: 400},
 		{Name: "monsoon", FillDelayP: 0.02, FillDelayMin: 1, FillDelayMax: 200,
 			ReorderP: 0.02, RespDelayP: 0.02, RespDelayMax: 200, AckDropP: 0.004,
@@ -173,13 +183,14 @@ type Injector struct {
 	sys   *mem.System
 	cores int
 
-	filters []*filter.Filter // misuse targets (barrier filters in use)
-	targets []uint64         // spurious-fill target lines
+	filters []*filter.Filter      // misuse targets (barrier filters in use)
+	lockSrc func() []*filter.Lock // lock-evict targets, resolved lazily (locks install at Launch)
+	targets []uint64              // spurious-fill target lines
 
 	rngReq, rngResp, rngAck, rngSched *sim.Rand
 
-	nextSpurious, nextMisuse, nextFlip, nextEvict uint64
-	nextID                                        uint64
+	nextSpurious, nextMisuse, nextFlip, nextEvict, nextLockEvict uint64
+	nextID                                                       uint64
 
 	records []Record
 	total   uint64
@@ -187,7 +198,7 @@ type Injector struct {
 	// Per-site counters.
 	FillDelays, InvalDelays, RespDelays, Reorders     uint64
 	AckDrops, SpuriousFills, MisuseInvals, StateFlips uint64
-	ForcedEvicts                                      uint64
+	ForcedEvicts, LockEvicts                          uint64
 }
 
 var _ mem.ChaosHook = (*Injector)(nil)
@@ -196,18 +207,19 @@ var _ mem.ChaosHook = (*Injector)(nil)
 // the memory system.
 func New(p Profile, seed uint64, sys *mem.System, cores int) *Injector {
 	in := &Injector{
-		P:            p,
-		sys:          sys,
-		cores:        cores,
-		rngReq:       sim.NewRand(MixSeed(seed, 1)),
-		rngResp:      sim.NewRand(MixSeed(seed, 2)),
-		rngAck:       sim.NewRand(MixSeed(seed, 3)),
-		rngSched:     sim.NewRand(MixSeed(seed, 4)),
-		nextSpurious: ^uint64(0),
-		nextMisuse:   ^uint64(0),
-		nextFlip:     ^uint64(0),
-		nextEvict:    ^uint64(0),
-		nextID:       spuriousIDBase,
+		P:             p,
+		sys:           sys,
+		cores:         cores,
+		rngReq:        sim.NewRand(MixSeed(seed, 1)),
+		rngResp:       sim.NewRand(MixSeed(seed, 2)),
+		rngAck:        sim.NewRand(MixSeed(seed, 3)),
+		rngSched:      sim.NewRand(MixSeed(seed, 4)),
+		nextSpurious:  ^uint64(0),
+		nextMisuse:    ^uint64(0),
+		nextFlip:      ^uint64(0),
+		nextEvict:     ^uint64(0),
+		nextLockEvict: ^uint64(0),
+		nextID:        spuriousIDBase,
 	}
 	if p.SpuriousFillEvery > 0 {
 		in.nextSpurious = 1 + in.gap(p.SpuriousFillEvery)
@@ -221,6 +233,9 @@ func New(p Profile, seed uint64, sys *mem.System, cores int) *Injector {
 	if p.EvictEvery > 0 {
 		in.nextEvict = 1 + in.gap(p.EvictEvery)
 	}
+	if p.LockEvictEvery > 0 {
+		in.nextLockEvict = 1 + in.gap(p.LockEvictEvery)
+	}
 	sys.SetChaosHook(in)
 	return in
 }
@@ -231,6 +246,11 @@ func (in *Injector) SetFilters(fs []*filter.Filter) { in.filters = fs }
 
 // SetFillTargets sets the line addresses spurious fills aim at.
 func (in *Injector) SetFillTargets(addrs []uint64) { in.targets = addrs }
+
+// SetLockSource gives the lock-evict injector a way to enumerate the live
+// hardware locks. It is a closure, not a slice, because the injector is
+// attached before Launch installs the locks into the bank tables.
+func (in *Injector) SetLockSource(src func() []*filter.Lock) { in.lockSrc = src }
 
 // gap draws a positive gap with the given mean from the scheduler stream.
 func (in *Injector) gap(mean uint64) uint64 {
@@ -288,6 +308,7 @@ func (in *Injector) Summary() string {
 	add(in.MisuseInvals, "misuse invals")
 	add(in.StateFlips, "state flips")
 	add(in.ForcedEvicts, "forced evictions")
+	add(in.LockEvicts, "forced lock evictions")
 	if len(parts) == 0 {
 		return fmt.Sprintf("injector %q: nothing injected", in.P.Name)
 	}
@@ -357,6 +378,10 @@ func (in *Injector) Tick(now uint64) {
 		in.injectEvict(now)
 		in.nextEvict = now + in.gap(in.P.EvictEvery)
 	}
+	if now >= in.nextLockEvict {
+		in.injectLockEvict(now)
+		in.nextLockEvict = now + in.gap(in.P.LockEvictEvery)
+	}
 }
 
 // NextEvent implements mem.ChaosHook.
@@ -372,6 +397,9 @@ func (in *Injector) NextEvent(now uint64) (event uint64, ok bool) {
 	}
 	if in.P.EvictEvery > 0 && (!ok || in.nextEvict < event) {
 		event, ok = in.nextEvict, true
+	}
+	if in.P.LockEvictEvery > 0 && (!ok || in.nextLockEvict < event) {
+		event, ok = in.nextLockEvict, true
 	}
 	if ok && event < now {
 		event = now
@@ -442,6 +470,31 @@ func (in *Injector) injectEvict(now uint64) {
 	in.ForcedEvicts++
 	in.record(now, "filter.evict", -1, f.ArrivalAddr(t),
 		fmt.Sprintf("forced eviction of thread %d in state %s", t, st))
+}
+
+// injectLockEvict forcibly deallocates one live lock table entry. The lock
+// FSM's eviction path does the rest: parked fills come back as error fills,
+// an evicted holder frees the lock and grants the next waiter, and the
+// victim's later acquire or release hits the Evicted state and faults
+// attributably — mutual exclusion degrades, it never silently breaks.
+func (in *Injector) injectLockEvict(now uint64) {
+	if in.lockSrc == nil {
+		return
+	}
+	locks := in.lockSrc()
+	if len(locks) == 0 {
+		return
+	}
+	l := locks[in.rngSched.Intn(len(locks))]
+	t := in.rngSched.Intn(l.NumThreads)
+	st := l.State(t)
+	if st == filter.LockEvicted {
+		return
+	}
+	_ = l.EvictThread(t) // t is in range by construction
+	in.LockEvicts++
+	in.record(now, "lock.evict", -1, l.LineAddr(t),
+		fmt.Sprintf("forced eviction of lock %q thread %d in state %s", l.Name, t, st))
 }
 
 // injectFlip promotes one random valid Shared line in one core's L1D to

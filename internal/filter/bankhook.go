@@ -7,30 +7,37 @@ import (
 	"repro/internal/mem"
 )
 
-// ErrNoCapacity is returned by Add when installing a filter would exceed
-// the bank's entry capacity. Allocations that hit it are expected to spill
-// to the software barrier path and be attributed as filter.overflow_spills
-// — capacity pressure degrades, it never wedges.
+// ErrNoCapacity is returned by Add/AddLock when installing a primitive
+// would exceed the bank's entry capacity. Allocations that hit it are
+// expected to spill to a software path and be attributed as
+// filter.overflow_spills — capacity pressure degrades, it never wedges.
 var ErrNoCapacity = errors.New("filter table capacity exhausted")
 
-// maxRetired bounds the retired-filter list per bank; the oldest retiree
+// maxRetired bounds the retired-primitive list per bank; the oldest retiree
 // is forgotten first. Eight matches the default slot count: a tag can stay
 // stale-detectable for at least one full generation of replacements.
 const maxRetired = 8
 
-// BankFilters aggregates the barrier filters hosted by one L2 bank
-// controller (the hardware holds up to Slots of them, and at most Cap
-// table entries across all of them) and implements mem.BankHook. An
-// invalidation can be meaningful to two filters at once — in the ping-pong
-// construction one barrier's arrival line is its twin's exit line — so
-// invalidations are shown to every matching filter.
+// BankFilters is the per-bank synchronization engine: it aggregates the
+// typed sync primitives hosted by one L2 bank controller — barrier filters
+// and hardware locks — and implements mem.BankHook. The hardware holds up
+// to Slots primitives and at most Cap table entries across all of them;
+// allocation, capacity spill, eviction, and migration-safe retire apply
+// uniformly to every primitive kind. An invalidation can be meaningful to
+// two primitives at once — in the ping-pong construction one barrier's
+// arrival line is its twin's exit line — so invalidations are shown to
+// every matching primitive.
+//
+// (The name predates the generalization to locks; it is kept because the
+// hook's identity — and the filter.* statistics namespace — is pinned by
+// the golden differentials.)
 type BankFilters struct {
 	Slots int
-	// Cap bounds the total table entries (one per thread per filter)
+	// Cap bounds the total table entries (one per thread per primitive)
 	// the bank can hold; 0 means unbounded.
 	Cap     int
-	filters []*Filter
-	retired []*Filter
+	prims   []Primitive
+	retired []Primitive
 	obs     SyncObserver
 
 	// Spills counts allocations refused for entry capacity (the
@@ -40,96 +47,110 @@ type BankFilters struct {
 
 var _ mem.BankHook = (*BankFilters)(nil)
 
-// NewBankFilters creates a hook with capacity for slots filters.
+// NewBankFilters creates a hook with capacity for slots primitives.
 func NewBankFilters(slots int) *BankFilters {
 	return &BankFilters{Slots: slots}
 }
 
-// Add installs a filter, failing when the bank's slots are exhausted or
-// when its entry capacity would overflow (the OS then falls back to a
-// software barrier, §3.3.1).
-func (b *BankFilters) Add(f *Filter) error {
-	if len(b.filters) >= b.Slots {
+// addPrim installs a primitive, failing when the bank's slots are exhausted
+// or when its entry capacity would overflow. what names the primitive kind
+// in the error ("filter", "lock").
+func (b *BankFilters) addPrim(p Primitive, what string) error {
+	if len(b.prims) >= b.Slots {
 		return fmt.Errorf("filter: bank has no free filter slots (%d in use)", b.Slots)
 	}
-	if b.Cap > 0 && b.Entries()+f.NumThreads > b.Cap {
+	if b.Cap > 0 && b.Entries()+p.entryCount() > b.Cap {
 		b.Spills++
-		return fmt.Errorf("%w: bank holds %d of %d entries, filter %s needs %d",
-			ErrNoCapacity, b.Entries(), b.Cap, f.Name, f.NumThreads)
+		return fmt.Errorf("%w: bank holds %d of %d entries, %s %s needs %d",
+			ErrNoCapacity, b.Entries(), b.Cap, what, p.primName(), p.entryCount())
 	}
-	f.obs = b.obs
-	b.filters = append(b.filters, f)
+	p.setObserver(b.obs)
+	b.prims = append(b.prims, p)
 	return nil
 }
 
-// SetObserver attaches o to every filter the bank hosts now or later (nil
-// detaches). Retired filters are included: a stale-tag arrival can still
-// reach their FSMs, and the observer must not silently miss it.
+// Add installs a barrier filter, failing when the bank's slots are
+// exhausted or when its entry capacity would overflow (the OS then falls
+// back to a software barrier, §3.3.1).
+func (b *BankFilters) Add(f *Filter) error { return b.addPrim(f, "filter") }
+
+// AddLock installs a hardware lock under the same slot and entry-capacity
+// accounting as barrier filters.
+func (b *BankFilters) AddLock(l *Lock) error { return b.addPrim(l, "lock") }
+
+// SetObserver attaches o to every primitive the bank hosts now or later
+// (nil detaches). Retired primitives are included: a stale-tag arrival can
+// still reach their FSMs, and the observer must not silently miss it.
 func (b *BankFilters) SetObserver(o SyncObserver) {
 	b.obs = o
-	for _, fs := range [2][]*Filter{b.filters, b.retired} {
-		for _, f := range fs {
-			f.obs = o
+	for _, ps := range [2][]Primitive{b.prims, b.retired} {
+		for _, p := range ps {
+			p.setObserver(o)
 		}
 	}
 }
 
-// Remove swaps a filter out (OS barrier swap, §3.3.3).
-func (b *BankFilters) Remove(f *Filter) {
-	for i, x := range b.filters {
-		if x == f {
-			b.filters = append(b.filters[:i], b.filters[i+1:]...)
+// removePrim swaps a primitive out (OS swap, §3.3.3).
+func (b *BankFilters) removePrim(p Primitive) {
+	for i, x := range b.prims {
+		if x == p {
+			b.prims = append(b.prims[:i], b.prims[i+1:]...)
 			return
 		}
 	}
 }
 
-// Retire tears a filter down for good (barrier teardown): every entry is
-// evicted — parked fills are error-released — and the filter moves to the
-// bank's retired list, where its tags keep answering stale invals and
-// fills with error-coded responses instead of silently ignoring them.
-func (b *BankFilters) Retire(f *Filter) {
-	b.Remove(f)
-	for t := 0; t < f.NumThreads; t++ {
-		_ = f.EvictThread(t) // in range by construction
-	}
-	b.retired = append(b.retired, f)
+// Remove swaps a filter out (OS barrier swap, §3.3.3).
+func (b *BankFilters) Remove(f *Filter) { b.removePrim(f) }
+
+// RemoveLock swaps a lock out.
+func (b *BankFilters) RemoveLock(l *Lock) { b.removePrim(l) }
+
+// retirePrim tears a primitive down for good: every entry is evicted —
+// parked fills are error-released — and the primitive moves to the bank's
+// retired list, where its tags keep answering stale invals and fills with
+// error-coded responses instead of silently ignoring them.
+func (b *BankFilters) retirePrim(p Primitive) {
+	b.removePrim(p)
+	p.evictAll()
+	b.retired = append(b.retired, p)
 	if len(b.retired) > maxRetired {
 		b.retired = b.retired[len(b.retired)-maxRetired:]
 	}
 }
 
-// InUse returns the number of occupied slots.
-func (b *BankFilters) InUse() int { return len(b.filters) }
+// Retire tears a filter down for good (barrier teardown).
+func (b *BankFilters) Retire(f *Filter) { b.retirePrim(f) }
 
-// Entries returns the occupied table entries across the live filters (a
-// filter consumes one entry per participating thread). Retired filters no
-// longer hold entries — only tags.
+// RetireLock tears a lock down for good under the same migration-safe
+// retire path as barrier filters.
+func (b *BankFilters) RetireLock(l *Lock) { b.retirePrim(l) }
+
+// InUse returns the number of occupied slots.
+func (b *BankFilters) InUse() int { return len(b.prims) }
+
+// Entries returns the occupied table entries across the live primitives (a
+// primitive consumes one entry per participating thread). Retired
+// primitives no longer hold entries — only tags.
 func (b *BankFilters) Entries() int {
 	n := 0
-	for _, f := range b.filters {
-		n += f.NumThreads
+	for _, p := range b.prims {
+		n += p.entryCount()
 	}
 	return n
 }
 
-// OnInval shows an invalidation to every live filter that recognizes the
-// address, as arrival or exit. When no live filter matches, the retired
-// list is consulted: an inval for a deallocated filter's lines is a stale
-// tag, and every entry there is Evicted, so the FSM answers it with an
+// OnInval shows an invalidation to every live primitive that recognizes
+// the address. When no live primitive matches, the retired list is
+// consulted: an inval for a deallocated primitive's lines is a stale tag,
+// and every entry there is Evicted, so the FSM answers it with an
 // error-coded response.
 func (b *BankFilters) OnInval(now uint64, addr uint64, core int) (fault bool) {
 	matched := false
-	for _, f := range b.filters {
-		if t, ok := f.MatchExit(addr); ok {
+	for _, p := range b.prims {
+		if m, f := p.onInval(now, addr, core); m {
 			matched = true
-			if f.onExitInval(t) {
-				fault = true
-			}
-		}
-		if t, ok := f.MatchArrival(addr); ok {
-			matched = true
-			if f.onArrivalInval(now, t) {
+			if f {
 				fault = true
 			}
 		}
@@ -137,44 +158,34 @@ func (b *BankFilters) OnInval(now uint64, addr uint64, core int) (fault bool) {
 	if matched {
 		return fault
 	}
-	for _, f := range b.retired {
-		if t, ok := f.MatchExit(addr); ok {
-			if f.onExitInval(t) {
-				fault = true
-			}
-		}
-		if t, ok := f.MatchArrival(addr); ok {
-			if f.onArrivalInval(now, t) {
-				fault = true
-			}
+	for _, p := range b.retired {
+		if _, f := p.onInval(now, addr, core); f {
+			fault = true
 		}
 	}
 	return fault
 }
 
-// OnFill consults the filter owning the arrival line, if any. Live filters
-// take precedence; a fill matching only a retired filter's tag hits an
+// OnFill consults the primitive owning the line, if any. Live primitives
+// take precedence; a fill matching only a retired primitive's tag hits an
 // Evicted entry and gets an error-coded response.
 func (b *BankFilters) OnFill(now uint64, t mem.Txn) (park, fault bool) {
-	for _, f := range b.filters {
-		if tid, ok := f.MatchArrival(t.Addr); ok {
-			return f.onFill(now, tid, t)
-		}
-	}
-	for _, f := range b.retired {
-		if tid, ok := f.MatchArrival(t.Addr); ok {
-			return f.onFill(now, tid, t)
+	for _, ps := range [2][]Primitive{b.prims, b.retired} {
+		for _, p := range ps {
+			if m, park, fault := p.onFillReq(now, t); m {
+				return park, fault
+			}
 		}
 	}
 	return false, false
 }
 
-// PopReleased round-robins over the filters' release queues, including
-// retired filters still draining evict-time error releases.
+// PopReleased round-robins over the primitives' release queues, including
+// retired primitives still draining evict-time error releases.
 func (b *BankFilters) PopReleased(now uint64) (mem.Txn, bool, bool) {
-	for _, fs := range [2][]*Filter{b.filters, b.retired} {
-		for _, f := range fs {
-			if t, errFill, ok := f.popReleased(now); ok {
+	for _, ps := range [2][]Primitive{b.prims, b.retired} {
+		for _, p := range ps {
+			if t, errFill, ok := p.popReleased(now); ok {
 				return t, errFill, ok
 			}
 		}
@@ -183,13 +194,14 @@ func (b *BankFilters) PopReleased(now uint64) (mem.Txn, bool, bool) {
 }
 
 // NextEvent implements the optional next-event query the simulator's bulk
-// fast-forward probes for: the earliest cycle at which any hosted filter
-// could spontaneously produce work (a queued release, or a parked fill
-// hitting its timeout). ok=false when no filter will act without new input.
+// fast-forward probes for: the earliest cycle at which any hosted
+// primitive could spontaneously produce work (a queued release, or a
+// parked fill hitting its timeout). ok=false when none will act without
+// new input.
 func (b *BankFilters) NextEvent(now uint64) (event uint64, ok bool) {
-	for _, fs := range [2][]*Filter{b.filters, b.retired} {
-		for _, f := range fs {
-			if t, o := f.nextEvent(now); o && (!ok || t < event) {
+	for _, ps := range [2][]Primitive{b.prims, b.retired} {
+		for _, p := range ps {
+			if t, o := p.nextEvent(now); o && (!ok || t < event) {
 				event, ok = t, true
 			}
 		}
@@ -198,43 +210,87 @@ func (b *BankFilters) NextEvent(now uint64) (event uint64, ok bool) {
 }
 
 // LastError reports the most recent protocol error across the bank's
-// filters, live and retired.
+// primitives, live and retired.
 func (b *BankFilters) LastError() string {
-	for _, fs := range [2][]*Filter{b.filters, b.retired} {
-		for _, f := range fs {
-			if f.lastErr != "" {
-				return f.lastErr
+	for _, ps := range [2][]Primitive{b.prims, b.retired} {
+		for _, p := range ps {
+			if e := p.lastError(); e != "" {
+				return e
 			}
 		}
 	}
 	return ""
 }
 
-// Filters returns the currently installed filters (diagnostics and fault
-// injection).
-func (b *BankFilters) Filters() []*Filter { return b.filters }
+// Filters returns the currently installed barrier filters (diagnostics and
+// fault injection).
+func (b *BankFilters) Filters() []*Filter {
+	var out []*Filter
+	for _, p := range b.prims {
+		if f, ok := p.(*Filter); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
 
 // Retired returns the retired filters whose tags still answer stale
 // accesses (diagnostics).
-func (b *BankFilters) Retired() []*Filter { return b.retired }
+func (b *BankFilters) Retired() []*Filter {
+	var out []*Filter
+	for _, p := range b.retired {
+		if f, ok := p.(*Filter); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
 
-// TimeoutReleases sums the filters' timeout-release counters.
+// Locks returns the currently installed hardware locks.
+func (b *BankFilters) Locks() []*Lock {
+	var out []*Lock
+	for _, p := range b.prims {
+		if l, ok := p.(*Lock); ok {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// RetiredLocks returns the retired locks whose tags still answer stale
+// accesses.
+func (b *BankFilters) RetiredLocks() []*Lock {
+	var out []*Lock
+	for _, p := range b.retired {
+		if l, ok := p.(*Lock); ok {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TimeoutReleases sums the barrier filters' timeout-release counters (lock
+// counters live in the sync.lock.* namespace; see core.StatsReport).
 func (b *BankFilters) TimeoutReleases() uint64 {
 	var n uint64
-	for _, fs := range [2][]*Filter{b.filters, b.retired} {
-		for _, f := range fs {
-			n += f.Timeouts
+	for _, ps := range [2][]Primitive{b.prims, b.retired} {
+		for _, p := range ps {
+			if f, ok := p.(*Filter); ok {
+				n += f.Timeouts
+			}
 		}
 	}
 	return n
 }
 
-// MisuseFaults sums the filters' protocol-error counters.
+// MisuseFaults sums the barrier filters' protocol-error counters.
 func (b *BankFilters) MisuseFaults() uint64 {
 	var n uint64
-	for _, fs := range [2][]*Filter{b.filters, b.retired} {
-		for _, f := range fs {
-			n += f.Errors
+	for _, ps := range [2][]Primitive{b.prims, b.retired} {
+		for _, p := range ps {
+			if f, ok := p.(*Filter); ok {
+				n += f.Errors
+			}
 		}
 	}
 	return n
@@ -244,31 +300,54 @@ func (b *BankFilters) MisuseFaults() uint64 {
 // and invals, evict-time error releases) across live and retired filters.
 func (b *BankFilters) EvictErrors() uint64 {
 	var n uint64
-	for _, fs := range [2][]*Filter{b.filters, b.retired} {
-		for _, f := range fs {
-			n += f.EvictErrors
+	for _, ps := range [2][]Primitive{b.prims, b.retired} {
+		for _, p := range ps {
+			if f, ok := p.(*Filter); ok {
+				n += f.EvictErrors
+			}
 		}
 	}
 	return n
 }
 
 // DropParked discards parked fills issued by the given physical core
-// across the bank's live filters (OS deschedule; retired filters hold no
-// parked fills). Returns the number of fills dropped.
+// across the bank's live primitives (OS deschedule; retired primitives
+// hold no parked fills). Returns the number of fills dropped.
 func (b *BankFilters) DropParked(core int) int {
 	n := 0
-	for _, f := range b.filters {
-		n += f.DropParked(core)
+	for _, p := range b.prims {
+		n += p.dropParkedFills(core)
 	}
 	return n
 }
 
-// BlockedOn reports which filter slot holds a parked fill from the given
-// physical core: the slot index, the filter, and the thread entry the fill
-// belongs to. ok=false when the core is not parked at this bank.
+// BlockedOn reports which slot's barrier filter holds a parked fill from
+// the given physical core: the slot index, the filter, and the thread
+// entry the fill belongs to. ok=false when the core is not parked at a
+// filter in this bank.
 func (b *BankFilters) BlockedOn(core int) (slot int, f *Filter, thread int, ok bool) {
-	for i, x := range b.filters {
-		if t, o := x.ParkedThreadOf(core); o {
+	for i, p := range b.prims {
+		x, isF := p.(*Filter)
+		if !isF {
+			continue
+		}
+		if t, o := x.parkedThreadOf(core); o {
+			return i, x, t, true
+		}
+	}
+	return 0, nil, 0, false
+}
+
+// BlockedOnLock reports which slot's lock holds a parked fill from the
+// given physical core. ok=false when the core is not parked at a lock in
+// this bank.
+func (b *BankFilters) BlockedOnLock(core int) (slot int, l *Lock, thread int, ok bool) {
+	for i, p := range b.prims {
+		x, isL := p.(*Lock)
+		if !isL {
+			continue
+		}
+		if t, o := x.parkedThreadOf(core); o {
 			return i, x, t, true
 		}
 	}

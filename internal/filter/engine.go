@@ -1,0 +1,197 @@
+package filter
+
+import "repro/internal/mem"
+
+// Primitive is one typed entry of the per-bank synchronization engine: a
+// table-resident hardware primitive (today a phase-counted barrier Filter or
+// a Lock) that watches invalidations and fills for its tagged lines, parks
+// fills on the shared parked-fill machinery, and answers protocol misuse
+// and stale-tag accesses with attributed error responses. All methods are
+// unexported: primitives live and die inside this package's BankFilters
+// engine, which applies one allocation/eviction/overflow FSM to every kind.
+type Primitive interface {
+	// primName identifies the primitive in reports.
+	primName() string
+	// entryCount is the table entries the primitive occupies (one per
+	// participating thread), charged against the bank's capacity.
+	entryCount() int
+	// setObserver attaches the bank's sync observer (nil detaches).
+	// Primitives accept any SyncObserver and use the event interfaces
+	// they understand (locks type-assert LockObserver).
+	setObserver(o SyncObserver)
+	// evictAll deallocates every thread entry (teardown/retire).
+	evictAll()
+	// onInval shows the primitive an invalidation. matched reports
+	// whether the address belongs to this primitive; fault an attributed
+	// protocol error.
+	onInval(now uint64, addr uint64, core int) (matched, fault bool)
+	// onFillReq shows the primitive a fill request. matched as above;
+	// park withholds the fill; fault answers it with an error code.
+	onFillReq(now uint64, t mem.Txn) (matched, park, fault bool)
+	// popReleased yields one ready-to-service fill (timeouts included).
+	popReleased(now uint64) (mem.Txn, bool, bool)
+	// nextEvent is the earliest cycle the primitive could spontaneously
+	// produce work (release queue, or a parked fill's timeout expiry).
+	nextEvent(now uint64) (event uint64, ok bool)
+	// lastError describes the most recent protocol error ("" if none).
+	lastError() string
+	// dropParkedFills silently drops the physical core's parked fills
+	// (OS deschedule) and returns how many were dropped.
+	dropParkedFills(core int) int
+	// parkedThreadOf resolves which thread entry withholds a fill issued
+	// by the physical core (blocked-core attribution).
+	parkedThreadOf(core int) (thread int, ok bool)
+}
+
+// parkBoard is the parked-fill machinery shared by every primitive kind:
+// per-thread withheld fills, the release queue, and the park-ordered expiry
+// queue for exact timeout tracking. Parks happen in nondecreasing cycle
+// order, so appending keeps the expiry queue sorted by park time; entries
+// whose fill has since been released, dropped, or evicted are discarded
+// lazily when they reach the head.
+type parkBoard struct {
+	pending  [][]parked // parked fills per thread (2 possible after a context switch)
+	releaseQ []releaseEnt
+	expiry   []expiryEnt // parked fills in park order, for exact timeout expiry
+	parkSeq  uint64
+}
+
+func newParkBoard(nthreads int) parkBoard {
+	return parkBoard{pending: make([][]parked, nthreads)}
+}
+
+// park withholds a fill for thread t and indexes it for timeout expiry.
+func (pb *parkBoard) park(t int, txn mem.Txn, now uint64) {
+	pb.parkSeq++
+	pb.pending[t] = append(pb.pending[t], parked{txn: txn, parkedAt: now, seq: pb.parkSeq})
+	pb.expiry = append(pb.expiry, expiryEnt{at: now, seq: pb.parkSeq, thread: t})
+}
+
+// releaseThread moves every fill parked for thread t to the release queue
+// with the given error coding and returns how many moved.
+func (pb *parkBoard) releaseThread(t int, err bool) int {
+	n := len(pb.pending[t])
+	for _, p := range pb.pending[t] {
+		pb.releaseQ = append(pb.releaseQ, releaseEnt{txn: p.txn, err: err})
+	}
+	pb.pending[t] = pb.pending[t][:0]
+	return n
+}
+
+// popReleased yields one ready-to-service fill, honouring the timeout.
+// Timeout expiry walks the park-ordered expiry queue instead of rescanning
+// every parked fill: the head is the earliest park still possibly live.
+// timeouts is bumped when a fill is error-released by expiry.
+func (pb *parkBoard) popReleased(now, timeout uint64, timeouts *uint64) (mem.Txn, bool, bool) {
+	if len(pb.releaseQ) > 0 {
+		r := pb.releaseQ[0]
+		pb.releaseQ = pb.releaseQ[1:]
+		return r.txn, r.err, true
+	}
+	if timeout > 0 {
+		for len(pb.expiry) > 0 {
+			e := pb.expiry[0]
+			if now-e.at < timeout {
+				break
+			}
+			pb.expiry = pb.expiry[1:]
+			if txn, ok := pb.takeParked(e.thread, e.seq); ok {
+				*timeouts++
+				return txn, true, true
+			}
+		}
+	}
+	return mem.Txn{}, false, false
+}
+
+// takeParked removes and returns thread t's parked fill with the given park
+// id; ok=false when it has already been released, dropped, or evicted.
+func (pb *parkBoard) takeParked(t int, seq uint64) (mem.Txn, bool) {
+	for i, p := range pb.pending[t] {
+		if p.seq == seq {
+			txn := p.txn
+			pb.pending[t] = append(pb.pending[t][:i], pb.pending[t][i+1:]...)
+			return txn, true
+		}
+	}
+	return mem.Txn{}, false
+}
+
+// nextEvent returns the earliest cycle at which popReleased could yield a
+// fill without any new invalidation arriving: immediately when the release
+// queue is non-empty, or at the earliest live parked fill's timeout expiry.
+// Dead expiry entries at the head are discarded as a side effect, which is
+// invisible to callers.
+func (pb *parkBoard) nextEvent(now, timeout uint64) (event uint64, ok bool) {
+	if len(pb.releaseQ) > 0 {
+		return now, true
+	}
+	if timeout == 0 {
+		return 0, false
+	}
+	for len(pb.expiry) > 0 {
+		e := pb.expiry[0]
+		if pb.parkedAlive(e.thread, e.seq) {
+			return e.at + timeout, true
+		}
+		pb.expiry = pb.expiry[1:]
+	}
+	return 0, false
+}
+
+// parkedAlive reports whether thread t still holds the parked fill with the
+// given park id.
+func (pb *parkBoard) parkedAlive(t int, seq uint64) bool {
+	for _, p := range pb.pending[t] {
+		if p.seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// dropParked silently discards parked fills issued by the given physical
+// core (OS deschedule, §3.3.3) and returns how many were dropped.
+func (pb *parkBoard) dropParked(core int) int {
+	n := 0
+	for t := range pb.pending {
+		kept := pb.pending[t][:0]
+		for _, p := range pb.pending[t] {
+			if p.txn.Core == core {
+				n++
+				continue
+			}
+			kept = append(kept, p)
+		}
+		pb.pending[t] = kept
+	}
+	return n
+}
+
+// parkedThreadOf returns the thread entry holding a parked fill issued by
+// the given physical core, for blocked-core attribution in deadlock
+// reports. ok=false when the core has nothing parked here.
+func (pb *parkBoard) parkedThreadOf(core int) (thread int, ok bool) {
+	for t := range pb.pending {
+		for _, p := range pb.pending[t] {
+			if p.txn.Core == core {
+				return t, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// pendingFor returns how many fills are parked for thread t.
+func (pb *parkBoard) pendingFor(t int) int { return len(pb.pending[t]) }
+
+// parkedDump enumerates every withheld fill in thread order.
+func (pb *parkBoard) parkedDump() []ParkedFill {
+	var out []ParkedFill
+	for t := range pb.pending {
+		for _, p := range pb.pending[t] {
+			out = append(out, ParkedFill{Thread: t, ParkedAt: p.parkedAt, Txn: p.txn})
+		}
+	}
+	return out
+}

@@ -105,15 +105,13 @@ type Filter struct {
 
 	states         []ThreadState
 	valid          []bool
-	pending        [][]parked // parked fills per thread (2 possible after a context switch)
 	lastValidEntry int
 	arrivedCounter int
 
-	releaseQ []releaseEnt
-	lastErr  string
-
-	expiry  []expiryEnt // parked fills in park order, for exact timeout expiry
-	parkSeq uint64
+	// parkBoard holds the parked fills, the release queue and the expiry
+	// queue — the machinery shared with every other sync primitive kind.
+	parkBoard
+	lastErr string
 
 	// obs, when non-nil, receives arrival/open events (see SyncObserver).
 	obs SyncObserver
@@ -140,7 +138,7 @@ func New(name string, arrivalBase, exitBase, stride uint64, nthreads int) *Filte
 		NumThreads:     nthreads,
 		states:         make([]ThreadState, nthreads),
 		valid:          make([]bool, nthreads),
-		pending:        make([][]parked, nthreads),
+		parkBoard:      newParkBoard(nthreads),
 		lastValidEntry: -1,
 	}
 }
@@ -263,10 +261,7 @@ func (f *Filter) open(now uint64) {
 			continue // a deallocated entry does not rejoin the barrier
 		}
 		f.states[t] = Servicing
-		for _, p := range f.pending[t] {
-			f.releaseQ = append(f.releaseQ, releaseEnt{txn: p.txn})
-		}
-		f.pending[t] = f.pending[t][:0]
+		f.releaseThread(t, false)
 	}
 	// Every parked fill was just released (evicted entries park nothing),
 	// so the whole expiry queue is dead.
@@ -324,82 +319,16 @@ func (f *Filter) onFill(now uint64, t int, txn mem.Txn) (park, fault bool) {
 	}
 }
 
-// park withholds a fill for thread t and indexes it for timeout expiry.
-func (f *Filter) park(t int, txn mem.Txn, now uint64) {
-	f.parkSeq++
-	f.pending[t] = append(f.pending[t], parked{txn: txn, parkedAt: now, seq: f.parkSeq})
-	f.expiry = append(f.expiry, expiryEnt{at: now, seq: f.parkSeq, thread: t})
-}
-
 // popReleased yields one ready-to-service fill, honouring the timeout.
-// Timeout expiry walks the park-ordered expiry queue instead of rescanning
-// every parked fill: the head is the earliest park still possibly live.
 func (f *Filter) popReleased(now uint64) (mem.Txn, bool, bool) {
-	if len(f.releaseQ) > 0 {
-		r := f.releaseQ[0]
-		f.releaseQ = f.releaseQ[1:]
-		return r.txn, r.err, true
-	}
-	if f.Timeout > 0 {
-		for len(f.expiry) > 0 {
-			e := f.expiry[0]
-			if now-e.at < f.Timeout {
-				break
-			}
-			f.expiry = f.expiry[1:]
-			if txn, ok := f.takeParked(e.thread, e.seq); ok {
-				f.Timeouts++
-				return txn, true, true
-			}
-		}
-	}
-	return mem.Txn{}, false, false
-}
-
-// takeParked removes and returns thread t's parked fill with the given park
-// id; ok=false when it has already been released, dropped, or evicted.
-func (f *Filter) takeParked(t int, seq uint64) (mem.Txn, bool) {
-	for i, p := range f.pending[t] {
-		if p.seq == seq {
-			txn := p.txn
-			f.pending[t] = append(f.pending[t][:i], f.pending[t][i+1:]...)
-			return txn, true
-		}
-	}
-	return mem.Txn{}, false
+	return f.parkBoard.popReleased(now, f.Timeout, &f.Timeouts)
 }
 
 // nextEvent returns the earliest cycle at which popReleased could yield a
 // fill without any new invalidation arriving: immediately when the release
 // queue is non-empty, or at the earliest live parked fill's timeout expiry.
-// Dead expiry entries at the head are discarded as a side effect, which is
-// invisible to callers.
 func (f *Filter) nextEvent(now uint64) (event uint64, ok bool) {
-	if len(f.releaseQ) > 0 {
-		return now, true
-	}
-	if f.Timeout == 0 {
-		return 0, false
-	}
-	for len(f.expiry) > 0 {
-		e := f.expiry[0]
-		if f.parkedAlive(e.thread, e.seq) {
-			return e.at + f.Timeout, true
-		}
-		f.expiry = f.expiry[1:]
-	}
-	return 0, false
-}
-
-// parkedAlive reports whether thread t still holds the parked fill with the
-// given park id.
-func (f *Filter) parkedAlive(t int, seq uint64) bool {
-	for _, p := range f.pending[t] {
-		if p.seq == seq {
-			return true
-		}
-	}
-	return false
+	return f.parkBoard.nextEvent(now, f.Timeout)
 }
 
 // EvictThread deallocates thread t's entry (barrier teardown or a forced
@@ -419,11 +348,7 @@ func (f *Filter) EvictThread(t int) error {
 	if f.states[t] == Blocking {
 		f.arrivedCounter--
 	}
-	for _, p := range f.pending[t] {
-		f.releaseQ = append(f.releaseQ, releaseEnt{txn: p.txn, err: true})
-		f.EvictErrors++
-	}
-	f.pending[t] = f.pending[t][:0]
+	f.EvictErrors += uint64(f.releaseThread(t, true))
 	f.states[t] = Evicted
 	f.Evictions++
 	return nil
@@ -452,37 +377,19 @@ func (f *Filter) ReprogramThread(t int) error {
 // already signalled, stays in force — the rescheduled thread re-issues the
 // load and parks again. Returns the number of fills dropped.
 func (f *Filter) DropParked(core int) int {
-	n := 0
-	for t := range f.pending {
-		kept := f.pending[t][:0]
-		for _, p := range f.pending[t] {
-			if p.txn.Core == core {
-				n++
-				continue
-			}
-			kept = append(kept, p)
-		}
-		f.pending[t] = kept
-	}
+	n := f.dropParked(core)
 	f.DroppedFills += uint64(n)
 	return n
 }
 
 // PendingFor returns how many fills are parked for thread t (tests).
-func (f *Filter) PendingFor(t int) int { return len(f.pending[t]) }
+func (f *Filter) PendingFor(t int) int { return f.pendingFor(t) }
 
 // ParkedThreadOf returns the thread entry holding a parked fill issued by
 // the given physical core, for blocked-core attribution in deadlock
 // reports. ok=false when the core has nothing parked here.
 func (f *Filter) ParkedThreadOf(core int) (thread int, ok bool) {
-	for t := range f.pending {
-		for _, p := range f.pending[t] {
-			if p.txn.Core == core {
-				return t, true
-			}
-		}
-	}
-	return 0, false
+	return f.parkBoard.parkedThreadOf(core)
 }
 
 // Registered reports whether thread entry t is valid (diagnostics).
@@ -497,15 +404,7 @@ type ParkedFill struct {
 }
 
 // ParkedDump enumerates every withheld fill in thread order.
-func (f *Filter) ParkedDump() []ParkedFill {
-	var out []ParkedFill
-	for t := range f.pending {
-		for _, p := range f.pending[t] {
-			out = append(out, ParkedFill{Thread: t, ParkedAt: p.parkedAt, Txn: p.txn})
-		}
-	}
-	return out
-}
+func (f *Filter) ParkedDump() []ParkedFill { return f.parkedDump() }
 
 // UnarrivedThreads lists the registered thread entries still in the Waiting
 // state (watchdog attribution: who a stalled barrier is waiting for).
@@ -523,3 +422,48 @@ func (f *Filter) UnarrivedThreads() []int {
 // It is a fault-injection seam only (soft error in the filter's state bits),
 // used to prove the sanitizer catches filter-table corruption.
 func (f *Filter) InjectThreadState(t int, st ThreadState) { f.states[t] = st }
+
+// --- Primitive (sync-engine) adapter -------------------------------------
+
+var _ Primitive = (*Filter)(nil)
+
+func (f *Filter) primName() string           { return f.Name }
+func (f *Filter) entryCount() int            { return f.NumThreads }
+func (f *Filter) setObserver(o SyncObserver) { f.obs = o }
+func (f *Filter) lastError() string          { return f.lastErr }
+
+func (f *Filter) evictAll() {
+	for t := 0; t < f.NumThreads; t++ {
+		_ = f.EvictThread(t) // in range by construction
+	}
+}
+
+// onInval applies an invalidation to the filter's exit then arrival tags —
+// an invalidation can be meaningful to both at once (in the ping-pong
+// construction one barrier's arrival line is its twin's exit line).
+func (f *Filter) onInval(now uint64, addr uint64, core int) (matched, fault bool) {
+	if t, ok := f.MatchExit(addr); ok {
+		matched = true
+		if f.onExitInval(t) {
+			fault = true
+		}
+	}
+	if t, ok := f.MatchArrival(addr); ok {
+		matched = true
+		if f.onArrivalInval(now, t) {
+			fault = true
+		}
+	}
+	return matched, fault
+}
+
+func (f *Filter) onFillReq(now uint64, t mem.Txn) (matched, park, fault bool) {
+	tid, ok := f.MatchArrival(t.Addr)
+	if !ok {
+		return false, false, false
+	}
+	park, fault = f.onFill(now, tid, t)
+	return true, park, fault
+}
+
+func (f *Filter) dropParkedFills(core int) int { return f.DropParked(core) }

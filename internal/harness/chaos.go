@@ -176,6 +176,8 @@ func runChaosCell(ctx *cellCtx, k kernels.Kernel, kind barrier.Kind, p faults.Pr
 				return
 			}
 			inj := faults.New(p, faults.MixSeed(seed, uint64(try)+1), m.Sys, cores)
+			// Lazy: locks install during Launch, after this hook runs.
+			inj.SetLockSource(m.Locks)
 			if hw, ok := gen.(barrier.HardwareBarrier); ok {
 				fs := hw.Filters()
 				inj.SetFilters(fs)

@@ -10,7 +10,7 @@
 // are never wrong-path), so the observed stream is exactly the memory
 // order the coherence protocol serialized.
 //
-// Happens-before edges come from three synchronization sources:
+// Happens-before edges come from four synchronization sources:
 //
 //   - Filter barriers: every arrival invalidation joins the arriving
 //     thread's clock into the filter's accumulator (release); when the last
@@ -22,6 +22,11 @@
 //     acquires the episode's accumulated clock. Episodes are delimited by
 //     the first release after a full arrival round, so back-to-back
 //     invocations do not leak order across episodes.
+//   - Hardware locks: a release invalidation joins the holder's clock
+//     into the lock table entry's accumulator; the next grant joins the
+//     accumulator into the grantee, ordering consecutive critical
+//     sections. The release is a DCBI — neither load nor store — so the
+//     software-barrier rule below cannot see it; the table reports it.
 //   - Software barriers: any store to the barrier data region
 //     (addr >= SyncBase) is a release on its 8-byte cell and any load from
 //     it an acquire, the standard interpretation of LL/SC spin protocols.
@@ -122,6 +127,7 @@ type Checker struct {
 	clocks [][]uint64 // per-thread vector clocks
 	sync   map[uint64][]uint64
 	bars   map[*filter.Filter]*barAcc
+	locks  map[*filter.Lock][]uint64
 	hw     map[int]*hwAcc
 	shadow map[uint64]*cell
 
@@ -140,6 +146,7 @@ func New(cfg Config, nthreads int) *Checker {
 		clocks: make([][]uint64, nthreads),
 		sync:   map[uint64][]uint64{},
 		bars:   map[*filter.Filter]*barAcc{},
+		locks:  map[*filter.Lock][]uint64{},
 		hw:     map[int]*hwAcc{},
 		shadow: map[uint64]*cell{},
 		seen:   map[[5]uint64]bool{},
@@ -304,6 +311,46 @@ func (c *Checker) OnBarrierOpen(f *filter.Filter, now uint64) {
 		joinInto(c.clocks[t], b.acc)
 	}
 	zero(b.acc)
+}
+
+// --- filter.LockObserver -------------------------------------------------
+//
+// A hardware lock's release invalidation is a DCBI — neither a load nor a
+// store — so the software-barrier rule (stores release, loads acquire on
+// sync cells) never sees the hand-off. The lock table reports it directly:
+// release joins the holder's clock into the lock's accumulator, the next
+// grant joins the accumulator into the grantee, ordering consecutive
+// critical sections. Timeout and evict releases deliberately get no credit
+// — they are protocol errors, not synchronization.
+
+func (c *Checker) lockClock(l *filter.Lock) []uint64 {
+	vc := c.locks[l]
+	if vc == nil {
+		vc = make([]uint64, len(c.clocks))
+		c.locks[l] = vc
+	}
+	return vc
+}
+
+// OnLockAcquire observes l's table granting the lock to thread: the grantee
+// acquires every previous holder's released clock.
+func (c *Checker) OnLockAcquire(l *filter.Lock, now uint64, thread int) {
+	if thread < 0 || thread >= len(c.clocks) {
+		return
+	}
+	joinInto(c.clocks[thread], c.lockClock(l))
+}
+
+// OnLockRelease observes thread releasing l: the holder's clock joins the
+// lock's accumulator and its own component ticks, so everything before the
+// release happens-before the next grantee's critical section.
+func (c *Checker) OnLockRelease(l *filter.Lock, now uint64, thread int) {
+	if thread < 0 || thread >= len(c.clocks) {
+		return
+	}
+	ct := c.clocks[thread]
+	joinInto(c.lockClock(l), ct)
+	ct[thread]++
 }
 
 // --- shadow memory -------------------------------------------------------

@@ -5,7 +5,7 @@
 // contention, and hands each message to a delivery callback stamped with its
 // arrival cycle.
 //
-// Three implementations share the Fabric interface:
+// Four implementations share the Fabric interface:
 //
 //   - Bus: the paper's split-transaction shared bus (Table 2) — one request
 //     grant per cycle, round-robin across cores, with a Niagara-style
@@ -16,6 +16,9 @@
 //     per destination port and PortBW parallel channels per port.
 //   - Mesh: a W x H 2D-mesh NoC with XY (dimension-ordered) routing,
 //     per-hop LinkLat latency, and per-link contention.
+//   - Optical: a single-cycle WDM broadcast waveguide — per-source
+//     dedicated wavelengths, one-cycle flight to any destination, and
+//     contention only at the per-source transmitters.
 //
 // The fabric contract mirrors the rest of the hierarchy's fast-path rules
 // (DESIGN.md section 6): NextEvent must be exact — Tick may act only at
@@ -36,10 +39,11 @@ const (
 	KindBus Kind = iota
 	KindCrossbar
 	KindMesh
+	KindOptical
 )
 
 // Kinds lists every fabric, in presentation order.
-var Kinds = []Kind{KindBus, KindCrossbar, KindMesh}
+var Kinds = []Kind{KindBus, KindCrossbar, KindMesh, KindOptical}
 
 func (k Kind) String() string {
 	switch k {
@@ -49,6 +53,8 @@ func (k Kind) String() string {
 		return "xbar"
 	case KindMesh:
 		return "mesh"
+	case KindOptical:
+		return "optical"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -62,8 +68,10 @@ func ParseKind(s string) (Kind, error) {
 		return KindCrossbar, nil
 	case "mesh":
 		return KindMesh, nil
+	case "optical":
+		return KindOptical, nil
 	}
-	return 0, fmt.Errorf("interconnect: unknown fabric %q (want bus, xbar, or mesh)", s)
+	return 0, fmt.Errorf("interconnect: unknown fabric %q (want bus, xbar, mesh, or optical)", s)
 }
 
 // Geometry describes the fabric's shape. Cores and Banks size the request
@@ -96,7 +104,7 @@ func (g Geometry) Validate(kind Kind) error {
 		return fmt.Errorf("interconnect: %d cores x %d banks is not a positive geometry", g.Cores, g.Banks)
 	}
 	switch kind {
-	case KindBus:
+	case KindBus, KindOptical:
 		return nil
 	case KindCrossbar:
 		if g.PortBW <= 0 {
@@ -198,6 +206,8 @@ func New[P any](kind Kind, g Geometry, d Delivery[P]) (Fabric[P], error) {
 		return newCrossbar(g, d), nil
 	case KindMesh:
 		return newMesh(g, d), nil
+	case KindOptical:
+		return newOptical(g, d), nil
 	}
 	return nil, fmt.Errorf("interconnect: unknown fabric kind %d", int(kind))
 }

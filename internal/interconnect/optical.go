@@ -1,0 +1,166 @@
+package interconnect
+
+import "fmt"
+
+// Optical is a single-cycle broadcast fabric: a silicon-photonic waveguide
+// ring in which every source port owns a dedicated wavelength (WDM), so a
+// launched message reaches its destination — any destination — one cycle
+// later, with no arbitration between sources and no distance term. It is
+// the fabric analogue of the paper's one-cycle barrier-network limit case:
+// the topology contributes nothing to synchronization latency, isolating
+// the protocol and bank occupancy costs that remain.
+//
+// Contention exists only at the transmitters: each source port has one
+// modulator, which a transfer occupies for Occ cycles (serialization at the
+// electrical-to-optical boundary), so per-source bandwidth stays finite and
+// source queues drain in strict FIFO order — preserving the per-core
+// same-address ordering the barrier and lock sequences rely on. Receivers
+// filter by wavelength and accept every cycle; there is no destination-side
+// queueing.
+type Optical[P any] struct {
+	g Geometry
+	d Delivery[P]
+
+	reqQ  [][]timedMsg[P] // per core
+	respQ [][]timedMsg[P] // per bank
+
+	reqFree  []uint64 // per core: modulator-free cycle
+	respFree []uint64 // per bank: modulator-free cycle
+
+	// statistics
+	ReqGrants    uint64
+	ReqBusyCyc   uint64
+	RespGrants   uint64
+	RespBusyCyc  uint64
+	MaxReqQueue  int
+	MaxRespQueue int
+}
+
+func newOptical[P any](g Geometry, d Delivery[P]) *Optical[P] {
+	return &Optical[P]{
+		g:        g,
+		d:        d,
+		reqQ:     make([][]timedMsg[P], g.Cores),
+		respQ:    make([][]timedMsg[P], g.Banks),
+		reqFree:  make([]uint64, g.Cores),
+		respFree: make([]uint64, g.Banks),
+	}
+}
+
+func (o *Optical[P]) Kind() Kind { return KindOptical }
+
+// PushRequest enqueues a request at its core's transmitter queue.
+func (o *Optical[P]) PushRequest(m Message[P], ready uint64, reorder bool) {
+	o.reqQ[m.Src] = pushOrdered(o.reqQ[m.Src], m, ready, reorder)
+	if n := len(o.reqQ[m.Src]); n > o.MaxReqQueue {
+		o.MaxReqQueue = n
+	}
+}
+
+// PushResponse enqueues a response at its bank's transmitter queue.
+func (o *Optical[P]) PushResponse(m Message[P], ready uint64) {
+	o.respQ[m.Src] = append(o.respQ[m.Src], timedMsg[P]{m, ready})
+	if n := len(o.respQ[m.Src]); n > o.MaxRespQueue {
+		o.MaxRespQueue = n
+	}
+}
+
+// Tick launches at most one transfer per source transmitter: the head of
+// each FIFO whose ready cycle has come and whose modulator is free departs
+// now and arrives one cycle later, holding the modulator for Occ cycles.
+func (o *Optical[P]) Tick(now uint64) {
+	opticalSide(now, o.reqQ, o.reqFree, &o.ReqGrants, &o.ReqBusyCyc, o.d.Req)
+	opticalSide(now, o.respQ, o.respFree, &o.RespGrants, &o.RespBusyCyc, o.d.Resp)
+}
+
+func opticalSide[P any](now uint64, srcQ [][]timedMsg[P], free []uint64,
+	grants, busy *uint64, deliver func(int, P, uint64)) {
+	for s := range srcQ {
+		if now < free[s] {
+			*busy = *busy + 1
+			continue
+		}
+		q := srcQ[s]
+		if len(q) == 0 || q[0].ready > now {
+			continue
+		}
+		m := q[0].msg
+		srcQ[s] = q[1:]
+		free[s] = now + max(m.Occ, 1)
+		*grants = *grants + 1
+		// One-cycle flight regardless of (src, dst): delivery is pinned to
+		// now+1; the Occ serialization cost is paid at the transmitter only.
+		deliver(m.Dst, m.Payload, now+1)
+	}
+}
+
+// NextEvent returns the earliest cycle at which some transmitter could
+// launch its queue head: max(head ready, modulator free). Exact because
+// heads change only via Tick and a launch always happens at that cycle.
+func (o *Optical[P]) NextEvent(now uint64) (event uint64, ok bool) {
+	consider := func(t uint64) {
+		if !ok || t < event {
+			event, ok = t, true
+		}
+	}
+	for s, q := range o.reqQ {
+		if len(q) > 0 {
+			consider(max(q[0].ready, o.reqFree[s]))
+		}
+	}
+	for s, q := range o.respQ {
+		if len(q) > 0 {
+			consider(max(q[0].ready, o.respFree[s]))
+		}
+	}
+	return event, ok
+}
+
+// SkipIdle credits per-transmitter busy cycles across a skipped window.
+func (o *Optical[P]) SkipIdle(now, n uint64) {
+	for _, f := range o.reqFree {
+		if f > now {
+			o.ReqBusyCyc += min(n, f-now)
+		}
+	}
+	for _, f := range o.respFree {
+		if f > now {
+			o.RespBusyCyc += min(n, f-now)
+		}
+	}
+}
+
+// Quiet reports whether every transmitter queue is empty.
+func (o *Optical[P]) Quiet() bool {
+	for _, q := range o.reqQ {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	for _, q := range o.respQ {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StatsInto emits the optical counters under the optical prefix.
+func (o *Optical[P]) StatsInto(set func(name string, v uint64)) {
+	set("optical.request_grants", o.ReqGrants)
+	set("optical.request_busy_cycles", o.ReqBusyCyc)
+	set("optical.response_grants", o.RespGrants)
+	set("optical.response_busy_cycles", o.RespBusyCyc)
+	set("optical.max_request_queue", uint64(o.MaxReqQueue))
+	set("optical.max_response_queue", uint64(o.MaxRespQueue))
+}
+
+// ReqLinkName names the wavelength a request rides.
+func (o *Optical[P]) ReqLinkName(src, dst int) string {
+	return fmt.Sprintf("optical.c%d-b%d", src, dst)
+}
+
+// RespLinkName names the wavelength a response rides.
+func (o *Optical[P]) RespLinkName(src, dst int) string {
+	return fmt.Sprintf("optical.b%d-c%d", src, dst)
+}

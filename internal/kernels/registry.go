@@ -16,6 +16,8 @@ var registry = map[string]func(n, loops int) Kernel{
 	"livermore6": func(n, loops int) Kernel { return NewLivermore6(defInt(n, 32), defInt(loops, 1)) },
 	"autcor":     func(n, loops int) Kernel { return NewAutcor(defInt(n, 256), 8, defInt(loops, 1)) },
 	"viterbi":    func(n, loops int) Kernel { return NewViterbi(defInt(n, 48), defInt(loops, 1)) },
+	"lockreduce": func(n, loops int) Kernel { return NewLockReduce(defInt(n, 64), defInt(loops, 2)) },
+	"pipeline":   func(n, loops int) Kernel { return NewPipeline(defInt(n, 48), defInt(loops, 1)) },
 	"coarse":     func(n, loops int) Kernel { return NewCoarseGrain(defInt(loops, 4), defInt(n, 64)) },
 	"skewed":     func(n, loops int) Kernel { return NewSkewed(defInt(n, 24), defInt(loops, 2)) },
 	"microbench": func(n, loops int) Kernel {

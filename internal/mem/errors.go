@@ -76,7 +76,8 @@ func (c *Config) Validate() error {
 // mis-route traffic.
 func (c *Config) validateFabric() error {
 	switch c.Fabric {
-	case interconnect.KindBus, interconnect.KindCrossbar, interconnect.KindMesh:
+	case interconnect.KindBus, interconnect.KindCrossbar, interconnect.KindMesh,
+		interconnect.KindOptical:
 	default:
 		return fmt.Errorf("mem: unknown fabric kind %d: %w", int(c.Fabric), ErrConfig)
 	}

@@ -154,6 +154,7 @@ func (s *Sanitizer) checkBankFilters(now uint64, b int) {
 			}
 		}
 	}
+	s.checkBankLocks(now, b)
 	for slot, f := range live {
 		blocking, registered := 0, 0
 		for t := 0; t < f.NumThreads; t++ {
@@ -202,6 +203,136 @@ func (s *Sanitizer) checkBankFilters(now uint64, b int) {
 					Cycle: now, Checker: "filter", Invariant: "filter.parked-evicted",
 					Addr: p.Txn.Addr, Core: p.Txn.Core, Bank: b, Slot: slot, Thread: p.Thread,
 					Detail: fmt.Sprintf("barrier %q withholds a fill for a deallocated (Evicted) entry — eviction must error-release parked fills", f.Name),
+				})
+			}
+		}
+	}
+}
+
+// checkBankLocks checks the lock table entries hosted by one bank:
+//
+//   - at most one thread is Holding, and the holder register names exactly
+//     that thread (a holder register pointing elsewhere means a soft error
+//     or a lost release corrupted the grant path);
+//   - every Pending thread sits in the FIFO wait queue — Pending is only
+//     entered by the acquire invalidation that enqueues it (the queue may
+//     hold stale entries for evicted threads; those are dropped lazily at
+//     grant and are not a violation);
+//   - a free lock has no Pending thread: every transition that frees the
+//     lock (release, holder eviction) immediately grants the oldest waiter,
+//     so free-with-waiters means a grant was lost;
+//   - parked fills only exist for Pending threads (plus speculative fills
+//     parked in Idle): a Holding thread's fills are serviced immediately and
+//     an Evicted entry must have error-released everything it withheld;
+//   - no two live locks, and no lock and live filter, claim the same line.
+func (s *Sanitizer) checkBankLocks(now uint64, b int) {
+	if b < 0 || b >= len(s.hooks) || s.hooks[b] == nil {
+		return
+	}
+	h := s.hooks[b]
+	locks := h.Locks()
+	filters := h.Filters()
+	for slot, l := range locks {
+		// Tag consistency across the whole sync table: lock lines must be
+		// unambiguous against the other live locks and the live filters.
+		for _, g := range locks[slot+1:] {
+			for t := 0; t < l.NumThreads; t++ {
+				if gt, ok := g.MatchLine(l.LineAddr(t)); ok {
+					s.record(Violation{
+						Cycle: now, Checker: "lock", Invariant: "lock.tag-overlap",
+						Addr: l.LineAddr(t), Core: -1, Bank: b, Slot: slot, Thread: t,
+						Detail: fmt.Sprintf("locks %q (thread %d) and %q (thread %d) both claim the lock line", l.Name, t, g.Name, gt),
+					})
+					break
+				}
+			}
+		}
+		for _, f := range filters {
+			for t := 0; t < l.NumThreads; t++ {
+				if ft, ok := f.MatchArrival(l.LineAddr(t)); ok {
+					s.record(Violation{
+						Cycle: now, Checker: "lock", Invariant: "lock.tag-overlap",
+						Addr: l.LineAddr(t), Core: -1, Bank: b, Slot: slot, Thread: t,
+						Detail: fmt.Sprintf("lock %q (thread %d) and barrier %q (thread %d) both claim the line", l.Name, t, f.Name, ft),
+					})
+					break
+				}
+			}
+		}
+	}
+	for slot, l := range locks {
+		holder := l.Holder()
+		waitq := l.WaitQueue()
+		queued := make(map[int]bool, len(waitq))
+		for _, t := range waitq {
+			queued[t] = true
+		}
+		holding, pending := []int{}, 0
+		for t := 0; t < l.NumThreads; t++ {
+			switch l.State(t) {
+			case filter.LockHolding:
+				holding = append(holding, t)
+			case filter.LockPending:
+				pending++
+				if !queued[t] {
+					s.record(Violation{
+						Cycle: now, Checker: "lock", Invariant: "lock.pending-not-queued",
+						Addr: l.LineAddr(t), Core: -1, Bank: b, Slot: slot, Thread: t,
+						Detail: fmt.Sprintf("lock %q thread %d is Pending but missing from the wait queue %v — a grant can never reach it", l.Name, t, waitq),
+					})
+				}
+			}
+		}
+		if len(holding) >= 2 {
+			s.record(Violation{
+				Cycle: now, Checker: "lock", Invariant: "lock.multiple-holders",
+				Addr: l.Base, Core: -1, Bank: b, Slot: slot, Thread: holding[0],
+				Detail: fmt.Sprintf("lock %q held by threads %v simultaneously (holder register=%d) — mutual exclusion is broken", l.Name, holding, holder),
+			})
+		}
+		if len(holding) == 1 && holder != holding[0] {
+			s.record(Violation{
+				Cycle: now, Checker: "lock", Invariant: "lock.phantom-holder",
+				Addr: l.Base, Core: -1, Bank: b, Slot: slot, Thread: holding[0],
+				Detail: fmt.Sprintf("lock %q thread %d is Holding but the holder register says %d", l.Name, holding[0], holder),
+			})
+		}
+		if len(holding) == 0 && holder >= 0 {
+			s.record(Violation{
+				Cycle: now, Checker: "lock", Invariant: "lock.phantom-holder",
+				Addr: l.Base, Core: -1, Bank: b, Slot: slot, Thread: holder,
+				Detail: fmt.Sprintf("lock %q holder register says thread %d but no thread is Holding", l.Name, holder),
+			})
+		}
+		if holder < 0 && pending > 0 {
+			s.record(Violation{
+				Cycle: now, Checker: "lock", Invariant: "lock.free-with-waiters",
+				Addr: l.Base, Core: -1, Bank: b, Slot: slot, Thread: -1,
+				Detail: fmt.Sprintf("lock %q is free but %d threads are Pending — freeing the lock must grant the oldest waiter", l.Name, pending),
+			})
+		}
+		for _, p := range l.ParkedDump() {
+			speculative := p.Txn.Prefetch || p.Txn.Kind == mem.GetI
+			switch l.State(p.Thread) {
+			case filter.LockHolding:
+				s.record(Violation{
+					Cycle: now, Checker: "lock", Invariant: "lock.parked-in-hold",
+					Addr: p.Txn.Addr, Core: p.Txn.Core, Bank: b, Slot: slot, Thread: p.Thread,
+					Detail: fmt.Sprintf("lock %q thread %d holds the lock but a fill parked at cycle %d is still withheld — the grant must release parked fills", l.Name, p.Thread, p.ParkedAt),
+				})
+			case filter.LockIdle:
+				if !speculative {
+					s.record(Violation{
+						Cycle: now, Checker: "lock", Invariant: "lock.parked-idle",
+						Addr: p.Txn.Addr, Core: p.Txn.Core, Bank: b, Slot: slot, Thread: p.Thread,
+						Detail: fmt.Sprintf("lock %q withholds a demand fill (%s) for a thread that never signalled acquire", l.Name, p.Txn.Kind),
+					})
+				}
+			case filter.LockEvicted:
+				s.record(Violation{
+					Cycle: now, Checker: "lock", Invariant: "lock.parked-evicted",
+					Addr: p.Txn.Addr, Core: p.Txn.Core, Bank: b, Slot: slot, Thread: p.Thread,
+					Detail: fmt.Sprintf("lock %q withholds a fill for a deallocated (Evicted) entry — eviction must error-release parked fills", l.Name),
 				})
 			}
 		}

@@ -39,6 +39,43 @@ func buildMachine(t *testing.T, cores int) (*core.Machine, *sanitize.Sanitizer) 
 	return m, sanitize.New(nil, m.Sys, m.Cores, physOf, m.Hooks)
 }
 
+// buildLockMachine launches the lock-protected reduction so the bank sync
+// tables hold a hardware lock alongside the filters, and returns the machine
+// plus a sanitizer and the installed lock.
+func buildLockMachine(t *testing.T, cores int) (*core.Machine, *sanitize.Sanitizer, *filter.Lock) {
+	t.Helper()
+	cfg := core.DefaultConfig(cores)
+	alloc := barrier.NewAllocator(cfg.Mem)
+	gen, err := barrier.New(barrier.KindFilterD, cores, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernels.NewLockReduce(64, 4)
+	prog, err := k.BuildPar(gen, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMachine(cfg)
+	if err := barrier.Launch(m, gen, prog, cores); err != nil {
+		t.Fatal(err)
+	}
+	var l *filter.Lock
+	for _, h := range m.Hooks {
+		if ls := h.Locks(); len(ls) > 0 {
+			l = ls[0]
+			break
+		}
+	}
+	if l == nil {
+		t.Fatal("no hardware lock installed by the lockreduce launch")
+	}
+	physOf := make([]int, len(m.Cores))
+	for i := range physOf {
+		physOf[i] = m.PhysicalOf(i)
+	}
+	return m, sanitize.New(nil, m.Sys, m.Cores, physOf, m.Hooks), l
+}
+
 // findShared scans the L1Ds for a line held Shared anywhere and returns the
 // core and line address.
 func findShared(m *core.Machine) (core int, addr uint64, ok bool) {
@@ -164,6 +201,104 @@ func TestFilterCounterMismatchTripsFilterChecker(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("filter-table desync not detected; got %v", s.Violations())
+	}
+}
+
+func TestCleanLockMachineHasNoViolations(t *testing.T) {
+	m, s, _ := buildLockMachine(t, 4)
+	for _, at := range []uint64{5_000, 20_000, 60_000} {
+		if err := m.RunUntil(at); err != nil {
+			t.Fatal(err)
+		}
+		s.Check(m.Now())
+	}
+	if s.Tripped() {
+		t.Fatalf("clean lock machine tripped the sanitizer: %v", s.Violations()[0].Error())
+	}
+}
+
+// hasInvariant reports whether the sanitizer recorded the named invariant.
+func hasInvariant(s *sanitize.Sanitizer, inv string) bool {
+	for _, v := range s.Violations() {
+		if v.Invariant == inv {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLockDoubleHolderTripsLockChecker(t *testing.T) {
+	m, s, l := buildLockMachine(t, 4)
+	if err := m.RunUntil(10_000); err != nil {
+		t.Fatal(err)
+	}
+	// A flipped state bit promotes two threads to Holding at once: the
+	// single-holder invariant is the lock table's whole reason to exist.
+	l.InjectThreadState(0, filter.LockHolding)
+	l.InjectThreadState(1, filter.LockHolding)
+	l.InjectHolder(0)
+	s.Check(m.Now())
+	if !hasInvariant(s, "lock.multiple-holders") {
+		t.Fatalf("double holder not detected; got %v", s.Violations())
+	}
+	for _, v := range s.Violations() {
+		if v.Invariant == "lock.multiple-holders" && (v.Checker != "lock" || v.Bank < 0) {
+			t.Fatalf("double-holder violation poorly attributed: %+v", v)
+		}
+	}
+}
+
+func TestLockPhantomHolderTripsLockChecker(t *testing.T) {
+	m, s, l := buildLockMachine(t, 4)
+	if err := m.RunUntil(10_000); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt only the holder register: it must agree with the per-thread
+	// states. Point it at a thread that is not Holding.
+	victim := -1
+	for i := 0; i < l.NumThreads; i++ {
+		if l.State(i) != filter.LockHolding {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("every thread Holding — impossible")
+	}
+	if h := l.Holder(); h >= 0 {
+		l.InjectThreadState(h, filter.LockIdle)
+	}
+	l.InjectHolder(victim)
+	s.Check(m.Now())
+	if !hasInvariant(s, "lock.phantom-holder") {
+		t.Fatalf("phantom holder not detected; got %v", s.Violations())
+	}
+}
+
+func TestLockPendingNotQueuedTripsLockChecker(t *testing.T) {
+	m, s, l := buildLockMachine(t, 4)
+	if err := m.RunUntil(10_000); err != nil {
+		t.Fatal(err)
+	}
+	// Force a thread Pending without the acquire invalidation that would
+	// have enqueued it: no grant can ever reach it.
+	victim := -1
+	for i := 0; i < l.NumThreads; i++ {
+		if l.State(i) == filter.LockIdle {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no Idle thread at the probe cycle")
+	}
+	l.InjectThreadState(victim, filter.LockPending)
+	s.Check(m.Now())
+	if !hasInvariant(s, "lock.pending-not-queued") {
+		t.Fatalf("orphaned Pending thread not detected; got %v", s.Violations())
+	}
+	if l.Holder() < 0 && !hasInvariant(s, "lock.free-with-waiters") {
+		t.Fatalf("free lock with a Pending waiter not flagged; got %v", s.Violations())
 	}
 }
 

@@ -316,6 +316,32 @@ func invJoin(a, b invState) invState {
 	return invState{kind: invMany}
 }
 
+// hardware-lock protocol state: whether this path provably holds a
+// sync-engine lock (acquired via the dcbi+ld grant sequence on its own
+// lock line, released by a dcbi of that same line).
+type lockKind uint8
+
+const (
+	lockNone lockKind = iota
+	lockHeld          // holding the lock whose line is target
+	lockMany          // joined paths disagree — lock checks stay silent
+)
+
+type lockSt struct {
+	kind   lockKind
+	target av // the thread's own lock line (affine in tid)
+}
+
+func lockJoin(a, b lockSt) lockSt {
+	if a == b {
+		return a
+	}
+	if a.kind == lockNone && b.kind == lockNone {
+		return lockSt{}
+	}
+	return lockSt{kind: lockMany}
+}
+
 // pstate is the abstract machine state the protocol pass propagates along
 // each CFG edge.
 type pstate struct {
@@ -332,6 +358,11 @@ type pstate struct {
 	// a register is sync-tainted only when every path loaded it from the
 	// synchronization region.
 	sync uint32
+	// lock tracks the hardware-lock hold state along this path: the
+	// acquire-before-touch / release-on-all-paths discipline, plus the
+	// mutual-exclusion credit the race checks grant same-lock critical
+	// sections.
+	lock lockSt
 }
 
 // joinState joins two states under the active domain (interval by default,
@@ -354,6 +385,7 @@ func (u *unit) joinState(s, o pstate) pstate {
 	n.inv = invJoin(s.inv, o.inv)
 	n.tid = tidJoin(s.tid, o.tid)
 	n.sync = s.sync & o.sync
+	n.lock = lockJoin(s.lock, o.lock)
 	return n
 }
 
@@ -373,6 +405,7 @@ func (u *unit) widenState(old, new pstate) pstate {
 	n.inv = invJoin(old.inv, new.inv)
 	n.tid = tidJoin(old.tid, new.tid)
 	n.sync = old.sync & new.sync
+	n.lock = lockJoin(old.lock, new.lock)
 	return n
 }
 
@@ -422,8 +455,17 @@ func (u *unit) xfer(s *pstate, i int, in isa.Inst) {
 	case isa.SRLI:
 		a := val(in.Rs1)
 		sh := in.Imm
-		if masked && a.known && a.coef == 0 && a.lo >= 0 && sh >= 0 && sh < 64 {
+		if masked && a.known && a.coef >= 0 && a.lo >= 0 && sh >= 0 && sh < 64 {
+			// A tid term does not shift affinely (tid>>1 is not affine in
+			// tid); collapse it into the interval over the allowed thread
+			// range first — v ∈ [lo, hi + coef·(T-1)] — then shift. The
+			// coef == 0 case reduces to a plain interval shift. This is
+			// what keeps a combining tree's per-round node index
+			// (tid >> round+1, scaled) a bounded barrier-region address.
 			hi := a.hi
+			if a.coef > 0 {
+				hi = satAdd(hi, satMulEnd(a.coef, int64(u.opt.Threads-1)))
+			}
 			if !infPos(hi) {
 				hi >>= uint(sh)
 			}

@@ -58,6 +58,15 @@ func dBarrier(b *asm.Builder) {
 	b.DCBI(cB2, 0)
 }
 
+// lockSetup emits cT4 = LockRegion + tid·4096 — the thread's own
+// hardware-lock line, matching barrier.EmitLockAddr's convention.
+func lockSetup(b *asm.Builder) {
+	b.LI(cT4, 4096)
+	b.MUL(cT4, cT4, isa.RegA0)
+	b.LI(isa.RegT6, core.LockRegion)
+	b.ADD(cT4, cT4, isa.RegT6)
+}
+
 // Corpus returns the seeded known-bad programs, one per diagnostic.
 func Corpus() []CorpusEntry {
 	return []CorpusEntry{
@@ -307,6 +316,43 @@ func Corpus() []CorpusEntry {
 				b.ADDI(cT2, cT2, 8)
 				b.BLT(cT2, cT3, "loop")
 				b.HALT()
+				return b.Build()
+			},
+		},
+		{
+			// A warm read of the thread's lock line before the acquire's
+			// dcbi: the load cannot be starved, and the bank's lock table
+			// faults demand loads from threads that never queued.
+			Name: "lock-load-before-acquire", Want: CodeLoadBeforeAcquire, WantPos: "crit", Threads: 4,
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder(core.TextBase, core.DataBase)
+				lockSetup(b)
+				b.FENCE()
+				b.Label("crit")
+				b.LD(isa.RegT6, cT4, 0) // touches the lock line unqueued
+				// The proper acquire/release that should have come first.
+				b.FENCE()
+				b.DCBI(cT4, 0)
+				b.LD(isa.RegT6, cT4, 0)
+				b.FENCE()
+				b.DCBI(cT4, 0)
+				b.HALT()
+				return b.Build()
+			},
+		},
+		{
+			// A correct acquire whose critical section never releases:
+			// waiters parked at the bank stay parked forever.
+			Name: "lock-missing-release", Want: CodeMissingRelease, WantPos: "crit", Threads: 4,
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder(core.TextBase, core.DataBase)
+				lockSetup(b)
+				b.FENCE()
+				b.DCBI(cT4, 0)
+				b.LD(isa.RegT6, cT4, 0)
+				b.FENCE()
+				b.Label("crit")
+				b.HALT() // still holding
 				return b.Build()
 			},
 		},

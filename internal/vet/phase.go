@@ -8,9 +8,12 @@ import (
 )
 
 // Phase slicing. A "phase" is a maximal CFG region delimited by barrier
-// completion points: matched filter stalls, HWBAR instructions, and the
-// exits of spin branches that test a synchronization-tainted register (the
-// last instruction of every software barrier). Within one phase threads run
+// completion points: matched filter stalls, HWBAR instructions, the exits
+// of spin branches that test a synchronization-tainted register (the last
+// instruction of every software barrier's waiter path), and exact stores
+// into the barrier region (the releaser path's flag/counter writes —
+// without them the last arriver's spin-free path would re-merge the phases
+// the spin exits split). Within one phase threads run
 // unordered, so the race checks below must prove every cross-thread
 // store/store and store/load pair disjoint there; across phases the barrier
 // orders them.
@@ -54,6 +57,10 @@ type accRec struct {
 	phase int
 	any   bool // phase contains a stub-rooted path: conflicts with all
 	store bool
+	// lock is the hardware-lock hold state the access executes under
+	// (zero value when not provably held): two accesses made holding the
+	// same lock are mutually exclusive and cannot race.
+	lock lockSt
 }
 
 // computePhases slices the CFG at the boundary instructions' out-edges and
@@ -192,11 +199,15 @@ func (u *unit) collectAccesses(states []pstate) ([]accRec, map[int]bool) {
 		}
 		ph := u.phaseAt(j)
 		anyPh := ph >= 0 && ph < len(u.phaseAny) && u.phaseAny[ph]
+		var lk lockSt
+		if st.lock.kind == lockHeld {
+			lk = st.lock
+		}
 		r := accRec{
 			idx: j, addr: addr, width: isa.Lookup(in.Op).MemBytes,
-			tid: st.tid, phase: ph, any: anyPh, store: isSt,
+			tid: st.tid, phase: ph, any: anyPh, store: isSt, lock: lk,
 		}
-		k := fmt.Sprintf("%d:%v:%v:%v", j, addr, st.tid, isSt)
+		k := fmt.Sprintf("%d:%v:%v:%v:%v", j, addr, st.tid, isSt, lk)
 		if seen[k] {
 			return
 		}
@@ -240,6 +251,15 @@ func (u *unit) collectAccesses(states []pstate) ([]accRec, map[int]bool) {
 // or either record belongs to a stub-rooted phase.
 func samePhase(a, b accRec) bool {
 	return a.any || b.any || (a.phase >= 0 && a.phase == b.phase)
+}
+
+// sameLock reports whether both records were provably made holding the
+// same hardware lock: the critical sections are mutually exclusive, so
+// the pair cannot race even within one phase. The lock target is the
+// thread's own line (base + tid·stride); structural equality of the
+// affine form identifies the lock, not any one thread's line.
+func sameLock(a, b accRec) bool {
+	return a.lock.kind == lockHeld && a.lock == b.lock
 }
 
 // dataRegion reports whether the record's footprint provably lies in the
@@ -305,7 +325,7 @@ func (u *unit) checkPhaseRaces(recs []accRec) []Diagnostic {
 			if b.store && b.idx < a.idx {
 				continue // store pairs once (self-pairs included)
 			}
-			if !samePhase(a, b) {
+			if !samePhase(a, b) || sameLock(a, b) {
 				continue
 			}
 			switch {
@@ -476,7 +496,7 @@ func (u *unit) certify(recs []accRec, unbounded map[int]bool) []PhaseInfo {
 			if b.store && b.idx < a.idx {
 				continue
 			}
-			if !samePhase(a, b) {
+			if !samePhase(a, b) || sameLock(a, b) {
 				continue
 			}
 			if a.idx == b.idx && a.addr == b.addr && !b.store {

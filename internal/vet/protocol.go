@@ -397,6 +397,17 @@ func (u *unit) step(st *pstate, i int, res *protoRes) {
 		// A hardware barrier is a global completion point by construction.
 		if res != nil {
 			res.bounds = append(res.bounds, i)
+			if res.report && st.lock.kind == lockHeld {
+				res.diags = append(res.diags, u.diag(CodeMissingRelease, i,
+					"barrier while holding the hardware lock on line %s: waiters parked on the lock can never arrive",
+					u.describeAV(st.lock.target)))
+			}
+		}
+	case in.Op == isa.HALT:
+		if res != nil && res.report && st.lock.kind == lockHeld {
+			res.diags = append(res.diags, u.diag(CodeMissingRelease, i,
+				"path reaches halt still holding the hardware lock on line %s",
+				u.describeAV(st.lock.target)))
 		}
 	case in.IsInval():
 		tgt := avAdd(st.regs[in.Rs1&31], avCon(int64(in.Imm)))
@@ -409,7 +420,15 @@ func (u *unit) step(st *pstate, i int, res *protoRes) {
 				res.regions = append(res.regions, regionRec{target: tgt, icache: in.Op == isa.ICBI})
 			}
 		}
-		st.inv = invState{kind: invSome, target: tgt, idx: i, icache: in.Op == isa.ICBI}
+		if st.lock.kind == lockHeld && st.lock.target == tgt {
+			// Invalidating the line this path holds is the release: the
+			// bank's lock table hands the lock to the next waiter. It
+			// leaves no pending invalidation to stall on.
+			st.lock = lockSt{}
+			st.inv = invState{}
+		} else {
+			st.inv = invState{kind: invSome, target: tgt, idx: i, icache: in.Op == isa.ICBI}
+		}
 	case in.IsLoad():
 		addr := avAdd(st.regs[in.Rs1&31], avCon(int64(in.Imm)))
 		if u.hasInval {
@@ -427,9 +446,31 @@ func (u *unit) step(st *pstate, i int, res *protoRes) {
 	case in.IsCondBranch():
 		if res != nil && ((st.sync>>(in.Rs1&31))&1 == 1 || (st.sync>>(in.Rs2&31))&1 == 1) {
 			res.bounds = append(res.bounds, i)
+			if res.report && st.lock.kind == lockHeld {
+				res.diags = append(res.diags, u.diag(CodeMissingRelease, i,
+					"barrier spin-exit while holding the hardware lock on line %s: waiters parked on the lock can never arrive",
+					u.describeAV(st.lock.target)))
+			}
 		}
 	case in.IsStore():
 		st.dirty = true
+		// An exact store into the barrier region is a barrier-state write
+		// — the counter reset or release-flag store of a software
+		// barrier. The release store is a completion point on the
+		// releaser's path (every thread's arrival is ordered before it by
+		// the LL/SC chain, every waiter's exit after it by the spin), the
+		// waiters' own completion point being their sync-tainted
+		// spin-exit branch; without this bound the releaser's unsliced
+		// path would merge the phases the spin exits split. Arrival-slot
+		// stores (array barriers) over-slice the arriving thread's path,
+		// like a combining tree's inner rounds — see the caveat in
+		// phase.go; hbcheck backstops. Bounded (not just exact) targets
+		// qualify: a tree node's address is an interval in the per-round
+		// node array, still provably barrier state.
+		addr := avAdd(st.regs[in.Rs1&31], avCon(int64(in.Imm)))
+		if res != nil && u.inBarrierRegion(addr, st.tid) {
+			res.bounds = append(res.bounds, i)
+		}
 	case in.Op == isa.JALR && in.Rd == isa.RegRA:
 		tgt := avAdd(st.regs[in.Rs1&31], avCon(int64(in.Imm)))
 		if res != nil && exactTarget(tgt) {
@@ -484,8 +525,8 @@ func (u *unit) checkStall(st *pstate, i int, addr av, isJump bool, res *protoRes
 		if !matched {
 			// Provably a different line for every thread that can get
 			// here. Only a stall-shaped operation counts: a jump, or a
-			// load aimed at the synchronization region.
-			if !isJump && !u.inBarrierRegion(addr, st.tid) {
+			// load aimed at the synchronization region (barrier or lock).
+			if !isJump && !u.inBarrierRegion(addr, st.tid) && !u.inLockRegion(addr, st.tid) {
 				return // ordinary data load; leave the invalidation pending
 			}
 			if report {
@@ -496,10 +537,24 @@ func (u *unit) checkStall(st *pstate, i int, addr av, isJump bool, res *protoRes
 			st.inv = invState{}
 			return
 		}
+		if !isJump && u.inLockRegion(addr, st.tid) {
+			// A matched stall on this thread's own lock line is the
+			// acquire's grant load: it orders the thread after the
+			// previous holder — a mutual-exclusion edge, not a global
+			// completion point — so it is NOT a phase boundary.
+			st.lock = lockSt{kind: lockHeld, target: addr}
+			st.inv = invState{}
+			return
+		}
 		// A matched stall: the thread blocks here until the filter opens,
 		// i.e. until every thread has arrived — a phase boundary.
 		if res != nil {
 			res.bounds = append(res.bounds, i)
+		}
+		if report && st.lock.kind == lockHeld {
+			res.diags = append(res.diags, u.diag(CodeMissingRelease, i,
+				"barrier stall while holding the hardware lock on line %s: waiters parked on the lock can never arrive",
+				u.describeAV(st.lock.target)))
 		}
 		if report && tgt.coef == 0 && addr.coef == 0 && u.opt.Threads > 1 && u.countAllowed(st.tid) > 1 {
 			res.diags = append(res.diags, u.diag(CodeWrongSlotInval, st.inv.idx,
@@ -512,11 +567,20 @@ func (u *unit) checkStall(st *pstate, i int, addr av, isJump bool, res *protoRes
 		}
 		st.inv = invState{}
 	case invNone:
-		if !isJump && exactTarget(addr) && u.inBarrierRegion(addr, st.tid) {
-			if report {
-				res.diags = append(res.diags, u.diag(CodeLoadBeforeInval, i,
-					"load from barrier line %s without invalidating it first: the load cannot be starved, so the thread runs through the barrier",
-					u.describeAV(addr)))
+		if !isJump && exactTarget(addr) {
+			switch {
+			case u.inLockRegion(addr, st.tid):
+				if report && st.lock.kind == lockNone {
+					res.diags = append(res.diags, u.diag(CodeLoadBeforeAcquire, i,
+						"load from lock line %s without invalidating it first: acquire is dcbi-then-ld, and the bank's lock table faults demand loads from threads that never queued",
+						u.describeAV(addr)))
+				}
+			case u.inBarrierRegion(addr, st.tid):
+				if report {
+					res.diags = append(res.diags, u.diag(CodeLoadBeforeInval, i,
+						"load from barrier line %s without invalidating it first: the load cannot be starved, so the thread runs through the barrier",
+						u.describeAV(addr)))
+				}
 			}
 		}
 	case invMany:
@@ -525,8 +589,9 @@ func (u *unit) checkStall(st *pstate, i int, addr av, isJump bool, res *protoRes
 }
 
 // inBarrierRegion reports whether the address provably lies in the barrier
-// data region for every thread the constraint allows (the interval's lower
-// bound clears BarrierBase).
+// data region for every thread the constraint allows: the interval's lower
+// bound clears BarrierBase and its upper bound stays below LockBase, where
+// the hardware-lock lines (a different protocol) begin.
 func (u *unit) inBarrierRegion(a av, c tidC) bool {
 	if !a.known {
 		return false
@@ -538,6 +603,28 @@ func (u *unit) inBarrierRegion(a av, c tidC) bool {
 		}
 		any = true
 		if v := a.loAt(t); v < 0 || uint64(v) < u.opt.BarrierBase {
+			return false
+		}
+		if v := a.hiAt(t); uint64(v) >= u.opt.LockBase {
+			return false
+		}
+	}
+	return any
+}
+
+// inLockRegion reports whether the address provably lies in the
+// hardware-lock line region for every thread the constraint allows.
+func (u *unit) inLockRegion(a av, c tidC) bool {
+	if !a.known {
+		return false
+	}
+	any := false
+	for t := int64(0); t < int64(u.opt.Threads); t++ {
+		if !c.allows(t) {
+			continue
+		}
+		any = true
+		if v := a.loAt(t); v < 0 || uint64(v) < u.opt.LockBase {
 			return false
 		}
 	}

@@ -77,6 +77,16 @@ const (
 	// by an IFLUSH before the stall jump, so prefetched stub instructions
 	// may let the thread run through the barrier.
 	CodeMissingIFlush Code = "missing-iflush"
+	// CodeLoadBeforeAcquire: a thread loads a hardware lock line without
+	// invalidating it first. The acquire protocol is dcbi-then-ld — the
+	// dcbi queues the thread at the bank's lock table and the (starved)
+	// load completes at the grant; the bank faults demand loads from
+	// threads that never queued.
+	CodeLoadBeforeAcquire Code = "load-before-acquire"
+	// CodeMissingRelease: a path still holds a hardware lock at a barrier
+	// stall or at halt. Waiters parked on the lock can then never arrive
+	// at the barrier (or finish), so the program deadlocks.
+	CodeMissingRelease Code = "missing-release"
 	// CodeBadOpcode: a reachable instruction word does not decode.
 	CodeBadOpcode Code = "bad-opcode"
 	// CodeFallOffEnd: a reachable path runs past the end of the text
@@ -113,6 +123,13 @@ type Options struct {
 	// above it are treated as synchronization lines. Zero selects the
 	// standard memory map (core.BarrierRegion).
 	BarrierBase uint64
+	// LockBase is the start of the hardware-lock line region. It sits
+	// inside the synchronization address space above BarrierBase, and
+	// splits it: addresses in [BarrierBase, LockBase) follow the barrier
+	// protocol, addresses at or above LockBase follow the lock protocol
+	// (acquire grants are mutual-exclusion edges, not phase boundaries).
+	// Zero selects the standard memory map (core.LockRegion).
+	LockBase uint64
 	// DataBase/StackBase bound the static data region for the partition
 	// discipline check. Zero selects the standard memory map.
 	DataBase  uint64
@@ -137,6 +154,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BarrierBase == 0 {
 		o.BarrierBase = core.BarrierRegion
+	}
+	if o.LockBase == 0 {
+		o.LockBase = core.LockRegion
 	}
 	if o.DataBase == 0 {
 		o.DataBase = core.DataBase
@@ -198,9 +218,10 @@ func analyzeUnit(p *asm.Program, opt Options) (*Report, *unit) {
 var diagRank = map[Code]int{
 	CodeNoText: 0, CodeBadOpcode: 1, CodeBadBranch: 2, CodeFallOffEnd: 3,
 	CodeMissingFence: 4, CodeWrongSlotInval: 5, CodeLoadBeforeInval: 6,
-	CodeStoreToArrival: 7, CodeMissingIFlush: 8, CodeCrossPartitionStore: 9,
-	CodeDynPartitionOverlap: 10, CodeStoreLoadRace: 11,
-	CodeUseBeforeDef: 12, CodeDeadCode: 13,
+	CodeStoreToArrival: 7, CodeMissingIFlush: 8,
+	CodeLoadBeforeAcquire: 9, CodeMissingRelease: 10,
+	CodeCrossPartitionStore: 11, CodeDynPartitionOverlap: 12, CodeStoreLoadRace: 13,
+	CodeUseBeforeDef: 14, CodeDeadCode: 15,
 }
 
 func sortDiags(ds []Diagnostic) []Diagnostic {

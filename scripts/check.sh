@@ -36,8 +36,9 @@ go test -race ./internal/interconnect ./internal/mem
 echo "== hbcheck differential smoke (dynamic oracle agrees with srvet) =="
 go test -short -run TestHBCheck -count=1 ./internal/harness
 
-echo "== go test -race (filter tables, OS model, barrier degradation) =="
+echo "== go test -race (sync engine: filter+lock tables, OS model, barrier degradation) =="
 go test -race ./internal/filter ./internal/osmodel ./internal/barrier
+go test -race -run 'TestCleanLockMachine|TestLock' ./internal/sanitize
 
 echo "== go test -race (translation cache: counters, invalidation, fuzz seeds) =="
 go test -race -run TestTranslate ./internal/cpu
@@ -46,8 +47,8 @@ go test -race -run FuzzTranslateDiff ./internal/cpu
 echo "== go test (translation differential: -notranslate shard) =="
 go test -short -run 'TestTranslateDifferentialShort|TestTranslateSanitizerDifferential' -count=1 .
 
-echo "== go test (fabric differential: bus golden + crossbar/mesh suites) =="
-go test -run 'TestBusFabricGolden|TestKernelsOnOtherFabrics|TestFastPathOnOtherFabrics' -count=1 .
+echo "== go test (fabric differential: bus golden + crossbar/mesh/optical suites) =="
+go test -run 'TestBusFabricGolden|TestKernelsOnOtherFabrics|TestFastPathOnOtherFabrics|TestLockKernelsAcrossFabrics' -count=1 .
 
 echo "== go test (chaos differential) =="
 go test -run Chaos -count=1 .
